@@ -1,0 +1,225 @@
+// Benchmarks: one per reproduction experiment (see DESIGN.md §5 and
+// EXPERIMENTS.md). Each benchmark runs a representative configuration of
+// its experiment and reports the simulated SLAP step counts as custom
+// metrics ("simsteps"), so `go test -bench=.` regenerates the headline
+// numbers; the full sweeps behind EXPERIMENTS.md come from cmd/slapbench.
+package slapcc
+
+import (
+	"testing"
+
+	"slapcc/internal/baseline"
+	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/lowerbound"
+	"slapcc/internal/stats"
+	"slapcc/internal/unionfind"
+)
+
+const benchN = 256
+
+func benchLabel(b *testing.B, img *bitmap.Bitmap, opt core.Options) *core.Result {
+	b.Helper()
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := core.Label(img, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	return last
+}
+
+// BenchmarkE1UnitCostLinear — Lemma 2: O(n) under unit-cost union–find.
+func BenchmarkE1UnitCostLinear(b *testing.B) {
+	img := bitmap.Random(benchN, 0.5, 1)
+	res := benchLabel(b, img, core.Options{UnitCostUF: true})
+	b.ReportMetric(float64(res.Metrics.Time), "simsteps")
+	b.ReportMetric(float64(res.Metrics.Time)/benchN, "simsteps/n")
+}
+
+// BenchmarkE2TarjanScaling — §3: O(n lg n) worst case with Tarjan UF.
+func BenchmarkE2TarjanScaling(b *testing.B) {
+	img := bitmap.BinaryMerge(benchN)
+	res := benchLabel(b, img, core.Options{})
+	b.ReportMetric(float64(res.Metrics.Time), "simsteps")
+	b.ReportMetric(float64(res.Metrics.Time)/(benchN*stats.Log2(benchN)), "simsteps/nlgn")
+}
+
+// BenchmarkE3BlumScaling — Theorem 3: O(n lg n / lg lg n) with k-UF trees.
+func BenchmarkE3BlumScaling(b *testing.B) {
+	img := bitmap.BinaryMerge(benchN)
+	res := benchLabel(b, img, core.Options{UF: unionfind.KindBlum})
+	b.ReportMetric(float64(res.Metrics.Time), "simsteps")
+	b.ReportMetric(float64(res.UF.MaxOpCost), "maxopcost")
+}
+
+// BenchmarkE4PerFamily — §3: near-O(n) on typical images (random50).
+func BenchmarkE4PerFamily(b *testing.B) {
+	for _, name := range []string{"random50", "checker", "spiral", "fig3a"} {
+		fam, _ := bitmap.FamilyByName(name)
+		img := fam.Generate(benchN)
+		b.Run(name, func(b *testing.B) {
+			res := benchLabel(b, img, core.Options{})
+			b.ReportMetric(float64(res.Metrics.Time)/benchN, "simsteps/n")
+		})
+	}
+}
+
+// BenchmarkE5IdleCompression — §3 heuristic ablation.
+func BenchmarkE5IdleCompression(b *testing.B) {
+	img := bitmap.VSerpentine(benchN)
+	for _, idle := range []bool{false, true} {
+		name := "off"
+		if idle {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			res := benchLabel(b, img, core.Options{IdleCompression: idle})
+			b.ReportMetric(float64(res.Metrics.Time), "simsteps")
+		})
+	}
+}
+
+// BenchmarkE6Aggregate — Corollary 4 extension overhead.
+func BenchmarkE6Aggregate(b *testing.B) {
+	img := bitmap.Random(benchN, 0.5, 1)
+	var last *core.AggregateResult
+	for i := 0; i < b.N; i++ {
+		res, err := core.Aggregate(img, core.Ones(img), core.Sum(), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Metrics.Time), "simsteps")
+}
+
+// BenchmarkE7BitSerial — Theorem 5: Ω(n lg n) on 1-bit links.
+func BenchmarkE7BitSerial(b *testing.B) {
+	var last lowerbound.Datapoint
+	for i := 0; i < b.N; i++ {
+		d, err := lowerbound.Measure(benchN, 1, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = d
+	}
+	b.ReportMetric(float64(last.BitSteps), "bitsteps")
+	b.ReportMetric(float64(last.BoundSteps), "boundsteps")
+	b.ReportMetric(last.RatioToBound(), "ratio")
+}
+
+// BenchmarkE8Baselines — prior SLAP approaches vs Algorithm CC.
+func BenchmarkE8Baselines(b *testing.B) {
+	img := bitmap.Random(benchN, 0.5, 1)
+	b.Run("cc", func(b *testing.B) {
+		res := benchLabel(b, img, core.Options{})
+		b.ReportMetric(float64(res.Metrics.Time), "simsteps")
+	})
+	b.Run("blockmerge", func(b *testing.B) {
+		var last *baseline.Result
+		for i := 0; i < b.N; i++ {
+			res, err := baseline.BlockMerge(img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Metrics.Time), "simsteps")
+	})
+	small := bitmap.HSerpentine(64)
+	b.Run("naive64serp", func(b *testing.B) {
+		var last *baseline.Result
+		for i := 0; i < b.N; i++ {
+			res, err := baseline.NaivePropagation(small, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Metrics.Time), "simsteps")
+	})
+}
+
+// BenchmarkE9HardImages — the paper's Figure 3 textures.
+func BenchmarkE9HardImages(b *testing.B) {
+	for _, fig := range []struct {
+		name string
+		gen  func(int) *bitmap.Bitmap
+	}{{"fig3a", bitmap.Fig3a}, {"fig3b", bitmap.Fig3b}} {
+		img := fig.gen(benchN)
+		b.Run(fig.name, func(b *testing.B) {
+			res := benchLabel(b, img, core.Options{})
+			b.ReportMetric(float64(res.Metrics.Time)/benchN, "simsteps/n")
+		})
+	}
+}
+
+// BenchmarkE10UFVariants — union–find variant ablation.
+func BenchmarkE10UFVariants(b *testing.B) {
+	img := bitmap.BinaryMerge(benchN)
+	for _, kind := range unionfind.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			res := benchLabel(b, img, core.Options{UF: kind})
+			b.ReportMetric(float64(res.Metrics.Time), "simsteps")
+			b.ReportMetric(float64(res.UF.MaxOpCost), "maxopcost")
+		})
+	}
+}
+
+// BenchmarkE11Speculation — §3 speculative forwarding ablation.
+func BenchmarkE11Speculation(b *testing.B) {
+	img := bitmap.HSerpentine(benchN)
+	for _, spec := range []bool{false, true} {
+		name := "off"
+		if spec {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			res := benchLabel(b, img, core.Options{Speculate: spec})
+			b.ReportMetric(float64(res.Metrics.Time), "simsteps")
+			b.ReportMetric(float64(res.Speculation.Wasted), "wasted")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw host-side simulation speed
+// (pixels simulated per wall second), the practical cost of using this
+// repository, for both execution engines: "seq" runs PEs sequentially
+// with timestamped queues; "par" runs one goroutine per PE with channel
+// links (identical simulated metrics, different wall time).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const n = 1024
+	img := bitmap.Random(n, 0.5, 1)
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"seq", false}, {"par", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(n * n))
+			benchLabel(b, img, core.Options{Parallel: mode.parallel})
+		})
+	}
+}
+
+// BenchmarkUnionFindKinds measures host-side op throughput per structure.
+func BenchmarkUnionFindKinds(b *testing.B) {
+	const n = 1 << 14
+	for _, kind := range unionfind.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				u, _ := unionfind.Make(kind, n)
+				for span := 1; span < n; span *= 2 {
+					for base := 0; base+span < n; base += 2 * span {
+						u.Union(base, base+span)
+					}
+				}
+				for j := 0; j < n; j++ {
+					u.Find(j)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+// Command imagegen emits workload-family images as plain PBM (P1) or
+// ASCII art, for inspection and for feeding cmd/slapcc.
+//
+// Usage:
+//
+//	imagegen -family fig3a -n 16 -art
+//	imagegen -family random50 -n 128 -o img.pbm
+//	imagegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slapcc/internal/bitmap"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "imagegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("imagegen", flag.ContinueOnError)
+	var (
+		family = fs.String("family", "", "workload family (see -list)")
+		n      = fs.Int("n", 32, "image size")
+		out    = fs.String("o", "", "output PBM path (default stdout)")
+		art    = fs.Bool("art", false, "emit ASCII art instead of PBM")
+		list   = fs.Bool("list", false, "list families and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, f := range bitmap.Families() {
+			fmt.Printf("%-14s %s\n", f.Name, f.Description)
+		}
+		return nil
+	}
+	f, ok := bitmap.FamilyByName(*family)
+	if !ok {
+		return fmt.Errorf("unknown family %q (try -list)", *family)
+	}
+	if *n < 1 {
+		return fmt.Errorf("invalid size %d", *n)
+	}
+	img := f.Generate(*n)
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	if *art {
+		_, err := fmt.Fprint(w, img.String())
+		return err
+	}
+	return img.WritePBM(w)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slapcc/internal/bitmap"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestGenerateArt(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-family", "checker", "-n", "4", "-art"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bitmap.Checker(4).String()
+	if out != want {
+		t.Fatalf("art mismatch:\n%q\nwant\n%q", out, want)
+	}
+}
+
+func TestGeneratePBMFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.pbm")
+	if _, err := capture(t, func() error {
+		return run([]string{"-family", "spiral", "-n", "9", "-o", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	img, err := bitmap.ReadPBM(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(bitmap.Spiral(9)) {
+		t.Fatal("PBM round trip through imagegen failed")
+	}
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "maze") {
+		t.Fatalf("family list incomplete:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-family", "nope"},
+		{"-family", "checker", "-n", "0"},
+		{"-family", "checker", "-o", "/nonexistent-dir/x.pbm"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-id", "E1", "-sizes", "8,16"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "exponent") {
+		t.Fatalf("unexpected E1 output:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-id", "E9", "-sizes", "8,16", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "# E9") {
+		t.Fatalf("CSV output should start with the table comment:\n%s", out)
+	}
+	if !strings.Contains(out, "figure,n,T") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E7", "E11"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-id", "E99"},
+		{"-sizes", "abc"},
+		{"-sizes", "-4"},
+		{"-sizes", ",,"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes(" 8, 16 ,32 ")
+	if err != nil || len(got) != 3 || got[0] != 8 || got[2] != 32 {
+		t.Fatalf("parseSizes: got %v, %v", got, err)
+	}
+}

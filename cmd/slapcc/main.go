@@ -1,0 +1,261 @@
+// Command slapcc labels the connected components of a binary image on
+// the simulated scan line array processor and reports the labeling and
+// the machine-level cost.
+//
+// Usage:
+//
+//	slapcc -gen checker -n 16 -show
+//	slapcc -in image.pbm -uf blum -metrics
+//	slapcc -gen hserpentine -n 64 -bitserial -metrics
+//	slapcc -gen random50 -n 32 -agg sum -show
+//
+// Input is either a generated family member (-gen, -n) or a plain PBM
+// (P1) file (-in; "-" reads stdin).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/seqcc"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slapcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slapcc", flag.ContinueOnError)
+	var (
+		genName   = fs.String("gen", "", "generate this workload family (see -list)")
+		n         = fs.Int("n", 32, "image size for -gen")
+		inPath    = fs.String("in", "", "read a PBM (P1) image from this file ('-' = stdin)")
+		ufKind    = fs.String("uf", string(unionfind.KindTarjan), "union-find kind: "+kindList())
+		idle      = fs.Bool("idle", false, "enable idle-time path compression (§3 heuristic)")
+		bitserial = fs.Bool("bitserial", false, "use 1-bit links (Theorem 5 machine)")
+		unitUF    = fs.Bool("unitcost", false, "account unions/finds at unit cost (Lemma 2 accounting)")
+		agg       = fs.String("agg", "", "also aggregate per component: min, max, sum, or or")
+		show      = fs.Bool("show", false, "print the image and labeling as ASCII art")
+		metrics   = fs.Bool("metrics", false, "print per-phase machine metrics")
+		profile   = fs.Bool("profile", false, "print per-PE completion profiles (the systolic wavefront)")
+		parallel  = fs.Bool("parallel", false, "simulate with one goroutine per PE (same metrics, less wall time)")
+		speculate = fs.Bool("speculate", false, "enable speculative union forwarding (§3 heuristic)")
+		conn      = fs.Int("conn", 4, "pixel connectivity: 4 (paper) or 8")
+		verify    = fs.Bool("verify", true, "cross-check against the sequential reference")
+		list      = fs.Bool("list", false, "list workload families and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, f := range bitmap.Families() {
+			fmt.Printf("%-14s %s\n", f.Name, f.Description)
+		}
+		return nil
+	}
+
+	img, err := loadImage(*genName, *inPath, *n)
+	if err != nil {
+		return err
+	}
+
+	opt := core.Options{
+		UF:              unionfind.Kind(*ufKind),
+		Connectivity:    bitmap.Connectivity(*conn),
+		IdleCompression: *idle,
+		UnitCostUF:      *unitUF,
+		Profile:         *profile,
+		Parallel:        *parallel,
+		Speculate:       *speculate,
+	}
+	if *bitserial {
+		opt.Cost = slap.BitSerial(slap.WordBitsFor(maxDim(img)))
+	}
+
+	res, err := core.Label(img, opt)
+	if err != nil {
+		return err
+	}
+	if *verify {
+		if err := seqcc.CheckConn(img, res.Labels, opt.Connectivity); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+	}
+
+	st := seqcc.Summarize(res.Labels)
+	fmt.Printf("image: %dx%d, %d foreground pixels (density %.2f)\n",
+		img.W(), img.H(), img.CountOnes(), img.Density())
+	fmt.Printf("components: %d (largest %d pixels)\n", st.Components, st.Largest)
+	fmt.Printf("simulated time: %d steps (%.2f steps/PE), uf=%s maxOp=%d\n",
+		res.Metrics.Time, float64(res.Metrics.Time)/float64(maxInt(1, img.W())),
+		res.UF.Kind, res.UF.MaxOpCost)
+
+	if *show {
+		fmt.Println("\nimage:")
+		fmt.Print(img)
+		fmt.Println("labels:")
+		fmt.Print(res.Labels)
+	}
+	if *metrics {
+		fmt.Println("\nphases:")
+		for _, p := range res.Metrics.Phases {
+			fmt.Printf("  %-18s makespan %8d  sends %7d  words %8d  idle %8d  peakQ %4d\n",
+				p.Name, p.Makespan, p.Sends, p.Words, p.Idle, p.MaxQueue)
+		}
+		fmt.Printf("per-PE memory: %d words\n", res.Metrics.PEMemory)
+	}
+	if *profile {
+		fmt.Println("\nper-PE completion profiles (each bar column samples the array left to right):")
+		for _, p := range res.Metrics.Phases {
+			if len(p.PerPE) == 0 {
+				continue
+			}
+			fmt.Printf("  %-18s %s\n", p.Name, sparkline(p.PerPE, 48))
+		}
+	}
+	if *agg != "" {
+		op, err := monoidByName(*agg)
+		if err != nil {
+			return err
+		}
+		initial := core.Ones(img)
+		if op.Name != "sum" {
+			for i := range initial {
+				initial[i] = int32(i)
+			}
+		}
+		ares, err := core.Aggregate(img, initial, op, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\naggregate (%s over %s): total time %d steps\n",
+			op.Name, initialDesc(op), ares.Metrics.Time)
+		if *show {
+			printAggregate(img, ares)
+		}
+	}
+	return nil
+}
+
+func loadImage(genName, inPath string, n int) (*bitmap.Bitmap, error) {
+	switch {
+	case genName != "" && inPath != "":
+		return nil, fmt.Errorf("use either -gen or -in, not both")
+	case genName != "":
+		f, ok := bitmap.FamilyByName(genName)
+		if !ok {
+			return nil, fmt.Errorf("unknown family %q (try -list)", genName)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("invalid size %d", n)
+		}
+		return f.Generate(n), nil
+	case inPath == "-":
+		return bitmap.ReadPBM(os.Stdin)
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bitmap.ReadPBM(f)
+	default:
+		return nil, fmt.Errorf("need -gen FAMILY or -in FILE (try -list)")
+	}
+}
+
+func monoidByName(name string) (core.Monoid, error) {
+	switch strings.ToLower(name) {
+	case "min":
+		return core.Min(), nil
+	case "max":
+		return core.Max(), nil
+	case "sum":
+		return core.Sum(), nil
+	case "or":
+		return core.Or(), nil
+	}
+	return core.Monoid{}, fmt.Errorf("unknown aggregate op %q (min, max, sum, or)", name)
+}
+
+func initialDesc(op core.Monoid) string {
+	if op.Name == "sum" {
+		return "ones (component areas)"
+	}
+	return "positions"
+}
+
+func printAggregate(img *bitmap.Bitmap, res *core.AggregateResult) {
+	fmt.Println("per-pixel aggregate:")
+	for y := 0; y < img.H(); y++ {
+		for x := 0; x < img.W(); x++ {
+			if img.Get(x, y) {
+				fmt.Printf("%5d", res.PerPixel[x*img.H()+y])
+			} else {
+				fmt.Printf("%5s", ".")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// sparkline renders values as a fixed-width bar strip using eighth-block
+// characters, scaled to the maximum value.
+func sparkline(values []int64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width > len(values) {
+		width = len(values)
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var max int64 = 1
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, width)
+	for i := 0; i < width; i++ {
+		// Sample the bucket's maximum.
+		lo, hi := i*len(values)/width, (i+1)*len(values)/width
+		if hi == lo {
+			hi = lo + 1
+		}
+		var v int64
+		for _, x := range values[lo:hi] {
+			if x > v {
+				v = x
+			}
+		}
+		idx := int(v * int64(len(blocks)-1) / max)
+		out[i] = blocks[idx]
+	}
+	return string(out)
+}
+
+func kindList() string {
+	var names []string
+	for _, k := range unionfind.Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
+func maxDim(img *bitmap.Bitmap) int { return maxInt(img.W(), img.H()) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

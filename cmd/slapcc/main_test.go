@@ -1,0 +1,135 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slapcc/internal/bitmap"
+)
+
+// capture redirects os.Stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, runErr
+}
+
+func TestRunGenerateAndShow(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-gen", "checker", "-n", "8", "-show", "-metrics", "-profile"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"components: 32", "phases:", "left:unionfind", "per-PE completion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "checker") || !strings.Contains(out, "evenrowruns") {
+		t.Fatalf("family list incomplete:\n%s", out)
+	}
+}
+
+func TestRunPBMInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img.pbm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bitmap.Checker(6).WritePBM(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := capture(t, func() error { return run([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "components: 18") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunAggregate(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-gen", "frames", "-n", "12", "-agg", "sum", "-show"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "aggregate (sum") {
+		t.Fatalf("missing aggregate output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                    // no input chosen
+		{"-gen", "nope"},                      // unknown family
+		{"-gen", "checker", "-n", "0"},        // bad size
+		{"-gen", "checker", "-in", "x.pbm"},   // both inputs
+		{"-in", "/nonexistent/file.pbm"},      // missing file
+		{"-gen", "checker", "-uf", "bogus"},   // unknown UF kind
+		{"-gen", "checker", "-agg", "median"}, // unknown monoid
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestRunConn8(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-gen", "checker", "-n", "8", "-conn", "8", "-parallel", "-speculate"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "components: 1 ") {
+		t.Fatalf("8-connected checker should be one component:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-gen", "checker", "-n", "8", "-conn", "5"})
+	}); err == nil {
+		t.Fatal("want error for invalid connectivity")
+	}
+}
+
+func TestRunBitSerialAndVariants(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-gen", "evenrowruns", "-n", "16", "-bitserial", "-uf", "blum", "-idle", "-unitcost"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "uf=blum") {
+		t.Fatalf("expected blum UF in output:\n%s", out)
+	}
+}

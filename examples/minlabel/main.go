@@ -1,0 +1,70 @@
+// Minlabel: the paper's Corollary 4 — label every component with the
+// minimum *initial* label of its pixels, here used for marker-based
+// segmentation: a few seed pixels carry small marker ids, and the
+// aggregation spreads each region's smallest marker over the whole
+// region in one SLAP-time labeling pass.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slapcc"
+)
+
+func main() {
+	img := slapcc.MustParseImage(`
+######....########
+#....#....#......#
+#.##.#....#.####.#
+#.##.#....#.#..#.#
+#....#....#.#..#.#
+######....#.####.#
+..........#......#
+.####.....########
+.#..#.............
+.####.............
+`)
+
+	// Unmarked pixels carry the Min identity; three seeds carry ids.
+	initial := make([]int32, img.W()*img.H())
+	ident := slapcc.MinOf().Identity
+	for i := range initial {
+		initial[i] = ident
+	}
+	seeds := map[[2]int]int32{
+		{0, 0}:  101, // outer ring of the left box
+		{12, 2}: 202, // inner box of the right structure
+		{1, 8}:  303, // small bottom box
+	}
+	for at, id := range seeds {
+		if !img.Get(at[0], at[1]) {
+			log.Fatalf("seed %v placed on background", at)
+		}
+		initial[at[0]*img.H()+at[1]] = id
+	}
+
+	res, err := slapcc.Aggregate(img, initial, slapcc.MinOf(), slapcc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("image with marker propagation (seed ids shown per region):")
+	for y := 0; y < img.H(); y++ {
+		for x := 0; x < img.W(); x++ {
+			switch v := res.PerPixel[x*img.H()+y]; {
+			case !img.Get(x, y):
+				fmt.Print(" . ")
+			case v == ident:
+				fmt.Print(" ? ") // region without any seed
+			default:
+				fmt.Printf("%3d", v)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ncomponents: %d, simulated SLAP time: %d steps\n",
+		res.Labels.ComponentCount(), res.Metrics.Time)
+	fmt.Println("every pixel of a seeded region now carries the region's smallest marker id;")
+	fmt.Println("Corollary 4 guarantees this costs the same asymptotic time as plain labeling.")
+}

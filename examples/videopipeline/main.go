@@ -1,0 +1,75 @@
+// Videopipeline: the scenario that motivated the SLAP (the Princeton
+// Engine was a real-time video system simulator): a stream of frames
+// flows through the array, and each frame is component-labeled and
+// measured in machine steps — near-linear per frame, i.e. real-time for
+// the architecture.
+//
+// The synthetic scene contains moving rectangles ("objects") that drift
+// across the frame, occasionally touching and merging into one component.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slapcc"
+)
+
+const (
+	frameSize = 64
+	frames    = 8
+)
+
+// object is an axis-aligned rectangle with a velocity.
+type object struct {
+	x, y, w, h int
+	dx, dy     int
+}
+
+func drawFrame(objs []object, t int) *slapcc.Bitmap {
+	img := slapcc.NewImage(frameSize, frameSize)
+	for _, o := range objs {
+		x0, y0 := o.x+t*o.dx, o.y+t*o.dy
+		for x := x0; x < x0+o.w; x++ {
+			for y := y0; y < y0+o.h; y++ {
+				if x >= 0 && x < frameSize && y >= 0 && y < frameSize {
+					img.Set(x, y, true)
+				}
+			}
+		}
+	}
+	return img
+}
+
+func main() {
+	objs := []object{
+		{x: 2, y: 6, w: 10, h: 8, dx: 5, dy: 0},    // sweeps left to right
+		{x: 50, y: 10, w: 8, h: 8, dx: -4, dy: 1},  // drifts right to left
+		{x: 20, y: 40, w: 14, h: 6, dx: 1, dy: -2}, // rises
+		{x: 44, y: 44, w: 6, h: 12, dx: 0, dy: 0},  // static
+	}
+
+	fmt.Printf("%5s  %10s  %7s  %12s  %10s\n",
+		"frame", "components", "pixels", "largest area", "SLAP steps")
+	for t := 0; t < frames; t++ {
+		img := drawFrame(objs, t)
+
+		// Label the frame and, in the same run, compute per-component
+		// areas with the Corollary 4 aggregation (sum of ones).
+		res, err := slapcc.Aggregate(img, slapcc.OnesOf(img), slapcc.SumOf(), slapcc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		largest := int32(0)
+		for _, v := range res.PerPixel {
+			if v > largest {
+				largest = v
+			}
+		}
+		fmt.Printf("%5d  %10d  %7d  %12d  %10d\n",
+			t, res.Labels.ComponentCount(), img.CountOnes(), largest, res.Metrics.Time)
+	}
+
+	fmt.Println("\nper-frame machine time stays a small multiple of the frame height:")
+	fmt.Println("the array keeps up with the video rate, which is the architecture's point.")
+}

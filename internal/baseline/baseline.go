@@ -1,0 +1,264 @@
+// Package baseline implements the prior SLAP component-labeling
+// approaches the paper compares against (§1): the Θ(n lg n) block-merge
+// strategy of the earlier SLAP algorithms [Alnuweiri–Prasanna 1991;
+// Helman–JáJá 1995], and the naive iterative label-propagation scheme
+// whose failure mode the paper's Figure 3(b) illustrates.
+//
+// Both produce the same canonical labeling as Algorithm CC (least
+// column-major position per component), so outputs are directly
+// comparable, and both charge their simulated time to a slap.Machine so
+// makespans are comparable too.
+//
+// Unlike internal/core, which runs message by message on the simulator,
+// these baselines are *semantically* computed with global data structures
+// and *cost-charged* per round according to their communication and work
+// structure (documented per phase below). That level of fidelity is
+// enough for the experiments, which only use the baselines' asymptotic
+// shape (Θ(n lg n), Θ(n²)) — not their constants.
+package baseline
+
+import (
+	"fmt"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// Result is the output of a baseline labeler.
+type Result struct {
+	Labels  *bitmap.LabelMap
+	Metrics slap.Metrics
+	// Rounds is the number of global rounds executed.
+	Rounds int
+}
+
+// BlockMerge labels components by divide and conquer over column blocks:
+// every PE first labels its own column's runs; then, for lg n rounds,
+// adjacent blocks of 2^r columns merge pairwise. A merge reads the two
+// boundary columns (n words across the boundary link), resolves label
+// equivalences with union–find, and rewrites the labels inside the merged
+// block (every PE scans its column; the equivalence map is pipelined
+// through the block). Each round therefore costs Θ(n + block width),
+// and the total is Θ(n lg n) — the bound the paper improves on.
+func BlockMerge(img *bitmap.Bitmap) (*Result, error) {
+	w, h := img.W(), img.H()
+	if w > 0 && h > 0 && 2*int64(w)*int64(h) > 1<<31-1 {
+		return nil, fmt.Errorf("baseline: image %dx%d exceeds the int32 label space", w, h)
+	}
+	m := slap.NewMachine(w, slap.Unit())
+	m.ChargeGlobal("input", int64(h))
+	lm := bitmap.NewLabelMap(w, h)
+	res := &Result{Labels: lm}
+	if w == 0 || h == 0 {
+		res.Metrics = m.Metrics()
+		return res, nil
+	}
+
+	// Round 0: label vertical runs per column; cost Θ(h) per PE.
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if !img.Get(x, y) {
+				continue
+			}
+			if y > 0 && img.Get(x, y-1) {
+				lm.Set(x, y, lm.Get(x, y-1))
+			} else {
+				lm.Set(x, y, int32(x*h+y))
+			}
+		}
+	}
+	m.ChargeGlobal("blockmerge:init", int64(h))
+
+	// Merge rounds.
+	for width := 1; width < w; width *= 2 {
+		res.Rounds++
+		maxEquivs := 0
+		for left := 0; left+width < w; left += 2 * width {
+			boundary := left + width // first column of the right block
+			equivs := mergeBoundary(img, lm, boundary, left, minInt(left+2*width, w))
+			if equivs > maxEquivs {
+				maxEquivs = equivs
+			}
+		}
+		// Per-round charge: boundary exchange (h words over one link) +
+		// pipelined relabel-map broadcast through the block (width +
+		// 2·entries steps) + every PE rescanning its column (h).
+		m.ChargeGlobal(fmt.Sprintf("blockmerge:round%d", res.Rounds),
+			int64(h)+int64(width)+2*int64(maxEquivs)+int64(h))
+	}
+	res.Metrics = m.Metrics()
+	return res, nil
+}
+
+// mergeBoundary resolves equivalences across the boundary between columns
+// boundary-1 and boundary, rewriting labels in columns [lo, hi). It
+// returns the number of boundary equivalence pairs.
+func mergeBoundary(img *bitmap.Bitmap, lm *bitmap.LabelMap, boundary, lo, hi int) int {
+	h := img.H()
+	type pair struct{ a, b int32 }
+	var pairs []pair
+	for y := 0; y < h; y++ {
+		if img.Get(boundary-1, y) && img.Get(boundary, y) {
+			pairs = append(pairs, pair{lm.Get(boundary-1, y), lm.Get(boundary, y)})
+		}
+	}
+	if len(pairs) == 0 {
+		return 0
+	}
+	// Union the label pairs over a dense index.
+	index := map[int32]int{}
+	var values []int32
+	id := func(v int32) int {
+		if i, ok := index[v]; ok {
+			return i
+		}
+		i := len(values)
+		index[v] = i
+		values = append(values, v)
+		return i
+	}
+	for _, p := range pairs {
+		id(p.a)
+		id(p.b)
+	}
+	uf := unionfind.New(len(values))
+	for _, p := range pairs {
+		uf.Union(index[p.a], index[p.b])
+	}
+	remap := map[int32]int32{}
+	classMin := map[int]int32{}
+	for i, v := range values {
+		r := uf.Find(i)
+		if cur, ok := classMin[r]; !ok || v < cur {
+			classMin[r] = v
+		}
+	}
+	for i, v := range values {
+		if mv := classMin[uf.Find(i)]; mv != v {
+			remap[v] = mv
+		}
+	}
+	if len(remap) == 0 {
+		return len(pairs)
+	}
+	for x := lo; x < hi; x++ {
+		for y := 0; y < h; y++ {
+			if v := lm.Get(x, y); v != bitmap.Background {
+				if nv, ok := remap[v]; ok {
+					lm.Set(x, y, nv)
+				}
+			}
+		}
+	}
+	return len(pairs)
+}
+
+// NaivePropagation is the scheme the paper's Figure 3(b) defeats:
+// iteratively, every PE refreshes its column's run labels from its own
+// column and both neighbor columns (minimum label wins) until nothing
+// changes anywhere. Each round costs Θ(h) per PE for the neighbor
+// exchanges (h words each way) plus the column rescan. Labels cross one
+// column boundary per round, so the round count is the eccentricity of
+// the image's run graph measured in column crossings: serpentine images
+// force a label to sweep the full width once per snake row — Θ(n²)
+// rounds and Θ(n³) total time, versus near-Θ(n) for Algorithm CC.
+// maxRounds (0 = w·h/2 + w + 4, enough for any image) guards against
+// accidental non-convergence.
+func NaivePropagation(img *bitmap.Bitmap, maxRounds int) (*Result, error) {
+	w, h := img.W(), img.H()
+	if w > 0 && h > 0 && 2*int64(w)*int64(h) > 1<<31-1 {
+		return nil, fmt.Errorf("baseline: image %dx%d exceeds the int32 label space", w, h)
+	}
+	if maxRounds <= 0 {
+		maxRounds = w*h/2 + w + 4
+	}
+	m := slap.NewMachine(w, slap.Unit())
+	m.ChargeGlobal("input", int64(h))
+	lm := bitmap.NewLabelMap(w, h)
+	res := &Result{Labels: lm}
+	if w == 0 || h == 0 {
+		res.Metrics = m.Metrics()
+		return res, nil
+	}
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if img.Get(x, y) {
+				lm.Set(x, y, int32(x*h+y))
+			}
+		}
+	}
+	for {
+		changed := false
+		// One synchronized round, PE by PE against the previous state.
+		prev := cloneLabels(lm)
+		for x := 0; x < w; x++ {
+			// Per run (maximal vertical segment), the new label is the
+			// minimum of the run's own labels and all adjacent labels in
+			// the two neighbor columns.
+			for y0 := 0; y0 < h; {
+				if !img.Get(x, y0) {
+					y0++
+					continue
+				}
+				y1 := y0
+				for y1+1 < h && img.Get(x, y1+1) {
+					y1++
+				}
+				best := prev.Get(x, y0)
+				for y := y0; y <= y1; y++ {
+					best = min32(best, prev.Get(x, y))
+					if x > 0 && img.Get(x-1, y) {
+						best = min32(best, prev.Get(x-1, y))
+					}
+					if x+1 < w && img.Get(x+1, y) {
+						best = min32(best, prev.Get(x+1, y))
+					}
+				}
+				for y := y0; y <= y1; y++ {
+					if lm.Get(x, y) != best {
+						lm.Set(x, y, best)
+						changed = true
+					}
+				}
+				y0 = y1 + 1
+			}
+		}
+		res.Rounds++
+		// Round charge: exchange both boundary columns (2·h words) plus
+		// the column rescan (h).
+		m.ChargeGlobal(fmt.Sprintf("naive:round%d", res.Rounds), 3*int64(h))
+		if !changed {
+			break
+		}
+		if res.Rounds >= maxRounds {
+			return nil, fmt.Errorf("baseline: naive propagation did not converge in %d rounds", maxRounds)
+		}
+	}
+	res.Metrics = m.Metrics()
+	return res, nil
+}
+
+func cloneLabels(lm *bitmap.LabelMap) *bitmap.LabelMap {
+	c := bitmap.NewLabelMap(lm.W(), lm.H())
+	for x := 0; x < lm.W(); x++ {
+		for y := 0; y < lm.H(); y++ {
+			c.Set(x, y, lm.Get(x, y))
+		}
+	}
+	return c
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/seqcc"
+)
+
+func TestBlockMergeCorrectOnFamilies(t *testing.T) {
+	for _, fam := range bitmap.Families() {
+		for _, n := range []int{1, 2, 3, 8, 17, 32} {
+			img := fam.Generate(n)
+			res, err := BlockMerge(img)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", fam.Name, n, err)
+			}
+			if err := seqcc.Check(img, res.Labels); err != nil {
+				t.Fatalf("%s n=%d: %v", fam.Name, n, err)
+			}
+		}
+	}
+}
+
+func TestNaivePropagationCorrectOnFamilies(t *testing.T) {
+	for _, fam := range bitmap.Families() {
+		for _, n := range []int{1, 2, 3, 8, 17, 32} {
+			img := fam.Generate(n)
+			res, err := NaivePropagation(img, 0)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", fam.Name, n, err)
+			}
+			if err := seqcc.Check(img, res.Labels); err != nil {
+				t.Fatalf("%s n=%d: %v", fam.Name, n, err)
+			}
+		}
+	}
+}
+
+func TestDegenerateImages(t *testing.T) {
+	for _, img := range []*bitmap.Bitmap{bitmap.New(0, 0), bitmap.Empty(3), bitmap.Full(1)} {
+		if _, err := BlockMerge(img); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NaivePropagation(img, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBlockMergeRoundCount(t *testing.T) {
+	res, err := BlockMerge(bitmap.Random(64, 0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 6 { // lg 64
+		t.Fatalf("want 6 merge rounds for n=64, got %d", res.Rounds)
+	}
+}
+
+func TestBlockMergeIsNLogN(t *testing.T) {
+	// Makespan on a fixed-density image should grow like n lg n: the
+	// ratio T/(n lg n) stays within a narrow band while T/n grows.
+	var ratios []float64
+	for _, n := range []int{64, 128, 256, 512} {
+		img := bitmap.Random(n, 0.5, 7)
+		res, err := BlockMerge(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg := 0
+		for v := n; v > 1; v >>= 1 {
+			lg++
+		}
+		ratios = append(ratios, float64(res.Metrics.Time)/(float64(n)*float64(lg)))
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > ratios[0]*2 || ratios[i] < ratios[0]/2 {
+			t.Fatalf("T/(n lg n) drifts: %v", ratios)
+		}
+	}
+}
+
+func TestNaivePropagationDegeneratesOnSerpentine(t *testing.T) {
+	// The Figure 3(b) story: a label crosses one column boundary per
+	// round and must sweep the full width once per snake row, so rounds
+	// grow quadratically with n (and total time cubically).
+	r32, err := NaivePropagation(bitmap.HSerpentine(32), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := NaivePropagation(bitmap.HSerpentine(64), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r64.Rounds < 3*r32.Rounds {
+		t.Fatalf("rounds should roughly quadruple with n: %d -> %d", r32.Rounds, r64.Rounds)
+	}
+	if r64.Rounds < 64 {
+		t.Fatalf("serpentine should force ≫ n rounds, got %d", r64.Rounds)
+	}
+}
+
+func TestNaivePropagationFastOnEasyImages(t *testing.T) {
+	res, err := NaivePropagation(bitmap.VStripes(64, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("vertical stripes should converge immediately, took %d rounds", res.Rounds)
+	}
+}
+
+func TestNaivePropagationRoundLimit(t *testing.T) {
+	if _, err := NaivePropagation(bitmap.HSerpentine(64), 3); err == nil {
+		t.Fatal("want convergence failure with a tiny round budget")
+	}
+}
+
+func TestBaselinesAgreeQuick(t *testing.T) {
+	f := func(seed uint32, np, dp uint8) bool {
+		n := int(np%24) + 1
+		img := bitmap.Random(n, float64(dp%11)/10, uint64(seed))
+		want := seqcc.BFS(img)
+		bm, err := BlockMerge(img)
+		if err != nil || !bm.Labels.Equal(want) {
+			return false
+		}
+		np2, err := NaivePropagation(img, 0)
+		if err != nil || !np2.Labels.Equal(want) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package bitmap provides the binary-image container used throughout the
+// repository, together with the workload generators, text/PBM
+// serialization, and geometric transforms needed by the experiments.
+//
+// Pixels are addressed as (x, y) with x the column index in [0, W) and y
+// the row index in [0, H), matching the paper's convention that processor
+// i of the SLAP holds column i and rows are numbered top to bottom. The
+// column-major position of pixel (x, y) in an n×n image is x·n + y; the
+// paper uses that position as the initial label of each pixel.
+package bitmap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Connectivity selects which pixels count as adjacent.
+type Connectivity uint8
+
+// Supported connectivities. The paper treats 4-connectivity ("adjacent
+// horizontally or vertically"); 8-connectivity adds the diagonals and is
+// provided as the customary library extension.
+const (
+	Conn4 Connectivity = 4
+	Conn8 Connectivity = 8
+)
+
+// Valid reports whether c is a supported connectivity.
+func (c Connectivity) Valid() bool { return c == Conn4 || c == Conn8 }
+
+func (c Connectivity) String() string {
+	switch c {
+	case Conn4:
+		return "4-connected"
+	case Conn8:
+		return "8-connected"
+	}
+	return "invalid-connectivity"
+}
+
+// Neighbors returns the adjacency offsets of c.
+func (c Connectivity) Neighbors() [][2]int {
+	if c == Conn8 {
+		return [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+	}
+	return [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+}
+
+// Bitmap is a binary image stored bit-packed in row-major order. The zero
+// value is an empty 0×0 image; use New to allocate.
+type Bitmap struct {
+	w, h   int
+	words  []uint64 // row-major, ceil(w/64) words per row
+	stride int      // words per row
+}
+
+// New returns an all-zero bitmap of width w and height h. It panics if
+// either dimension is negative.
+func New(w, h int) *Bitmap {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("bitmap: negative dimensions %dx%d", w, h))
+	}
+	stride := (w + 63) / 64
+	return &Bitmap{w: w, h: h, stride: stride, words: make([]uint64, stride*h)}
+}
+
+// Square returns an all-zero n×n bitmap.
+func Square(n int) *Bitmap { return New(n, n) }
+
+// W returns the width (number of columns / SLAP processors).
+func (b *Bitmap) W() int { return b.w }
+
+// H returns the height (number of rows).
+func (b *Bitmap) H() int { return b.h }
+
+// InBounds reports whether (x, y) is a valid pixel coordinate.
+func (b *Bitmap) InBounds(x, y int) bool {
+	return x >= 0 && x < b.w && y >= 0 && y < b.h
+}
+
+// Get returns the pixel at (x, y). Out-of-bounds coordinates read as 0,
+// which simplifies neighborhood scans at the image border.
+func (b *Bitmap) Get(x, y int) bool {
+	if !b.InBounds(x, y) {
+		return false
+	}
+	return b.words[y*b.stride+x/64]&(1<<uint(x%64)) != 0
+}
+
+// Set assigns the pixel at (x, y). It panics on out-of-bounds coordinates:
+// silently dropping writes would mask generator bugs.
+func (b *Bitmap) Set(x, y int, v bool) {
+	if !b.InBounds(x, y) {
+		panic(fmt.Sprintf("bitmap: Set(%d, %d) out of bounds for %dx%d", x, y, b.w, b.h))
+	}
+	idx := y*b.stride + x/64
+	mask := uint64(1) << uint(x%64)
+	if v {
+		b.words[idx] |= mask
+	} else {
+		b.words[idx] &^= mask
+	}
+}
+
+// Fill sets every pixel to v.
+func (b *Bitmap) Fill(v bool) {
+	var w uint64
+	if v {
+		w = ^uint64(0)
+	}
+	for i := range b.words {
+		b.words[i] = w
+	}
+	if v {
+		b.clearPadding()
+	}
+}
+
+// clearPadding zeroes the unused high bits in the last word of each row so
+// that popcounts and equality checks are exact.
+func (b *Bitmap) clearPadding() {
+	rem := b.w % 64
+	if rem == 0 || b.stride == 0 {
+		return
+	}
+	mask := (uint64(1) << uint(rem)) - 1
+	for y := 0; y < b.h; y++ {
+		b.words[y*b.stride+b.stride-1] &= mask
+	}
+}
+
+// Clone returns a deep copy of the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	c := New(b.w, b.h)
+	copy(c.words, b.words)
+	return c
+}
+
+// Equal reports whether two bitmaps have identical dimensions and pixels.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.w != o.w || b.h != o.h {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOnes returns the number of 1-pixels.
+func (b *Bitmap) CountOnes() int {
+	n := 0
+	for _, w := range b.words {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Density returns the fraction of 1-pixels, in [0, 1]; 0 for empty images.
+func (b *Bitmap) Density() float64 {
+	if b.w*b.h == 0 {
+		return 0
+	}
+	return float64(b.CountOnes()) / float64(b.w*b.h)
+}
+
+// Column copies column x into dst (which must have length ≥ H) and returns
+// it; dst may be nil, in which case a fresh slice is allocated. This is
+// the shape in which a SLAP PE holds its slice of the image.
+func (b *Bitmap) Column(x int, dst []bool) []bool {
+	if dst == nil {
+		dst = make([]bool, b.h)
+	}
+	for y := 0; y < b.h; y++ {
+		dst[y] = b.Get(x, y)
+	}
+	return dst
+}
+
+// Pos returns the column-major position x·H + y of a pixel, the initial
+// label assigned by the paper's Algorithm CC.
+func (b *Bitmap) Pos(x, y int) int { return x*b.h + y }
+
+// String renders the bitmap as ASCII art with '#' for 1-pixels and '.'
+// for 0-pixels, one row per line.
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	sb.Grow((b.w + 1) * b.h)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if b.Get(x, y) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

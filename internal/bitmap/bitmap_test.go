@@ -1,0 +1,356 @@
+package bitmap
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	b := New(65, 3)
+	if b.W() != 65 || b.H() != 3 {
+		t.Fatalf("want 65x3, got %dx%d", b.W(), b.H())
+	}
+	if b.CountOnes() != 0 {
+		t.Fatal("fresh bitmap should be empty")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for negative dimensions")
+		}
+	}()
+	New(-1, 4)
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	b := New(130, 7) // width crosses two word boundaries
+	coords := [][2]int{{0, 0}, {63, 0}, {64, 0}, {127, 6}, {128, 3}, {129, 6}}
+	for _, c := range coords {
+		b.Set(c[0], c[1], true)
+	}
+	for _, c := range coords {
+		if !b.Get(c[0], c[1]) {
+			t.Errorf("pixel (%d,%d) should be set", c[0], c[1])
+		}
+	}
+	if got := b.CountOnes(); got != len(coords) {
+		t.Fatalf("CountOnes: want %d, got %d", len(coords), got)
+	}
+	b.Set(64, 0, false)
+	if b.Get(64, 0) {
+		t.Fatal("pixel (64,0) should be cleared")
+	}
+}
+
+func TestGetOutOfBoundsIsZero(t *testing.T) {
+	b := Full(4)
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {4, 0}, {0, 4}, {100, 100}} {
+		if b.Get(c[0], c[1]) {
+			t.Errorf("out-of-bounds Get(%d,%d) should be false", c[0], c[1])
+		}
+	}
+}
+
+func TestSetOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-bounds Set")
+		}
+	}()
+	New(4, 4).Set(4, 0, true)
+}
+
+func TestFillAndDensity(t *testing.T) {
+	b := New(70, 3) // 70 is not a multiple of 64: exercises padding mask
+	b.Fill(true)
+	if got := b.CountOnes(); got != 210 {
+		t.Fatalf("full 70x3 should have 210 ones, got %d", got)
+	}
+	if b.Density() != 1 {
+		t.Fatalf("density of full image should be 1, got %g", b.Density())
+	}
+	b.Fill(false)
+	if b.CountOnes() != 0 || b.Density() != 0 {
+		t.Fatal("cleared image should be empty")
+	}
+	if Empty(0).Density() != 0 {
+		t.Fatal("0x0 image density should be 0")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	b := Random(33, 0.5, 1)
+	c := b.Clone()
+	if !b.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c.Set(0, 0, !c.Get(0, 0))
+	if b.Equal(c) {
+		t.Fatal("mutated clone should differ")
+	}
+	if b.Equal(New(33, 32)) || b.Equal(New(32, 33)) {
+		t.Fatal("different dimensions should not be equal")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	b := MustParse(`
+#..
+.#.
+#..
+`)
+	col := b.Column(0, nil)
+	want := []bool{true, false, true}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("column 0: want %v, got %v", want, col)
+		}
+	}
+	dst := make([]bool, 3)
+	got := b.Column(1, dst)
+	if &got[0] != &dst[0] {
+		t.Fatal("Column should reuse dst when provided")
+	}
+	if !got[1] || got[0] || got[2] {
+		t.Fatalf("column 1 mismatch: %v", got)
+	}
+}
+
+func TestPos(t *testing.T) {
+	b := New(5, 7)
+	if b.Pos(0, 0) != 0 || b.Pos(1, 0) != 7 || b.Pos(2, 3) != 17 {
+		t.Fatal("column-major position formula x*H+y violated")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := New(3, 2)
+	b.Set(0, 0, true)
+	b.Set(2, 1, true)
+	want := "#..\n..#\n"
+	if got := b.String(); got != want {
+		t.Fatalf("want %q, got %q", want, got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	art := `
+##.#
+....
+#..#
+`
+	b := MustParse(art)
+	if b.W() != 4 || b.H() != 3 {
+		t.Fatalf("want 4x3, got %dx%d", b.W(), b.H())
+	}
+	reparsed := MustParse(b.String())
+	if !b.Equal(reparsed) {
+		t.Fatal("String/Parse round trip failed")
+	}
+}
+
+func TestParseRaggedAndAliases(t *testing.T) {
+	b, err := Parse("1X#\n0. \n_x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.W() != 3 || b.H() != 3 {
+		t.Fatalf("want 3x3, got %dx%d", b.W(), b.H())
+	}
+	if b.CountOnes() != 5 {
+		t.Fatalf("want 5 ones, got %d", b.CountOnes())
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("#?#"); err == nil {
+		t.Fatal("want error for unrecognized pixel character")
+	}
+}
+
+func TestPBMRoundTrip(t *testing.T) {
+	for _, gen := range []*Bitmap{Empty(5), Full(5), Random(17, 0.4, 7), Checker(8)} {
+		var sb strings.Builder
+		if err := gen.WritePBM(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadPBM(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("ReadPBM: %v\ninput:\n%s", err, sb.String())
+		}
+		if !gen.Equal(back) {
+			t.Fatal("PBM round trip changed the image")
+		}
+	}
+}
+
+func TestReadPBMWithCommentsAndPacking(t *testing.T) {
+	in := "P1\n# a comment\n3 2\n110\n# another\n0 1 1\n"
+	b, err := ReadPBM(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParse("##.\n.##")
+	if !b.Equal(want) {
+		t.Fatalf("want\n%s\ngot\n%s", want, b)
+	}
+}
+
+func TestReadPBMErrors(t *testing.T) {
+	cases := []string{
+		"P4\n2 2\n",        // wrong magic
+		"P1\n2\n",          // missing height
+		"P1\n2 2\n1 0 1\n", // truncated raster
+		"P1\nx 2\n1 1 1 1", // bad width token
+		"P1\n2 2\n1 0 2 0", // bad pixel
+	}
+	for _, in := range cases {
+		if _, err := ReadPBM(strings.NewReader(in)); err == nil {
+			t.Errorf("want error for %q", in)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	b := Random(19, 0.5, 3)
+	if !b.Transpose().Transpose().Equal(b) {
+		t.Fatal("transpose twice should be identity")
+	}
+	tr := b.Transpose()
+	for y := 0; y < b.H(); y++ {
+		for x := 0; x < b.W(); x++ {
+			if b.Get(x, y) != tr.Get(y, x) {
+				t.Fatalf("transpose mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestMirrorInvolutions(t *testing.T) {
+	b := Random(21, 0.5, 9)
+	if !b.MirrorH().MirrorH().Equal(b) {
+		t.Fatal("MirrorH twice should be identity")
+	}
+	if !b.MirrorV().MirrorV().Equal(b) {
+		t.Fatal("MirrorV twice should be identity")
+	}
+	m := b.MirrorH()
+	if b.Get(0, 5) != m.Get(b.W()-1, 5) {
+		t.Fatal("MirrorH should swap ends of rows")
+	}
+}
+
+func TestSubImageOverlay(t *testing.T) {
+	b := Full(6)
+	s := b.SubImage(1, 2, 3, 4)
+	if s.W() != 3 || s.H() != 4 || s.CountOnes() != 12 {
+		t.Fatalf("unexpected subimage %dx%d ones=%d", s.W(), s.H(), s.CountOnes())
+	}
+	dst := Empty(10)
+	dst.Overlay(s, 8, 8) // clips: only (8,8),(9,8),(8,9),(9,9),(8,10)x... inside
+	if dst.CountOnes() != 4 {
+		t.Fatalf("clipped overlay should set 4 pixels, got %d", dst.CountOnes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-bounds SubImage")
+		}
+	}()
+	b.SubImage(4, 4, 3, 3)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRNGIntnBoundsQuick(t *testing.T) {
+	rng := NewRNG(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := rng.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PBM write/read round-trips arbitrary images exactly.
+func TestPBMRoundTripQuick(t *testing.T) {
+	f := func(seed uint32, wp, hp uint8) bool {
+		w := int(wp%40) + 1
+		h := int(hp%40) + 1
+		img := New(w, h)
+		rng := NewRNG(uint64(seed))
+		for x := 0; x < w; x++ {
+			for y := 0; y < h; y++ {
+				if rng.Float64() < 0.5 {
+					img.Set(x, y, true)
+				}
+			}
+		}
+		var sb strings.Builder
+		if err := img.WritePBM(&sb); err != nil {
+			return false
+		}
+		back, err := ReadPBM(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return img.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Set/Get agree with a naive map-based shadow implementation.
+func TestBitmapShadowQuick(t *testing.T) {
+	f := func(ops []uint32) bool {
+		const w, h = 37, 23
+		b := New(w, h)
+		shadow := map[[2]int]bool{}
+		for _, op := range ops {
+			x := int(op % w)
+			y := int((op / w) % h)
+			v := (op>>16)&1 == 1
+			b.Set(x, y, v)
+			shadow[[2]int{x, y}] = v
+		}
+		count := 0
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				want := shadow[[2]int{x, y}]
+				if b.Get(x, y) != want {
+					return false
+				}
+				if want {
+					count++
+				}
+			}
+		}
+		return b.CountOnes() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

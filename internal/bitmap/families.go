@@ -1,0 +1,121 @@
+package bitmap
+
+// Family is a named parametric image generator used by the experiment
+// harness: every experiment sweeps Generate over a range of image sizes.
+type Family struct {
+	// Name identifies the family in tables and benchmark names.
+	Name string
+	// Description says what behaviour the family exercises.
+	Description string
+	// Generate returns the n×n member of the family.
+	Generate func(n int) *Bitmap
+}
+
+// Families returns the standard workload suite, in presentation order.
+// All random families use fixed seeds so runs are reproducible.
+func Families() []Family {
+	return []Family{
+		{
+			Name:        "empty",
+			Description: "all-zero image; pure pipeline overhead",
+			Generate:    Empty,
+		},
+		{
+			Name:        "full",
+			Description: "all-one image; one giant component, maximal run unions",
+			Generate:    Full,
+		},
+		{
+			Name:        "random50",
+			Description: "uniform random, density 0.50 (near percolation threshold)",
+			Generate:    func(n int) *Bitmap { return Random(n, 0.50, 0xC0FFEE) },
+		},
+		{
+			Name:        "random30",
+			Description: "uniform random, density 0.30 (many small components)",
+			Generate:    func(n int) *Bitmap { return Random(n, 0.30, 0xBEEF) },
+		},
+		{
+			Name:        "random70",
+			Description: "uniform random, density 0.70 (few large components)",
+			Generate:    func(n int) *Bitmap { return Random(n, 0.70, 0xFACADE) },
+		},
+		{
+			Name:        "checker",
+			Description: "checkerboard; maximal component count (n²/2 singletons)",
+			Generate:    Checker,
+		},
+		{
+			Name:        "hserpentine",
+			Description: "horizontal snake; Figure 3(b)-style naive-propagation adversary",
+			Generate:    HSerpentine,
+		},
+		{
+			Name:        "vserpentine",
+			Description: "vertical snake; longest cross-array dependence chain",
+			Generate:    VSerpentine,
+		},
+		{
+			Name:        "binarymerge",
+			Description: "balanced binary union tree; linked-forest depth adversary",
+			Generate:    BinaryMerge,
+		},
+		{
+			Name:        "fig3a",
+			Description: "interleaved combs (paper Figure 3(a) texture)",
+			Generate:    Fig3a,
+		},
+		{
+			Name:        "fig3b",
+			Description: "tiled linked bars (paper Figure 3(b) texture)",
+			Generate:    Fig3b,
+		},
+		{
+			Name:        "nestedc",
+			Description: "concentric C shapes; many long-lived open components",
+			Generate:    func(n int) *Bitmap { return NestedC(n, 2) },
+		},
+		{
+			Name:        "frames",
+			Description: "concentric closed rings",
+			Generate:    func(n int) *Bitmap { return NestedFrames(n, 4) },
+		},
+		{
+			Name:        "spiral",
+			Description: "single spiral arm; one tortuous component",
+			Generate:    Spiral,
+		},
+		{
+			Name:        "maze",
+			Description: "random spanning-tree corridors; one tortuous component",
+			Generate:    func(n int) *Bitmap { return Maze(n, 0xDECAFBAD) },
+		},
+		{
+			Name:        "blobs",
+			Description: "random-walk blobs; organic mid-size components",
+			Generate:    func(n int) *Bitmap { return Blobs(n, maxInt(1, n/8), 4*n, 0x5EED) },
+		},
+		{
+			Name:        "evenrowruns",
+			Description: "Theorem 5 lower-bound family (random suffix runs on even rows)",
+			Generate:    func(n int) *Bitmap { return RandomEvenRowRuns(n, 0x7EB5) },
+		},
+	}
+}
+
+// FamilyByName returns the named family and whether it exists.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,493 @@
+package bitmap
+
+import "fmt"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64). The
+// experiments must be reproducible across Go releases, so we do not depend
+// on math/rand's generator or shuffling order.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value uniform in [0, n). It panics when n ≤ 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("bitmap: Intn(%d)", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value uniform in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Empty returns an n×n all-zero image.
+func Empty(n int) *Bitmap { return Square(n) }
+
+// Full returns an n×n all-one image: a single component.
+func Full(n int) *Bitmap {
+	b := Square(n)
+	b.Fill(true)
+	return b
+}
+
+// SinglePixel returns an n×n image with exactly one 1-pixel at (x, y).
+func SinglePixel(n, x, y int) *Bitmap {
+	b := Square(n)
+	b.Set(x, y, true)
+	return b
+}
+
+// Random returns an n×n image where each pixel is 1 independently with
+// probability density.
+func Random(n int, density float64, seed uint64) *Bitmap {
+	b := Square(n)
+	rng := NewRNG(seed)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if rng.Float64() < density {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}
+
+// Checker returns the checkerboard image: every 1-pixel is isolated under
+// 4-connectivity, so the image has ⌈n²/2⌉ components — the maximum
+// possible. This maximizes label traffic and set counts.
+func Checker(n int) *Bitmap {
+	b := Square(n)
+	for y := 0; y < n; y++ {
+		for x := (y % 2); x < n; x += 2 {
+			b.Set(x, y, true)
+		}
+	}
+	return b
+}
+
+// HStripes returns horizontal full-width stripes of 1s with the given
+// period (period ≥ 2: one 1-row every period rows). Each stripe is one
+// component that spans every column.
+func HStripes(n, period int) *Bitmap {
+	if period < 1 {
+		period = 1
+	}
+	b := Square(n)
+	for y := 0; y < n; y += period {
+		for x := 0; x < n; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	return b
+}
+
+// VStripes returns vertical full-height stripes with the given period.
+// Every component lives entirely inside one PE; no union ever crosses a
+// link, the best case for the left/right passes.
+func VStripes(n, period int) *Bitmap {
+	if period < 1 {
+		period = 1
+	}
+	b := Square(n)
+	for x := 0; x < n; x += period {
+		for y := 0; y < n; y++ {
+			b.Set(x, y, true)
+		}
+	}
+	return b
+}
+
+// EvenRowRuns builds the Theorem 5 lower-bound family: only even rows hold
+// 1-pixels, and even row y carries the suffix run [starts[y/2], n-1]. The
+// component containing the rightmost pixel of row y is labeled by the
+// column-major position starts[y/2]·n + y, so the rightmost processor's
+// output encodes every run start: there are n^(n/2) distinguishable
+// images, forcing Ω(n lg n) bits across the last link of a 1-bit SLAP.
+// starts must have length ⌈n/2⌉ with entries in [0, n-1].
+func EvenRowRuns(n int, starts []int) *Bitmap {
+	if want := (n + 1) / 2; len(starts) != want {
+		panic(fmt.Sprintf("bitmap: EvenRowRuns needs %d starts for n=%d, got %d", want, n, len(starts)))
+	}
+	b := Square(n)
+	for i, s := range starts {
+		y := 2 * i
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("bitmap: run start %d out of range [0,%d)", s, n))
+		}
+		for x := s; x < n; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	return b
+}
+
+// RandomEvenRowRuns draws a uniform member of the EvenRowRuns family.
+func RandomEvenRowRuns(n int, seed uint64) *Bitmap {
+	rng := NewRNG(seed)
+	starts := make([]int, (n+1)/2)
+	for i := range starts {
+		starts[i] = rng.Intn(n)
+	}
+	return EvenRowRuns(n, starts)
+}
+
+// HSerpentine returns a single snake component: every even row is full and
+// odd rows carry a connector pixel on alternating ends. A label entering
+// at the top-left must logically traverse Θ(n) rows; with naive
+// top-to-bottom label passing this pattern (the spirit of the paper's
+// Figure 3(b), tiled) forces Θ(n²) total work, while Algorithm CC stays
+// near-linear.
+func HSerpentine(n int) *Bitmap {
+	b := Square(n)
+	for y := 0; y < n; y += 2 {
+		for x := 0; x < n; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	for y := 1; y < n; y += 2 {
+		if (y/2)%2 == 0 {
+			b.Set(n-1, y, true)
+		} else {
+			b.Set(0, y, true)
+		}
+	}
+	return b
+}
+
+// VSerpentine is HSerpentine rotated a quarter turn: full columns joined
+// alternately at top and bottom. Each PE holds one solid run, and unions
+// trickle across the array one column at a time — the longest possible
+// dependence chain for the left pass with minimal per-column work.
+func VSerpentine(n int) *Bitmap {
+	b := Square(n)
+	for x := 0; x < n; x += 2 {
+		for y := 0; y < n; y++ {
+			b.Set(x, y, true)
+		}
+	}
+	for x := 1; x < n; x += 2 {
+		if (x/2)%2 == 0 {
+			b.Set(x, n-1, true)
+		} else {
+			b.Set(x, 0, true)
+		}
+	}
+	return b
+}
+
+// BinaryMerge builds the union-tree adversary. Every even row is a full
+// horizontal "lane" (n/2 lanes, each alive in every column). At level
+// l = 1, 2, … a dedicated bridge column carries vertical runs that merge
+// the lanes in blocks of 2^l, so the lanes union in a perfectly balanced
+// binary tree: the worst case for linked-forest depth (Θ(lg n)) and the
+// generator of the paper's Θ(n lg n) concern for the Union-Find-Pass.
+func BinaryMerge(n int) *Bitmap {
+	b := Square(n)
+	lanes := n / 2
+	if lanes == 0 {
+		if n > 0 {
+			b.Set(0, 0, true)
+		}
+		return b
+	}
+	for lane := 0; lane < lanes; lane++ {
+		for x := 0; x < n; x++ {
+			b.Set(x, 2*lane, true)
+		}
+	}
+	levels := 0
+	for 1<<uint(levels) < lanes {
+		levels++
+	}
+	if levels == 0 {
+		return b
+	}
+	colStep := (n - 2) / levels
+	if colStep < 1 {
+		colStep = 1
+	}
+	for l := 1; l <= levels; l++ {
+		x := 1 + (l-1)*colStep
+		if x >= n {
+			x = n - 1
+		}
+		span := 1 << uint(l)
+		for base := 0; base < lanes; base += span {
+			// Vertical run joining lane base+span/2-1 to lane base+span/2;
+			// partial tail blocks still merge with their left half.
+			mid := base + span/2
+			if mid >= lanes {
+				continue
+			}
+			for y := 2 * (mid - 1); y <= 2*mid; y++ {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}
+
+// NestedC returns concentric C shapes (frames open on the right), gap
+// pixels apart. Distinct Cs never touch, so the image has one component
+// per C; each PE sees many separate segments whose relationships resolve
+// only far to the right — the difficulty illustrated by the paper's
+// Figure 3(a).
+func NestedC(n, gap int) *Bitmap {
+	if gap < 2 {
+		gap = 2
+	}
+	b := Square(n)
+	for k := 0; k*gap*2 < n/2; k++ {
+		d := k * gap
+		top, bot, left := d, n-1-d, d
+		if top >= bot || left >= n-1-d {
+			break
+		}
+		right := n - 1 - d
+		for x := left; x <= right; x++ {
+			b.Set(x, top, true)
+			b.Set(x, bot, true)
+		}
+		for y := top; y <= bot; y++ {
+			b.Set(left, y, true)
+		}
+	}
+	return b
+}
+
+// NestedFrames returns concentric closed square rings, gap pixels apart;
+// one component per ring.
+func NestedFrames(n, gap int) *Bitmap {
+	if gap < 2 {
+		gap = 2
+	}
+	b := Square(n)
+	for d := 0; 2*d < n-1; d += gap {
+		lo, hi := d, n-1-d
+		if lo > hi {
+			break
+		}
+		for x := lo; x <= hi; x++ {
+			b.Set(x, lo, true)
+			b.Set(x, hi, true)
+		}
+		for y := lo; y <= hi; y++ {
+			b.Set(lo, y, true)
+			b.Set(hi, y, true)
+		}
+	}
+	return b
+}
+
+// Spiral returns a single rectangular spiral arm (arms two apart): one
+// long, winding component touching every PE many times.
+func Spiral(n int) *Bitmap {
+	b := Square(n)
+	if n == 0 {
+		return b
+	}
+	x, y := 0, 0
+	b.Set(0, 0, true)
+	left, right, top, bottom := 0, n-1, 0, n-1
+	for {
+		for ; x < right; x++ {
+			b.Set(x+1, y, true)
+		}
+		top += 2
+		for ; y < bottom; y++ {
+			b.Set(x, y+1, true)
+		}
+		right -= 2
+		for ; x > left; x-- {
+			b.Set(x-1, y, true)
+		}
+		bottom -= 2
+		for ; y > top; y-- {
+			b.Set(x, y-1, true)
+		}
+		left += 2
+		if left > right || top > bottom {
+			return b
+		}
+	}
+}
+
+// Maze carves a random spanning tree over a coarse cell grid (cells are
+// 2×2 pixel blocks separated by walls), yielding a single component whose
+// corridors wander over the whole image.
+func Maze(n int, seed uint64) *Bitmap {
+	b := Square(n)
+	cells := (n - 1) / 2
+	if cells <= 0 {
+		if n > 0 {
+			b.Set(0, 0, true)
+		}
+		return b
+	}
+	rng := NewRNG(seed)
+	visited := make([]bool, cells*cells)
+	type pt struct{ cx, cy int }
+	stack := []pt{{0, 0}}
+	visited[0] = true
+	b.Set(0, 0, true)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		// Gather unvisited neighbors.
+		var cand []pt
+		for _, d := range [4]pt{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := cur.cx+d.cx, cur.cy+d.cy
+			if nx >= 0 && nx < cells && ny >= 0 && ny < cells && !visited[ny*cells+nx] {
+				cand = append(cand, pt{nx, ny})
+			}
+		}
+		if len(cand) == 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		next := cand[rng.Intn(len(cand))]
+		visited[next.cy*cells+next.cx] = true
+		// Carve the wall between cur and next and the next cell itself.
+		wx, wy := cur.cx*2+(next.cx-cur.cx), cur.cy*2+(next.cy-cur.cy)
+		b.Set(wx, wy, true)
+		b.Set(next.cx*2, next.cy*2, true)
+		stack = append(stack, next)
+	}
+	return b
+}
+
+// Blobs scatters k random-walk blobs of the given number of steps each.
+func Blobs(n, k, steps int, seed uint64) *Bitmap {
+	b := Square(n)
+	if n == 0 {
+		return b
+	}
+	rng := NewRNG(seed)
+	for i := 0; i < k; i++ {
+		x, y := rng.Intn(n), rng.Intn(n)
+		b.Set(x, y, true)
+		for s := 0; s < steps; s++ {
+			switch rng.Intn(4) {
+			case 0:
+				if x+1 < n {
+					x++
+				}
+			case 1:
+				if x > 0 {
+					x--
+				}
+			case 2:
+				if y+1 < n {
+					y++
+				}
+			case 3:
+				if y > 0 {
+					y--
+				}
+			}
+			b.Set(x, y, true)
+		}
+	}
+	return b
+}
+
+// Diagonal returns a 2-pixel-wide staircase along the main diagonal: a
+// single component that crosses every PE exactly once with minimal area.
+func Diagonal(n int) *Bitmap {
+	b := Square(n)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, true)
+		if i+1 < n {
+			b.Set(i, i+1, true)
+		}
+	}
+	return b
+}
+
+// Fig3a reconstructs the texture of the paper's Figure 3(a): interleaved
+// combs entering from the left and from the right, whose teeth overlap so
+// that each processor must track how components seen in earlier columns
+// interconnect. (The published figure is 12×16; this is the same texture
+// at parametric size.)
+func Fig3a(n int) *Bitmap {
+	b := Square(n)
+	if n < 4 {
+		return Full(n)
+	}
+	// Left comb: spine at x=0, teeth on rows ≡ 0 (mod 4) reaching x=n-3.
+	// Right comb: spine at x=n-1, teeth on rows ≡ 2 (mod 4) reaching x=2.
+	// The two-pixel standoff keeps the combs disjoint (two interleaved
+	// components) while every interior column sees alternating segments
+	// of both.
+	for y := 0; y < n; y++ {
+		b.Set(0, y, true)
+		b.Set(n-1, y, true)
+	}
+	for y := 0; y < n; y += 4 {
+		for x := 0; x <= n-3; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	for y := 2; y < n; y += 4 {
+		for x := 2; x <= n-1; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	return b
+}
+
+// Fig3b reconstructs the paper's Figure 3(b): a pattern that, repeated
+// over and over, forces a naive top-to-bottom label-passing scheme to
+// re-send labels Θ(n) times. It tiles short horizontal bars linked
+// alternately on the left and right into vertical zigzag chains.
+func Fig3b(n int) *Bitmap {
+	b := Square(n)
+	const tileW = 8
+	for ty := 0; ty < n; ty += 2 {
+		for tx := 0; tx < n; tx += tileW {
+			w := tileW - 2
+			if tx+w > n {
+				w = n - tx
+			}
+			for x := tx; x < tx+w && x < n; x++ {
+				b.Set(x, ty, true)
+			}
+			if ty+1 < n {
+				// Connector alternates between the bar's left and right end.
+				if (ty/2)%2 == 0 {
+					if tx+w-1 < n && w > 0 {
+						b.Set(tx+w-1, ty+1, true)
+					}
+				} else {
+					b.Set(tx, ty+1, true)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Cross returns a plus-shaped single component through the image center.
+func Cross(n int) *Bitmap {
+	b := Square(n)
+	if n == 0 {
+		return b
+	}
+	mid := n / 2
+	for i := 0; i < n; i++ {
+		b.Set(i, mid, true)
+		b.Set(mid, i, true)
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package bitmap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Background is the label of 0-pixels in a LabelMap.
+const Background int32 = -1
+
+// LabelMap holds a per-pixel component labeling. Labels are int32: the
+// canonical label of a component is the least column-major position
+// (x·H + y) of its pixels, which for images up to 32767² fits comfortably
+// (the algorithm's right-pass labels use one extra bit of headroom).
+// Storage is column-major to match the SLAP's one-column-per-PE layout.
+type LabelMap struct {
+	w, h int
+	lab  []int32
+}
+
+// NewLabelMap returns a w×h map with every pixel labeled Background.
+func NewLabelMap(w, h int) *LabelMap {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("bitmap: negative label map %dx%d", w, h))
+	}
+	lm := &LabelMap{w: w, h: h, lab: make([]int32, w*h)}
+	for i := range lm.lab {
+		lm.lab[i] = Background
+	}
+	return lm
+}
+
+// W returns the width.
+func (lm *LabelMap) W() int { return lm.w }
+
+// H returns the height.
+func (lm *LabelMap) H() int { return lm.h }
+
+// Get returns the label at (x, y).
+func (lm *LabelMap) Get(x, y int) int32 {
+	if x < 0 || x >= lm.w || y < 0 || y >= lm.h {
+		panic(fmt.Sprintf("bitmap: label Get(%d, %d) out of bounds for %dx%d", x, y, lm.w, lm.h))
+	}
+	return lm.lab[x*lm.h+y]
+}
+
+// Set assigns the label at (x, y).
+func (lm *LabelMap) Set(x, y int, v int32) {
+	if x < 0 || x >= lm.w || y < 0 || y >= lm.h {
+		panic(fmt.Sprintf("bitmap: label Set(%d, %d) out of bounds for %dx%d", x, y, lm.w, lm.h))
+	}
+	lm.lab[x*lm.h+y] = v
+}
+
+// Equal reports whether two label maps agree exactly.
+func (lm *LabelMap) Equal(o *LabelMap) bool {
+	if lm.w != o.w || lm.h != o.h {
+		return false
+	}
+	for i := range lm.lab {
+		if lm.lab[i] != o.lab[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ComponentCount returns the number of distinct non-background labels.
+func (lm *LabelMap) ComponentCount() int {
+	seen := make(map[int32]struct{})
+	for _, v := range lm.lab {
+		if v != Background {
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// ComponentSizes returns the pixel count of every distinct label.
+func (lm *LabelMap) ComponentSizes() map[int32]int {
+	sizes := make(map[int32]int)
+	for _, v := range lm.lab {
+		if v != Background {
+			sizes[v]++
+		}
+	}
+	return sizes
+}
+
+// Foreground returns the binary image of non-background pixels.
+func (lm *LabelMap) Foreground() *Bitmap {
+	b := New(lm.w, lm.h)
+	for x := 0; x < lm.w; x++ {
+		for y := 0; y < lm.h; y++ {
+			if lm.Get(x, y) != Background {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}
+
+// String renders the map with one compact cell per pixel: '.' for
+// background and a letter cycling through a–z per distinct label (in
+// order of first appearance), for small-image debugging.
+func (lm *LabelMap) String() string {
+	names := map[int32]byte{}
+	var sb strings.Builder
+	for y := 0; y < lm.h; y++ {
+		for x := 0; x < lm.w; x++ {
+			v := lm.Get(x, y)
+			if v == Background {
+				sb.WriteByte('.')
+				continue
+			}
+			c, ok := names[v]
+			if !ok {
+				c = byte('a' + len(names)%26)
+				names[v] = c
+			}
+			sb.WriteByte(c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package bitmap
+
+// Transpose returns the transposed image (columns become rows). The SLAP
+// right pass is implemented as a left pass over the horizontally mirrored
+// image; Transpose exists for tests that check 4-connectivity is symmetric
+// under it.
+func (b *Bitmap) Transpose() *Bitmap {
+	t := New(b.h, b.w)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if b.Get(x, y) {
+				t.Set(y, x, true)
+			}
+		}
+	}
+	return t
+}
+
+// MirrorH returns the image mirrored left-to-right: pixel (x, y) maps to
+// (W-1-x, y).
+func (b *Bitmap) MirrorH() *Bitmap {
+	m := New(b.w, b.h)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if b.Get(x, y) {
+				m.Set(b.w-1-x, y, true)
+			}
+		}
+	}
+	return m
+}
+
+// MirrorV returns the image mirrored top-to-bottom: pixel (x, y) maps to
+// (x, H-1-y).
+func (b *Bitmap) MirrorV() *Bitmap {
+	m := New(b.w, b.h)
+	for y := 0; y < b.h; y++ {
+		for x := 0; x < b.w; x++ {
+			if b.Get(x, y) {
+				m.Set(x, b.h-1-y, true)
+			}
+		}
+	}
+	return m
+}
+
+// SubImage copies the rectangle with corner (x0, y0) and size w×h. It
+// panics when the rectangle is not fully inside the image.
+func (b *Bitmap) SubImage(x0, y0, w, h int) *Bitmap {
+	if x0 < 0 || y0 < 0 || w < 0 || h < 0 || x0+w > b.w || y0+h > b.h {
+		panic("bitmap: SubImage rectangle out of bounds")
+	}
+	s := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if b.Get(x0+x, y0+y) {
+				s.Set(x, y, true)
+			}
+		}
+	}
+	return s
+}
+
+// Overlay sets every 1-pixel of src into b at offset (x0, y0), clipping
+// pixels that fall outside b.
+func (b *Bitmap) Overlay(src *Bitmap, x0, y0 int) {
+	for y := 0; y < src.h; y++ {
+		for x := 0; x < src.w; x++ {
+			if src.Get(x, y) && b.InBounds(x0+x, y0+y) {
+				b.Set(x0+x, y0+y, true)
+			}
+		}
+	}
+}

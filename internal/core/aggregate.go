@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+)
+
+// Monoid is a commutative, associative fold operator with identity, the
+// generalization Corollary 4 asks for ("any binary operator that is
+// associative and commutative"). The paper demonstrates minimum; this
+// implementation supports non-idempotent operators (e.g. Sum) as well,
+// because each component's contribution per column is combined exactly
+// once: a PE folds its left-incoming value, its own column's fold, and
+// its right-incoming value, and the sweeps forward each component's
+// accumulator exactly once per link.
+type Monoid struct {
+	// Name identifies the operator in tables.
+	Name string
+	// Identity is the fold's neutral element.
+	Identity int32
+	// Combine folds two values; it must be associative and commutative.
+	Combine func(a, b int32) int32
+}
+
+// Min returns the minimum monoid of Corollary 4.
+func Min() Monoid {
+	return Monoid{Name: "min", Identity: math.MaxInt32, Combine: func(a, b int32) int32 {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+}
+
+// Max returns the maximum monoid.
+func Max() Monoid {
+	return Monoid{Name: "max", Identity: math.MinInt32, Combine: func(a, b int32) int32 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+}
+
+// Sum returns the addition monoid; with all-ones initial labels it
+// computes component areas.
+func Sum() Monoid {
+	return Monoid{Name: "sum", Identity: 0, Combine: func(a, b int32) int32 { return a + b }}
+}
+
+// Or returns the bitwise-or monoid, useful for merging per-pixel tag
+// masks over components.
+func Or() Monoid {
+	return Monoid{Name: "or", Identity: 0, Combine: func(a, b int32) int32 { return a | b }}
+}
+
+// Ones returns an all-ones initial labeling of img (so Aggregate with
+// Sum yields component areas).
+func Ones(img *bitmap.Bitmap) []int32 {
+	init := make([]int32, img.W()*img.H())
+	for i := range init {
+		init[i] = 1
+	}
+	return init
+}
+
+// AggregateResult is the output of Aggregate.
+type AggregateResult struct {
+	// PerPixel holds, at each column-major position of a 1-pixel, the
+	// fold of initial over that pixel's whole component; background
+	// positions hold the identity.
+	PerPixel []int32
+	// Labels is the component labeling computed along the way.
+	Labels *bitmap.LabelMap
+	// Metrics covers the labeling and the aggregation phases together.
+	Metrics slap.Metrics
+	// UF reports union–find behavior of the labeling passes.
+	UF UFReport
+}
+
+// Aggregate implements the paper's Corollary 4: label the pixels of each
+// component with the fold (op) of the initial labels of the component's
+// pixels, in the same asymptotic time as component labeling itself.
+// initial is indexed by column-major position (x·H + y).
+//
+// The procedure follows the Corollary's sketch: first produce a component
+// labeling, then fold locally within each column, then run two
+// Label-Pass-like sweeps (left-to-right and right-to-left) accumulating
+// per-component values, and finally combine the three pieces locally.
+func Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	w, h := img.W(), img.H()
+	if len(initial) != w*h {
+		return nil, fmt.Errorf("core: initial labels have length %d, want %d", len(initial), w*h)
+	}
+	if op.Combine == nil {
+		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)
+	}
+	lb, labels, err := runCC(img, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, w*h)
+	for i := range out {
+		out[i] = op.Identity
+	}
+	if w == 0 || h == 0 {
+		lb.finishReport()
+		return &AggregateResult{PerPixel: out, Labels: labels, Metrics: lb.m.Metrics(), UF: lb.report}, nil
+	}
+
+	states := make([]*aggState, w)
+
+	// Local fold per column, and left/right extension flags per component.
+	lb.m.RunLocal("agg:local", func(pe *slap.PE) {
+		x := pe.Index
+		st := newAggState(op)
+		states[x] = st
+		for j := 0; j < h; j++ {
+			pe.Tick(1)
+			if !img.Get(x, j) {
+				continue
+			}
+			c := st.compIndex(pe, labels.Get(x, j))
+			st.local[c] = op.Combine(st.local[c], initial[x*h+j])
+			if lb.witness(x, j, 1) != -1 {
+				st.extR[c] = true
+			}
+			if lb.witness(x, j, -1) != -1 {
+				st.extL[c] = true
+			}
+		}
+		pe.DeclareMemory(int64(6 * len(st.comps)))
+	})
+
+	// The two accumulation sweeps. Each component crosses each link at
+	// most once (components span contiguous column intervals), giving the
+	// exactly-once combination that non-idempotent monoids need.
+	lb.aggSweep(slap.LeftToRight, states, op)
+	lb.aggSweep(slap.RightToLeft, states, op)
+
+	// Combine locally: left part (columns < x), own column, right part.
+	lb.m.RunLocal("agg:combine", func(pe *slap.PE) {
+		x := pe.Index
+		st := states[x]
+		totals := make([]int32, len(st.comps))
+		for c := range st.comps {
+			totals[c] = op.Combine(op.Combine(st.inL[c], st.local[c]), st.inR[c])
+			pe.Tick(1)
+		}
+		for j := 0; j < h; j++ {
+			pe.Tick(1)
+			if img.Get(x, j) {
+				out[x*h+j] = totals[st.index[labels.Get(x, j)]]
+			}
+		}
+	})
+
+	lb.finishReport()
+	return &AggregateResult{PerPixel: out, Labels: labels, Metrics: lb.m.Metrics(), UF: lb.report}, nil
+}
+
+// aggState is one PE's aggregation memory: the distinct component labels
+// of its column in first-appearance order, with per-component folds.
+type aggState struct {
+	comps []int32 // component labels, first-appearance order
+	index map[int32]int
+	local []int32 // fold over this column's pixels
+	inL   []int32 // fold over columns < x (identity if none)
+	inR   []int32 // fold over columns > x
+	extL  []bool  // component continues into the previous column
+	extR  []bool  // component continues into the next column
+	op    Monoid
+}
+
+func newAggState(op Monoid) *aggState {
+	return &aggState{index: make(map[int32]int), op: op}
+}
+
+// compIndex interns a component label (one charged step per lookup).
+func (st *aggState) compIndex(pe *slap.PE, label int32) int {
+	pe.Tick(1)
+	if c, ok := st.index[label]; ok {
+		return c
+	}
+	c := len(st.comps)
+	st.index[label] = c
+	st.comps = append(st.comps, label)
+	st.local = append(st.local, st.op.Identity)
+	st.inL = append(st.inL, st.op.Identity)
+	st.inR = append(st.inR, st.op.Identity)
+	st.extL = append(st.extL, false)
+	st.extR = append(st.extR, false)
+	return c
+}
+
+// aggSweep streams per-component accumulators across the array in one
+// direction: a component's value is forwarded once, either immediately
+// (components that do not extend backward) or upon receiving the single
+// incoming record for it.
+func (lb *labeler) aggSweep(dir slap.Direction, states []*aggState, op Monoid) {
+	w := lb.w
+	lastCol := w - 1
+	if dir == slap.RightToLeft {
+		lastCol = 0
+	}
+	lb.m.RunSweep(passName(dir, "agg"), dir, func(pe *slap.PE) {
+		x := pe.Index
+		st := states[x]
+		extBack, extFwd := st.extL, st.extR
+		in := st.inL
+		if dir == slap.RightToLeft {
+			extBack, extFwd = st.extR, st.extL
+			in = st.inR
+		}
+		// Components with no backward extension have their final
+		// accumulator already: forward it now.
+		for c, label := range st.comps {
+			pe.Tick(1)
+			if !extBack[c] && extFwd[c] {
+				pe.Send(slap.Msg{Kind: msgLabel, A: label, B: op.Combine(in[c], st.local[c]), Words: 2})
+			}
+		}
+		if pe.HasIn() {
+			for {
+				msg, ok := pe.RecvWait()
+				if !ok {
+					panic(fmt.Sprintf("core: PE %d: aggregation stream ended without eos", x))
+				}
+				if msg.Kind == msgEOS {
+					break
+				}
+				c, ok := st.index[msg.A]
+				pe.Tick(1)
+				if !ok {
+					panic(fmt.Sprintf("core: PE %d: aggregation record for unknown component %d", x, msg.A))
+				}
+				in[c] = op.Combine(in[c], msg.B)
+				if extFwd[c] {
+					pe.Send(slap.Msg{Kind: msgLabel, A: msg.A, B: op.Combine(in[c], st.local[c]), Words: 2})
+				}
+			}
+		}
+		if x != lastCol {
+			pe.Send(slap.Msg{Kind: msgEOS})
+		}
+	})
+}

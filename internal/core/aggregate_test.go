@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/seqcc"
+)
+
+func refAgg(img *bitmap.Bitmap, initial []int32, op Monoid) []int32 {
+	return seqcc.AggregateRef(img, initial, op.Combine, op.Identity)
+}
+
+func positions(img *bitmap.Bitmap) []int32 {
+	init := make([]int32, img.W()*img.H())
+	for i := range init {
+		init[i] = int32(i)
+	}
+	return init
+}
+
+func TestAggregateMinMatchesReference(t *testing.T) {
+	img := bitmap.MustParse(`
+#.#
+#.#
+###
+`)
+	initial := []int32{40, 41, 42, 90, 91, 92, 7, 8, 9}
+	res, err := Aggregate(img, initial, Min(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refAgg(img, initial, Min())
+	for i := range want {
+		if res.PerPixel[i] != want[i] {
+			t.Fatalf("position %d: want %d, got %d", i, want[i], res.PerPixel[i])
+		}
+	}
+	// The single U component's min is 7 (initial of pixel (2,0)).
+	if res.PerPixel[0] != 7 {
+		t.Fatalf("U component min should be 7, got %d", res.PerPixel[0])
+	}
+}
+
+func TestAggregateSumComputesAreas(t *testing.T) {
+	// Sum is not idempotent: this test catches any double counting at
+	// column boundaries or in the final combine.
+	for _, fam := range []string{"hserpentine", "frames", "random50", "fig3a", "checker"} {
+		f, _ := bitmap.FamilyByName(fam)
+		img := f.Generate(21)
+		res, err := Aggregate(img, Ones(img), Sum(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := res.Labels.ComponentSizes()
+		for x := 0; x < img.W(); x++ {
+			for y := 0; y < img.H(); y++ {
+				if !img.Get(x, y) {
+					continue
+				}
+				wantArea := int32(sizes[res.Labels.Get(x, y)])
+				if got := res.PerPixel[x*img.H()+y]; got != wantArea {
+					t.Fatalf("%s: pixel (%d,%d): area %d, want %d", fam, x, y, got, wantArea)
+				}
+			}
+		}
+	}
+}
+
+func TestAggregateMaxAndOr(t *testing.T) {
+	img := bitmap.HStripes(8, 2)
+	initial := positions(img)
+	for _, op := range []Monoid{Max(), Or()} {
+		res, err := Aggregate(img, initial, op, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refAgg(img, initial, op)
+		for i := range want {
+			if res.PerPixel[i] != want[i] {
+				t.Fatalf("%s: position %d: want %d, got %d", op.Name, i, want[i], res.PerPixel[i])
+			}
+		}
+	}
+}
+
+func TestAggregateDegenerate(t *testing.T) {
+	for _, img := range []*bitmap.Bitmap{bitmap.New(0, 0), bitmap.Empty(4), bitmap.Full(1)} {
+		res, err := Aggregate(img, Ones(img), Sum(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerPixel) != img.W()*img.H() {
+			t.Fatal("PerPixel length mismatch")
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	img := bitmap.Empty(4)
+	if _, err := Aggregate(img, make([]int32, 3), Min(), Options{}); err == nil {
+		t.Fatal("want error for wrong initial length")
+	}
+	if _, err := Aggregate(img, Ones(img), Monoid{Name: "broken"}, Options{}); err == nil {
+		t.Fatal("want error for nil Combine")
+	}
+}
+
+func TestAggregateMetricsExtendLabeling(t *testing.T) {
+	img := bitmap.Random(24, 0.5, 13)
+	plain, err := Label(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(img, Ones(img), Sum(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Metrics.Time <= plain.Metrics.Time {
+		t.Fatal("aggregation must add phases on top of labeling")
+	}
+	// Corollary 4: same asymptotics — the aggregation phases are cheap
+	// relative to the labeling (generous 2× envelope here).
+	if agg.Metrics.Time > 2*plain.Metrics.Time {
+		t.Fatalf("aggregation overhead too large: %d vs %d", agg.Metrics.Time, plain.Metrics.Time)
+	}
+	for _, name := range []string{"agg:local", "left:agg", "right:agg", "agg:combine"} {
+		if _, ok := agg.Metrics.Phase(name); !ok {
+			t.Fatalf("missing phase %q", name)
+		}
+	}
+}
+
+// Property: Aggregate(min over positions) recovers exactly the canonical
+// component labels, and Aggregate(sum of ones) recovers component sizes,
+// on random images.
+func TestAggregateQuick(t *testing.T) {
+	f := func(seed uint32, np, dp uint8) bool {
+		n := int(np%20) + 1
+		density := float64(dp%11) / 10
+		img := bitmap.Random(n, density, uint64(seed))
+		res, err := Aggregate(img, positions(img), Min(), Options{})
+		if err != nil {
+			return false
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if !img.Get(x, y) {
+					continue
+				}
+				if res.PerPixel[x*n+y] != res.Labels.Get(x, y) {
+					return false
+				}
+			}
+		}
+		sum, err := Aggregate(img, Ones(img), Sum(), Options{})
+		if err != nil {
+			return false
+		}
+		sizes := sum.Labels.ComponentSizes()
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if !img.Get(x, y) {
+					continue
+				}
+				if sum.PerPixel[x*n+y] != int32(sizes[sum.Labels.Get(x, y)]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

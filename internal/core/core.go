@@ -1,0 +1,245 @@
+// Package core implements the paper's contribution: Algorithm CC, the
+// connected-component labeler for the scan line array processor.
+//
+// The top-level procedure (paper, Figure 2) is
+//
+//  1. a left-connected component labeling — each PE groups the rows of
+//     its column with union–find while relevant unions stream rightward
+//     (Union-Find-Pass, Figure 5), then component labels stream rightward
+//     the same way (Label-Pass, Figure 6);
+//  2. a right-connected component labeling, the mirror image;
+//  3. a purely local merge per PE of the two labelings: sequential
+//     connected components on the graph whose nodes are the column's left
+//     and right labels and whose edges pair the two labels of each pixel.
+//
+// Components end up labeled with the least column-major position of
+// their pixels. See the package's labeling pass for the one deliberate
+// deviation from Figure 6 (the "min rule"), and Aggregate for the
+// Corollary 4 extension.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// Options configure a run of Algorithm CC.
+type Options struct {
+	// UF selects the union–find implementation (default: KindTarjan,
+	// weighted union + full path compression, the paper's §3 default).
+	UF unionfind.Kind
+	// Connectivity selects 4- (the paper's, default) or 8-connectivity.
+	// The 8-connected extension keeps the paper's machinery and adds
+	// pixel-level bridge records: a single pixel can be diagonally
+	// adjacent to up to three mutually disconnected pixels of the next
+	// column, which no union in its own column would ever link, so each
+	// pixel chains its next-column neighbors explicitly (≤ 2 extra
+	// records per pixel; the O(n) per-link traffic bound stands).
+	Connectivity bitmap.Connectivity
+	// IdleCompression enables the §3 heuristic: while a PE waits on its
+	// neighbor during the union–find pass it spends each idle cycle
+	// performing one unit of path compression. Only effective for
+	// forest-backed UF kinds; ignored otherwise.
+	IdleCompression bool
+	// Speculate enables the other §3 heuristic: a PE forwards a dequeued
+	// union to its neighbor *before* executing the local finds and union,
+	// whenever the two witness rows are themselves adjacent to 1-pixels
+	// of the next column (an O(1) test). This removes the find/union
+	// latency from the inter-PE critical path. A speculative forward is
+	// always safe for correctness: the two rows being unioned are
+	// connected, so their next-column neighbors belong to one component
+	// and the downstream union is at worst a no-op (counted in
+	// Result.Speculation.Wasted).
+	//
+	// It is not automatically safe for time: forwarded no-ops re-forward
+	// downstream, and on union-dense images the traffic multiplies per
+	// column (a Θ(n·w²) blowup, measured in experiment E11's history).
+	// The paper's sketch bounds this with quash messages; a FIFO link
+	// cannot unsend, so each PE instead throttles itself — once its own
+	// forwards have been mostly wasted it stops speculating for the rest
+	// of the pass, bounding the waste per link by a constant.
+	Speculate bool
+	// Cost is the machine cost model (default slap.Unit()).
+	Cost slap.CostModel
+	// ChargeInput includes the O(n) row-by-row image input phase
+	// (Figure 1) in the metrics (default true; set SkipInput to drop it).
+	SkipInput bool
+	// UnitCostUF accounts every union–find operation as a single step
+	// regardless of its true pointer-step cost: the accounting of §2's
+	// Lemma 1/2 ("under the assumption that unions and finds are constant
+	// time"). The structure still executes normally; only the charged
+	// time differs.
+	UnitCostUF bool
+	// Profile records per-PE completion times for every phase
+	// (Metrics.Phases[i].PerPE), making the systolic wavefront visible.
+	Profile bool
+	// Parallel runs the sweep phases with one goroutine per PE and
+	// channel links, exploiting the simulated pipeline's parallelism on
+	// the host. Simulated metrics are identical to the sequential
+	// engine's (tests enforce bit-equality); only wall-clock time
+	// changes.
+	Parallel bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.UF == "" {
+		o.UF = unionfind.KindTarjan
+	}
+	if o.Cost == (slap.CostModel{}) {
+		o.Cost = slap.Unit()
+	}
+	if o.Connectivity == 0 {
+		o.Connectivity = bitmap.Conn4
+	}
+	return o
+}
+
+// UFReport aggregates union–find behavior over all PEs of both passes.
+type UFReport struct {
+	Kind       unionfind.Kind
+	Finds      int64
+	Unions     int64
+	TotalSteps int64
+	// MaxOpCost is the most expensive single operation observed on any
+	// PE: the quantity bounded by O(lg n) for weighted forests and by
+	// O(lg n / lg lg n) for the Blum-style structure (Theorem 3).
+	MaxOpCost int64
+	// MeanOpCost is the steps-per-operation average.
+	MeanOpCost float64
+}
+
+// SpecStats reports the speculative-forwarding heuristic's behavior.
+type SpecStats struct {
+	// Sends counts unions forwarded ahead of local execution.
+	Sends int64
+	// Wasted counts speculative sends whose local union turned out to be
+	// a no-op (the sets were already together), i.e. traffic the paper's
+	// quash messages would have canceled.
+	Wasted int64
+}
+
+// Result is the output of Label.
+type Result struct {
+	// Labels is the canonical component labeling: every component carries
+	// the least column-major position of its pixels; background is
+	// bitmap.Background.
+	Labels *bitmap.LabelMap
+	// Metrics is the simulated machine's timing/traffic accounting.
+	Metrics slap.Metrics
+	// UF reports union–find behavior.
+	UF UFReport
+	// Speculation reports the Speculate heuristic (zero when disabled).
+	Speculation SpecStats
+}
+
+// message kinds on the links.
+const (
+	msgEOS   uint8 = iota // end of stream (the paper's "eos")
+	msgUnion              // relevant union: A, B = adjacent-row witnesses
+	msgLabel              // label flow: A = label, B = target row
+)
+
+// Label runs Algorithm CC on img over a fresh simulated SLAP and returns
+// the labeling, metrics, and union–find report. The labeling always
+// equals the sequential ground truth; an error is returned only for
+// configuration problems (unknown UF kind, image too large for the label
+// space, invalid cost model).
+func Label(img *bitmap.Bitmap, opt Options) (*Result, error) {
+	lb, labels, err := runCC(img, opt)
+	if err != nil {
+		return nil, err
+	}
+	lb.finishReport()
+	return &Result{Labels: labels, Metrics: lb.m.Metrics(), UF: lb.report, Speculation: lb.spec}, nil
+}
+
+// runCC executes the full Algorithm CC and returns the labeler (whose
+// machine keeps accumulating phases, for extensions like Aggregate) and
+// the finished labeling.
+func runCC(img *bitmap.Bitmap, opt Options) (*labeler, *bitmap.LabelMap, error) {
+	opt = opt.withDefaults()
+	if err := opt.Cost.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, ok := unionfind.Make(opt.UF, 0); !ok {
+		return nil, nil, fmt.Errorf("core: unknown union-find kind %q", opt.UF)
+	}
+	if !opt.Connectivity.Valid() {
+		return nil, nil, fmt.Errorf("core: invalid connectivity %d", opt.Connectivity)
+	}
+	w, h := img.W(), img.H()
+	if w > 0 && h > 0 && 2*int64(w)*int64(h) > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("core: image %dx%d exceeds the int32 label space", w, h)
+	}
+	lb := &labeler{img: img, w: w, h: h, opt: opt, m: slap.NewMachine(w, opt.Cost)}
+	if opt.Profile {
+		lb.m.EnableProfile()
+	}
+	if opt.Parallel {
+		lb.m.EnableParallel()
+	}
+	lb.report.Kind = opt.UF
+
+	if !opt.SkipInput {
+		lb.m.ChargeGlobal("input", int64(h))
+	}
+	if w == 0 || h == 0 {
+		return lb, bitmap.NewLabelMap(w, h), nil
+	}
+
+	left := lb.runPass(slap.LeftToRight)
+	right := lb.runPass(slap.RightToLeft)
+	return lb, lb.merge(left, right), nil
+}
+
+// labeler carries the run state: the machine, options, per-pass column
+// states, and the union–find report under construction.
+type labeler struct {
+	img  *bitmap.Bitmap
+	w, h int
+	opt  Options
+	m    *slap.Machine
+
+	meters []*unionfind.Meter // all pass meters, for the report
+	report UFReport
+	spec   SpecStats
+}
+
+// chargeUF runs fn (one or more union–find operations on m) and charges
+// the PE the steps they consumed — or exactly one step per logical
+// operation when UnitCostUF accounting is on (ops reports how many).
+func (lb *labeler) chargeUF(pe *slap.PE, m *unionfind.Meter, ops int64, fn func()) {
+	before := m.Steps()
+	fn()
+	if lb.opt.UnitCostUF {
+		pe.Tick(ops)
+		return
+	}
+	delta := m.Steps() - before
+	if delta > 0 {
+		pe.Tick(delta)
+	}
+}
+
+// finishReport folds every pass meter into the aggregate report.
+func (lb *labeler) finishReport() {
+	var steps, ops int64
+	for _, m := range lb.meters {
+		st := m.Stats()
+		lb.report.Finds += st.Finds
+		lb.report.Unions += st.Unions
+		steps += st.FindSteps + st.UnionSteps
+		ops += st.Finds + st.Unions
+		if c := m.MaxOpCost(); c > lb.report.MaxOpCost {
+			lb.report.MaxOpCost = c
+		}
+	}
+	lb.report.TotalSteps = steps
+	if ops > 0 {
+		lb.report.MeanOpCost = float64(steps) / float64(ops)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/seqcc"
+)
+
+// TestExhaustiveTinyImages labels EVERY binary image of a given size and
+// compares against the ground truth: 512 images at 3×3 in short mode,
+// all 65536 at 4×4 otherwise, plus every 1×k/k×1/2×3 shape. Exhaustive
+// coverage at small sizes is the strongest evidence the pass/merge logic
+// has no residual case bugs (it sweeps every possible adjacency pattern,
+// prong merge, and empty-column layout).
+func TestExhaustiveTinyImages(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {1, 4}, {4, 1}, {2, 3}, {3, 2}, {3, 3}}
+	if !testing.Short() {
+		shapes = append(shapes, [2]int{4, 4})
+	}
+	for _, wh := range shapes {
+		w, h := wh[0], wh[1]
+		cells := w * h
+		for mask := 0; mask < 1<<uint(cells); mask++ {
+			img := bitmap.New(w, h)
+			for i := 0; i < cells; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					img.Set(i%w, i/w, true)
+				}
+			}
+			res, err := Label(img, Options{SkipInput: true})
+			if err != nil {
+				t.Fatalf("%dx%d mask %b: %v", w, h, mask, err)
+			}
+			if err := seqcc.Check(img, res.Labels); err != nil {
+				t.Fatalf("%dx%d mask %b: %v\n%s", w, h, mask, err, img)
+			}
+		}
+	}
+}
+
+// TestMessageBounds checks the traffic bound behind Lemma 1's timing
+// argument: in the union–find pass only relevant unions cross a link, so
+// total records are bounded by the union count plus one eos per link;
+// the label pass forwards at most once per incoming record plus one
+// initial send per set and eos. We assert the aggregate forms.
+func TestMessageBounds(t *testing.T) {
+	for _, fam := range bitmap.Families() {
+		n := 32
+		img := fam.Generate(n)
+		res := mustLabel(t, img, Options{})
+		for _, dir := range []string{"left", "right"} {
+			uf, ok := res.Metrics.Phase(dir + ":unionfind")
+			if !ok {
+				t.Fatalf("missing phase %s:unionfind", dir)
+			}
+			// Unions per pass ≤ #1-pixels; eos per link ≤ n-1.
+			maxUnions := int64(img.CountOnes())
+			if uf.Sends > maxUnions+int64(n) {
+				t.Errorf("%s %s: %d union-pass records exceeds bound %d",
+					fam.Name, dir, uf.Sends, maxUnions+int64(n))
+			}
+			lp, ok := res.Metrics.Phase(dir + ":labelpass")
+			if !ok {
+				t.Fatalf("missing phase %s:labelpass", dir)
+			}
+			// Each set sends at most once per incoming plus once as a
+			// source; sets ≤ 1-pixels; plus eos per link.
+			if lp.Sends > 2*maxUnions+2*int64(n) {
+				t.Errorf("%s %s: %d label-pass records exceeds bound %d",
+					fam.Name, dir, lp.Sends, 2*maxUnions+2*int64(n))
+			}
+		}
+	}
+}
+
+// TestPerPEMemoryLinear pins the architecture constraint the paper's
+// Figure 1 states: Θ(n) memory per PE.
+func TestPerPEMemoryLinear(t *testing.T) {
+	var prev int64
+	for _, n := range []int{32, 64, 128} {
+		res := mustLabel(t, bitmap.Random(n, 0.5, 1), Options{})
+		mem := res.Metrics.PEMemory
+		if mem <= 0 {
+			t.Fatal("memory not declared")
+		}
+		if prev > 0 {
+			ratio := float64(mem) / float64(prev)
+			if ratio < 1.5 || ratio > 2.5 {
+				t.Fatalf("per-PE memory should double with n: %d -> %d", prev, mem)
+			}
+		}
+		prev = mem
+	}
+}

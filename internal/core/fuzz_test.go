@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/seqcc"
+	"slapcc/internal/unionfind"
+)
+
+// imageFromBytes deterministically builds a w×h image from raw fuzz
+// bytes: bit i of the payload is pixel i in column-major order.
+func imageFromBytes(w, h int, data []byte) *bitmap.Bitmap {
+	img := bitmap.New(w, h)
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			i := x*h + y
+			if i/8 < len(data) && data[i/8]&(1<<uint(i%8)) != 0 {
+				img.Set(x, y, true)
+			}
+		}
+	}
+	return img
+}
+
+// FuzzLabelMatchesReference feeds arbitrary images through Algorithm CC
+// under rotating union–find kinds and heuristics and demands exact
+// agreement with the sequential ground truth. Run with
+// `go test -fuzz=FuzzLabelMatchesReference ./internal/core` for
+// continuous fuzzing; the seed corpus runs in ordinary `go test`.
+func FuzzLabelMatchesReference(f *testing.F) {
+	f.Add(uint8(4), uint8(4), []byte{0xff, 0x0f}, uint8(0))
+	f.Add(uint8(8), uint8(8), []byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55}, uint8(1))
+	f.Add(uint8(3), uint8(5), []byte{0b10101, 0b01010}, uint8(2))
+	f.Add(uint8(16), uint8(1), []byte{0xf0, 0x0f}, uint8(3))
+	f.Add(uint8(1), uint8(16), []byte{0x3c, 0x3c}, uint8(4))
+	f.Add(uint8(0), uint8(7), []byte{}, uint8(5))
+	kinds := unionfind.Kinds()
+	f.Fuzz(func(t *testing.T, wRaw, hRaw uint8, data []byte, cfg uint8) {
+		w := int(wRaw % 24)
+		h := int(hRaw % 24)
+		img := imageFromBytes(w, h, data)
+		opt := Options{
+			UF:              kinds[int(cfg)%len(kinds)],
+			IdleCompression: cfg&0x40 != 0,
+			Speculate:       cfg&0x80 != 0,
+		}
+		res, err := Label(img, opt)
+		if err != nil {
+			t.Fatalf("Label(%dx%d, %+v): %v", w, h, opt, err)
+		}
+		if err := seqcc.Check(img, res.Labels); err != nil {
+			t.Fatalf("labeling mismatch for %dx%d %+v:\n%s\n%v", w, h, opt, img, err)
+		}
+	})
+}
+
+// FuzzAggregateSum feeds arbitrary images through the Corollary 4 sum
+// aggregation (the non-idempotent case) and checks component areas.
+func FuzzAggregateSum(f *testing.F) {
+	f.Add(uint8(6), uint8(6), []byte{0xff, 0x81, 0xff, 0x81, 0x7e})
+	f.Add(uint8(5), uint8(3), []byte{0b1011011, 0b11})
+	f.Fuzz(func(t *testing.T, wRaw, hRaw uint8, data []byte) {
+		w := int(wRaw % 20)
+		h := int(hRaw % 20)
+		img := imageFromBytes(w, h, data)
+		res, err := Aggregate(img, Ones(img), Sum(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := res.Labels.ComponentSizes()
+		for x := 0; x < w; x++ {
+			for y := 0; y < h; y++ {
+				if !img.Get(x, y) {
+					continue
+				}
+				if got, want := res.PerPixel[x*h+y], int32(sizes[res.Labels.Get(x, y)]); got != want {
+					t.Fatalf("pixel (%d,%d): area %d, want %d", x, y, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"slapcc/internal/bitmap"
+)
+
+// The golden step counts pin the simulator's cost accounting: any change
+// to what the machine charges (link occupancy, dequeue polls, union–find
+// step metering, phase structure) shows up here as an exact diff. The
+// values themselves are not meaningful beyond "the accounting is what it
+// was when EXPERIMENTS.md was generated" — update them deliberately, and
+// regenerate EXPERIMENTS.md, when the cost model changes on purpose.
+func TestGoldenStepCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		img  *bitmap.Bitmap
+		opt  Options
+		want int64
+	}{
+		{"empty8", bitmap.Empty(8), Options{}, goldenEmpty8},
+		{"full8", bitmap.Full(8), Options{}, goldenFull8},
+		{"checker8", bitmap.Checker(8), Options{}, goldenChecker8},
+		{"serp16", bitmap.HSerpentine(16), Options{}, goldenSerp16},
+		{"serp16-unit", bitmap.HSerpentine(16), Options{UnitCostUF: true}, goldenSerp16Unit},
+		{"merge32-blum", bitmap.BinaryMerge(32), Options{UF: "blum"}, goldenMerge32Blum},
+	}
+	for _, tc := range cases {
+		res, err := Label(tc.img, tc.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Metrics.Time != tc.want {
+			t.Errorf("%s: simulated time changed: got %d, golden %d — if intentional, update golden_test.go and regenerate EXPERIMENTS.md",
+				tc.name, res.Metrics.Time, tc.want)
+		}
+	}
+}
+
+// Golden values; see TestGoldenStepCounts.
+const (
+	goldenEmpty8      = 114
+	goldenFull8       = 459
+	goldenChecker8    = 186
+	goldenSerp16      = 810
+	goldenSerp16Unit  = 591
+	goldenMerge32Blum = 1935
+)
+
+// TestGoldenDeterminism re-runs one configuration several times and
+// demands bit-identical metrics: the whole experiment methodology
+// depends on the simulator being deterministic.
+func TestGoldenDeterminism(t *testing.T) {
+	img := bitmap.Random(32, 0.5, 12345)
+	first, err := Label(img, Options{Speculate: true, IdleCompression: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Label(img, Options{Speculate: true, IdleCompression: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Metrics.Time != first.Metrics.Time ||
+			again.Metrics.Sends != first.Metrics.Sends ||
+			again.UF.TotalSteps != first.UF.TotalSteps ||
+			again.Speculation != first.Speculation {
+			t.Fatalf("run %d: nondeterministic metrics:\nfirst %+v %+v\nagain %+v %+v",
+				i, first.Metrics, first.Speculation, again.Metrics, again.Speculation)
+		}
+		if !again.Labels.Equal(first.Labels) {
+			t.Fatalf("run %d: nondeterministic labels", i)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// merge is step 3 of Algorithm CC (Figure 2): within each PE,
+// independently and in parallel, run sequential connected components on
+// the graph whose nodes are the column's left and right labels and whose
+// edges are the per-pixel pairs (leftlabel[j], rightlabel[j]). Every
+// pixel then takes the least label of its graph component — which equals
+// the least column-major position of its global image component, because
+// that least position's label reaches every column the component touches
+// through the left labeling, and right-pass labels (offset by w·h) never
+// undercut left-pass labels.
+func (lb *labeler) merge(left, right []*colState) *bitmap.LabelMap {
+	w, h := lb.w, lb.h
+	labels := bitmap.NewLabelMap(w, h)
+	lb.m.RunLocal("merge", func(pe *slap.PE) {
+		x := pe.Index
+		lcol, rcol := left[x], right[x]
+
+		// Dense-index the distinct labels appearing in this column.
+		index := make(map[int32]int, 2*len(lcol.ones))
+		var values []int32
+		idOf := func(label int32) int {
+			pe.Tick(1)
+			if id, ok := index[label]; ok {
+				return id
+			}
+			id := len(values)
+			index[label] = id
+			values = append(values, label)
+			return id
+		}
+		type edge struct{ a, b int }
+		edges := make([]edge, 0, len(lcol.ones))
+		for _, j := range lcol.ones {
+			ll, rl := lcol.out[j], rcol.out[j]
+			if ll == -1 || rl == -1 {
+				panic(fmt.Sprintf("core: PE %d row %d: missing pass label (%d, %d)", x, j, ll, rl))
+			}
+			edges = append(edges, edge{idOf(ll), idOf(rl)})
+		}
+		if len(values) == 0 {
+			return
+		}
+		// Sequential connected components over ≤ 2·ones nodes and ones
+		// edges: the "familiar sequential algorithm" of Lemma 2.
+		uf := unionfind.NewMeter(unionfind.New(len(values)))
+		lb.meters = append(lb.meters, uf)
+		for _, e := range edges {
+			lb.chargeUF(pe, uf, 1, func() { uf.Union(e.a, e.b) })
+		}
+		// Least label per class.
+		classMin := make([]int32, uf.CapBound())
+		for i := range classMin {
+			classMin[i] = -1
+		}
+		for id, v := range values {
+			var root int
+			lb.chargeUF(pe, uf, 1, func() { root = uf.Find(id) })
+			if classMin[root] == -1 || v < classMin[root] {
+				classMin[root] = v
+			}
+			pe.Tick(1)
+		}
+		for _, j := range lcol.ones {
+			var root int
+			lb.chargeUF(pe, uf, 1, func() { root = uf.Find(index[lcol.out[j]]) })
+			labels.Set(x, int(j), classMin[root])
+			pe.Tick(1)
+		}
+		pe.DeclareMemory(int64(4 * len(values)))
+	})
+	return labels
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/unionfind"
+)
+
+// metricsIdentical compares everything the experiments report.
+func metricsIdentical(t *testing.T, a, b *Result) bool {
+	t.Helper()
+	if a.Metrics.Time != b.Metrics.Time ||
+		a.Metrics.Sends != b.Metrics.Sends ||
+		a.Metrics.Words != b.Metrics.Words ||
+		a.Metrics.MaxQueue != b.Metrics.MaxQueue ||
+		a.Metrics.PEMemory != b.Metrics.PEMemory {
+		return false
+	}
+	if len(a.Metrics.Phases) != len(b.Metrics.Phases) {
+		return false
+	}
+	for i := range a.Metrics.Phases {
+		pa, pb := a.Metrics.Phases[i], b.Metrics.Phases[i]
+		if pa.Name != pb.Name || pa.Makespan != pb.Makespan || pa.Busy != pb.Busy ||
+			pa.Idle != pb.Idle || pa.Sends != pb.Sends || pa.Words != pb.Words ||
+			pa.NilRecvs != pb.NilRecvs || pa.MaxQueue != pb.MaxQueue {
+			return false
+		}
+	}
+	return a.UF == b.UF && a.Speculation == b.Speculation
+}
+
+func TestParallelLabelIdenticalToSequential(t *testing.T) {
+	for _, fam := range bitmap.Families() {
+		img := fam.Generate(29)
+		seq := mustLabel(t, img, Options{})
+		par := mustLabel(t, img, Options{Parallel: true})
+		if !par.Labels.Equal(seq.Labels) {
+			t.Errorf("%s: parallel engine changed the labeling", fam.Name)
+		}
+		if !metricsIdentical(t, seq, par) {
+			t.Errorf("%s: parallel engine changed the metrics:\nseq %+v\npar %+v",
+				fam.Name, seq.Metrics, par.Metrics)
+		}
+	}
+}
+
+func TestParallelWithAllOptions(t *testing.T) {
+	img := bitmap.Random(33, 0.5, 77)
+	for _, kind := range unionfind.Kinds() {
+		for _, spec := range []bool{false, true} {
+			opt := Options{UF: kind, Speculate: spec, IdleCompression: true}
+			seq := mustLabel(t, img, opt)
+			opt.Parallel = true
+			par := mustLabel(t, img, opt)
+			if !par.Labels.Equal(seq.Labels) || !metricsIdentical(t, seq, par) {
+				t.Errorf("uf=%s spec=%v: engines disagree", kind, spec)
+			}
+		}
+	}
+}
+
+func TestParallelAggregate(t *testing.T) {
+	img := bitmap.Random(25, 0.5, 5)
+	seq, err := Aggregate(img, Ones(img), Sum(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Aggregate(img, Ones(img), Sum(), Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.PerPixel {
+		if seq.PerPixel[i] != par.PerPixel[i] {
+			t.Fatalf("position %d: %d vs %d", i, seq.PerPixel[i], par.PerPixel[i])
+		}
+	}
+	if seq.Metrics.Time != par.Metrics.Time {
+		t.Fatalf("aggregate time differs: %d vs %d", seq.Metrics.Time, par.Metrics.Time)
+	}
+}
+
+// Property: on random images with random options, both engines agree on
+// labels, total time, traffic, and the UF report.
+func TestParallelQuick(t *testing.T) {
+	f := func(seed uint32, np, dp uint8, spec, idle bool) bool {
+		n := int(np%24) + 1
+		img := bitmap.Random(n, float64(dp%11)/10, uint64(seed))
+		opt := Options{Speculate: spec, IdleCompression: idle}
+		seq, err := Label(img, opt)
+		if err != nil {
+			return false
+		}
+		opt.Parallel = true
+		par, err := Label(img, opt)
+		if err != nil {
+			return false
+		}
+		return par.Labels.Equal(seq.Labels) &&
+			par.Metrics.Time == seq.Metrics.Time &&
+			par.Metrics.Sends == seq.Metrics.Sends &&
+			par.UF == seq.UF &&
+			par.Speculation == seq.Speculation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

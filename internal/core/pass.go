@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// colState is one PE's persistent memory for one pass: the column's
+// pixels, its union–find structure over rows, and the per-set satellite
+// data adjnext/adjprev (a witness row where the set touches the next /
+// previous column of the sweep; -1 is the paper's nil) and label.
+type colState struct {
+	col     []bool
+	uf      *unionfind.Meter
+	forest  *unionfind.Forest // non-nil when forest-backed (idle compression)
+	adjnext []int32
+	adjprev []int32
+	label   []int32
+	ones    []int32 // rows of 1-pixels (idle-compression victims)
+	out     []int32 // final per-row pass labels (-1 on 0-pixels)
+
+	// Per-PE speculation counters (kept here, not on the labeler, so
+	// parallel sweeps stay race-free; summed in finishSpec).
+	specSends  int64
+	specWasted int64
+}
+
+// passName labels the machine phases of one pass.
+func passName(dir slap.Direction, step string) string {
+	if dir == slap.LeftToRight {
+		return "left:" + step
+	}
+	return "right:" + step
+}
+
+// runPass computes one directional connected labeling (steps 1–4 of
+// Algorithm Left-Components, Figure 4) and returns per-column label
+// slices. Left pass labels are column-major positions; right pass labels
+// are offset by w·h and use the mirrored column order, so the two label
+// spaces are disjoint and left labels always win the final minimum.
+func (lb *labeler) runPass(dir slap.Direction) []*colState {
+	w, h := lb.w, lb.h
+	dx := 1
+	base := int32(0)
+	lastCol := w - 1
+	if dir == slap.RightToLeft {
+		dx = -1
+		base = int32(w * h)
+		lastCol = 0
+	}
+	posOf := func(x, j int) int32 {
+		if dir == slap.LeftToRight {
+			return int32(x*h + j)
+		}
+		return base + int32((w-1-x)*h+j)
+	}
+
+	// Column states are created up front (they are the PEs' persistent
+	// local memories across phases); the sweeps themselves may then run
+	// PEs concurrently without sharing any mutable labeler state.
+	cols := make([]*colState, w)
+	for x := range cols {
+		cols[x] = lb.newColState(x)
+	}
+
+	// Step 1 (Figure 5): the union–find pass.
+	lb.m.RunSweep(passName(dir, "unionfind"), dir, func(pe *slap.PE) {
+		x := pe.Index
+		st := cols[x]
+
+		// Make-Set(j) for every row, and initialize the adjacency
+		// witnesses of the singleton sets (constant work per row).
+		// Witness values are rows of the *next* column (for Conn4 the
+		// row indices coincide). Under Conn8 a pixel may touch up to
+		// three next-column pixels that are not connected to each other
+		// except through this pixel, so consecutive neighbors are
+		// chained with bridge records the next column replays as unions.
+		for j := 0; j < h; j++ {
+			pe.Tick(1)
+			if !st.col[j] {
+				continue
+			}
+			st.adjnext[j] = lb.witness(x, j, dx)
+			st.adjprev[j] = lb.witness(x, j, -dx)
+			if lb.opt.Connectivity == bitmap.Conn8 && x != lastCol {
+				prevNbr := int32(-1)
+				for _, r := range []int{j - 1, j, j + 1} {
+					if r < 0 || r >= h || !lb.img.Get(x+dx, r) {
+						continue
+					}
+					if prevNbr != -1 {
+						pe.Send(slap.Msg{Kind: msgUnion, A: prevNbr, B: int32(r), Words: 2})
+					}
+					prevNbr = int32(r)
+				}
+			}
+		}
+		// Phase one: union vertical runs within the column.
+		for j := 1; j < h; j++ {
+			pe.Tick(1)
+			if st.col[j-1] && st.col[j] {
+				_ = lb.apply(pe, st, int32(j-1), int32(j), x != lastCol, false)
+			}
+		}
+		// Phase two: replay relevant unions arriving from the previous
+		// column until eos.
+		// Speculation throttle (stands in for the paper's quash
+		// messages): once this PE has wasted more forwards than it has
+		// confirmed, and at least specWasteBudget in total, it stops
+		// speculating for the rest of the pass.
+		const specWasteBudget = 8
+		var specFired, specWasted int64
+		if pe.HasIn() {
+			if lb.opt.IdleCompression && st.forest != nil && len(st.ones) > 0 {
+				cursor := 0
+				f, ones := st.forest, st.ones
+				pe.OnIdle(func() {
+					f.CompressOne(int(ones[cursor]))
+					cursor++
+					if cursor == len(ones) {
+						cursor = 0
+					}
+				})
+			}
+			for {
+				msg, ok := pe.RecvWait()
+				if !ok {
+					panic(fmt.Sprintf("core: PE %d: union stream ended without eos", x))
+				}
+				if msg.Kind == msgEOS {
+					break
+				}
+				if msg.Kind != msgUnion {
+					panic(fmt.Sprintf("core: PE %d: unexpected message kind %d in union pass", x, msg.Kind))
+				}
+				// §3 speculation: forward the union before executing it
+				// when the witness rows visibly continue into the next
+				// column, taking the find/union latency off the
+				// inter-PE critical path. Safe without quash messages:
+				// the forwarded rows are connected here, so their
+				// next-column neighbors share a component and the
+				// downstream union is at worst a no-op.
+				speculated := false
+				throttled := specWasted >= specWasteBudget && specWasted > specFired-specWasted
+				if lb.opt.Speculate && x != lastCol && !throttled {
+					pe.Tick(1)
+					wa, wb := lb.witness(x, int(msg.A), dx), lb.witness(x, int(msg.B), dx)
+					if wa != -1 && wb != -1 {
+						pe.Send(slap.Msg{Kind: msgUnion, A: wa, B: wb, Words: 2})
+						st.specSends++
+						specFired++
+						speculated = true
+					}
+				}
+				if !lb.apply(pe, st, msg.A, msg.B, x != lastCol, speculated) && speculated {
+					specWasted++
+					st.specWasted++
+				}
+			}
+		}
+		if x != lastCol {
+			pe.Send(slap.Msg{Kind: msgEOS})
+		}
+		// The PE's memory: column bits, union–find arrays, satellites.
+		pe.DeclareMemory(int64(h) + 2*int64(h) + 3*int64(len(st.adjnext)))
+	})
+
+	// Step 2: a find on every pixel (also primes path compression so
+	// every later find is cheap, as §3 notes).
+	lb.m.RunLocal(passName(dir, "findall"), func(pe *slap.PE) {
+		st := cols[pe.Index]
+		for j := 0; j < h; j++ {
+			pe.Tick(1)
+			if st.col[j] {
+				lb.chargeUF(pe, st.uf, 1, func() { st.uf.Find(j) })
+			}
+		}
+	})
+
+	// Step 3 (Figure 6): the label pass, with the min rule (see below).
+	lb.m.RunSweep(passName(dir, "labelpass"), dir, func(pe *slap.PE) {
+		x := pe.Index
+		st := cols[x]
+		// Sets with no previous-column adjacency label themselves with
+		// their first pixel's position and send the label onward once.
+		for j := 0; j < h; j++ {
+			pe.Tick(1)
+			if !st.col[j] {
+				continue
+			}
+			var s int
+			lb.chargeUF(pe, st.uf, 1, func() { s = st.uf.Find(j) })
+			if st.adjprev[s] == -1 && st.label[s] == -1 {
+				st.label[s] = posOf(x, j)
+				if st.adjnext[s] != -1 {
+					pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adjnext[s], Words: 2})
+				}
+			}
+		}
+		// Incoming labels. Figure 6 overwrites label[S] per arrival; when
+		// two sets of the previous column merge only through this column,
+		// overwriting is order-dependent, so we apply the paper's §2
+		// consistency rule ("each component gets labeled with the least
+		// label seen"): adopt the minimum and forward on first receipt or
+		// improvement. Every set still sends at least once and the least
+		// label of each prefix component reaches every column it touches.
+		if pe.HasIn() {
+			for {
+				msg, ok := pe.RecvWait()
+				if !ok {
+					panic(fmt.Sprintf("core: PE %d: label stream ended without eos", x))
+				}
+				if msg.Kind == msgEOS {
+					break
+				}
+				if msg.Kind != msgLabel {
+					panic(fmt.Sprintf("core: PE %d: unexpected message kind %d in label pass", x, msg.Kind))
+				}
+				var s int
+				lb.chargeUF(pe, st.uf, 1, func() { s = st.uf.Find(int(msg.B)) })
+				pe.Tick(1)
+				if st.label[s] == -1 || msg.A < st.label[s] {
+					st.label[s] = msg.A
+					if st.adjnext[s] != -1 {
+						pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adjnext[s], Words: 2})
+					}
+				}
+			}
+		}
+		if x != lastCol {
+			pe.Send(slap.Msg{Kind: msgEOS})
+		}
+	})
+
+	// Step 4: assign each pixel its set's label.
+	lb.m.RunLocal(passName(dir, "assign"), func(pe *slap.PE) {
+		st := cols[pe.Index]
+		for j := 0; j < h; j++ {
+			pe.Tick(1)
+			if !st.col[j] {
+				continue
+			}
+			var s int
+			lb.chargeUF(pe, st.uf, 1, func() { s = st.uf.Find(j) })
+			if st.label[s] == -1 {
+				panic(fmt.Sprintf("core: PE %d row %d: set %d never received a label", pe.Index, j, s))
+			}
+			st.out[j] = st.label[s]
+		}
+	})
+
+	// Fold the per-PE speculation counters (kept PE-local so concurrent
+	// sweeps never touch shared labeler state).
+	for _, st := range cols {
+		lb.spec.Sends += st.specSends
+		lb.spec.Wasted += st.specWasted
+	}
+	return cols
+}
+
+// newColState builds the per-column pass state for column x.
+func (lb *labeler) newColState(x int) *colState {
+	h := lb.h
+	uf, _ := unionfind.Make(lb.opt.UF, h)
+	st := &colState{
+		col: lb.img.Column(x, nil),
+		uf:  unionfind.NewMeter(uf),
+	}
+	if f, ok := uf.(*unionfind.Forest); ok {
+		st.forest = f
+	}
+	cb := uf.CapBound()
+	st.adjnext = fillNeg(make([]int32, cb))
+	st.adjprev = fillNeg(make([]int32, cb))
+	st.label = fillNeg(make([]int32, cb))
+	st.out = fillNeg(make([]int32, h))
+	for j := 0; j < h; j++ {
+		if st.col[j] {
+			st.ones = append(st.ones, int32(j))
+		}
+	}
+	lb.meters = append(lb.meters, st.uf)
+	return st
+}
+
+// apply is the paper's Apply (Figure 5): union the sets holding the two
+// rows; if both sets touch the next column, first forward the pair of
+// witness rows so the next column replays the union. When the union was
+// already forwarded speculatively, the normal forward is suppressed
+// (both messages would union the same two downstream sets). It reports
+// whether the two rows were in distinct sets.
+func (lb *labeler) apply(pe *slap.PE, st *colState, top, bot int32, hasOut, speculated bool) bool {
+	if !st.col[top] || !st.col[bot] {
+		panic(fmt.Sprintf("core: PE %d: union witness rows (%d,%d) include a 0-pixel", pe.Index, top, bot))
+	}
+	var root, a, b int
+	var united bool
+	lb.chargeUF(pe, st.uf, 1, func() {
+		root, a, b, united = st.uf.Union(int(top), int(bot))
+	})
+	if !united {
+		return false
+	}
+	// Forward the relevant union before folding satellites: the witness
+	// rows must be the pre-union ones (Figure 5 enqueues before Union).
+	if !speculated && st.adjnext[a] != -1 && st.adjnext[b] != -1 && hasOut {
+		pe.Send(slap.Msg{Kind: msgUnion, A: st.adjnext[a], B: st.adjnext[b], Words: 2})
+	}
+	pe.Tick(1)
+	st.adjnext[root] = firstWitness(st.adjnext[a], st.adjnext[b])
+	st.adjprev[root] = firstWitness(st.adjprev[a], st.adjprev[b])
+	return true
+}
+
+// firstWitness keeps any non-nil witness row.
+func firstWitness(a, b int32) int32 {
+	if a != -1 {
+		return a
+	}
+	return b
+}
+
+// witness returns a row of column x+dir holding a 1-pixel adjacent to
+// pixel (x, j) under the configured connectivity, or -1 (the paper's
+// nil). Constant work; the returned row identifies where the neighboring
+// column should replay information concerning (x, j)'s set.
+func (lb *labeler) witness(x, j, dir int) int32 {
+	if lb.img.Get(x+dir, j) {
+		return int32(j)
+	}
+	if lb.opt.Connectivity == bitmap.Conn8 {
+		if lb.img.Get(x+dir, j-1) {
+			return int32(j - 1)
+		}
+		if lb.img.Get(x+dir, j+1) {
+			return int32(j + 1)
+		}
+	}
+	return -1
+}
+
+func fillNeg(s []int32) []int32 {
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/seqcc"
+	"slapcc/internal/unionfind"
+)
+
+func TestSpeculatePreservesLabels(t *testing.T) {
+	for _, fam := range bitmap.Families() {
+		img := fam.Generate(23)
+		plain := mustLabel(t, img, Options{})
+		spec := mustLabel(t, img, Options{Speculate: true})
+		if !plain.Labels.Equal(spec.Labels) {
+			t.Errorf("%s: speculation changed the labeling", fam.Name)
+		}
+		if err := seqcc.Check(img, spec.Labels); err != nil {
+			t.Errorf("%s: %v", fam.Name, err)
+		}
+	}
+}
+
+func TestSpeculateFiresOnChainImages(t *testing.T) {
+	// Horizontal bars two rows apart joined at the right produce long
+	// cross-column union chains where the witness rows continue into the
+	// next column: speculation must fire.
+	img := bitmap.HSerpentine(32)
+	res := mustLabel(t, img, Options{Speculate: true})
+	if res.Speculation.Sends == 0 {
+		t.Fatal("speculation never fired on hserpentine")
+	}
+	plain := mustLabel(t, img, Options{})
+	if res.Speculation.Wasted > res.Speculation.Sends {
+		t.Fatalf("wasted (%d) cannot exceed sends (%d)",
+			res.Speculation.Wasted, res.Speculation.Sends)
+	}
+	t.Logf("hserpentine: plain T=%d spec T=%d sends=%d wasted=%d",
+		plain.Metrics.Time, res.Metrics.Time,
+		res.Speculation.Sends, res.Speculation.Wasted)
+}
+
+func TestSpeculateThrottleBoundsWaste(t *testing.T) {
+	// On the full image every dequeued union is a local no-op, so
+	// unthrottled speculation multiplies traffic per column (Θ(n·w²)
+	// messages). The per-PE throttle must keep both the waste and the
+	// slowdown bounded.
+	n := 64
+	img := bitmap.Full(n)
+	off := mustLabel(t, img, Options{})
+	on := mustLabel(t, img, Options{Speculate: true})
+	if !off.Labels.Equal(on.Labels) {
+		t.Fatal("speculation changed the labeling")
+	}
+	// Each PE may waste at most ~2× its budget before shutting off;
+	// with budget 8 and 2 passes over w columns that is ≤ 32·w.
+	if on.Speculation.Wasted > int64(32*n) {
+		t.Fatalf("throttle failed: %d wasted speculative sends (budget ~%d)",
+			on.Speculation.Wasted, 32*n)
+	}
+	if on.Metrics.Time > off.Metrics.Time*11/10 {
+		t.Fatalf("throttled speculation should cost ≤ 10%% extra: %d vs %d",
+			on.Metrics.Time, off.Metrics.Time)
+	}
+}
+
+func TestSpeculateOffReportsZero(t *testing.T) {
+	res := mustLabel(t, bitmap.HSerpentine(16), Options{})
+	if res.Speculation.Sends != 0 || res.Speculation.Wasted != 0 {
+		t.Fatalf("speculation stats should be zero when disabled: %+v", res.Speculation)
+	}
+}
+
+func TestSpeculateWithAllUFKinds(t *testing.T) {
+	img := bitmap.Random(21, 0.55, 99)
+	want := seqcc.BFS(img)
+	for _, kind := range unionfind.Kinds() {
+		res := mustLabel(t, img, Options{UF: kind, Speculate: true, IdleCompression: true})
+		if !res.Labels.Equal(want) {
+			t.Errorf("%s with speculation: wrong labeling", kind)
+		}
+	}
+}
+
+// Property: speculation (alone and combined with idle compression)
+// never changes any labeling on random images.
+func TestSpeculateQuick(t *testing.T) {
+	f := func(seed uint32, np, dp uint8, idle bool) bool {
+		n := int(np%26) + 1
+		img := bitmap.Random(n, float64(dp%11)/10, uint64(seed))
+		res, err := Label(img, Options{Speculate: true, IdleCompression: idle})
+		if err != nil {
+			return false
+		}
+		return seqcc.Check(img, res.Labels) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

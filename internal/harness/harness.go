@@ -1,0 +1,196 @@
+// Package harness defines the reproduction experiments E1–E10: one per
+// figure or quantitative claim of the paper (see DESIGN.md §5 for the
+// index). Each experiment sweeps image families over a range of sizes on
+// the simulated SLAP and renders tables whose *shape* — growth exponents,
+// ratios, who wins — is what the reproduction checks; EXPERIMENTS.md
+// records paper-claim versus measured for each.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config controls an experiment sweep.
+type Config struct {
+	// Sizes are the image side lengths to sweep.
+	Sizes []int
+	// Seed feeds every randomized workload.
+	Seed uint64
+}
+
+// DefaultConfig sweeps the sizes used in EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{Sizes: []int{32, 64, 128, 256, 512}, Seed: 1}
+}
+
+// QuickConfig is a fast sweep for tests.
+func QuickConfig() Config {
+	return Config{Sizes: []int{16, 32, 64}, Seed: 1}
+}
+
+func (c Config) validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("harness: no sizes configured")
+	}
+	for _, n := range c.Sizes {
+		if n < 1 {
+			return fmt.Errorf("harness: invalid size %d", n)
+		}
+	}
+	return nil
+}
+
+// maxSize returns the largest configured size.
+func (c Config) maxSize() int {
+	m := c.Sizes[0]
+	for _, n := range c.Sizes {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Table is one rendered result table.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper statement the table checks
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; it panics when the arity is wrong, which is
+// always a programming error in an experiment.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("harness: table %s: row has %d cells, want %d", t.ID, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "  claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		b.WriteString("  ")
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table in CSV form (ID/title as a comment line).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s,%s\n", t.ID, csvEscape(t.Title))
+	b.WriteString(strings.Join(escapeAll(t.Columns), ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(escapeAll(row), ","))
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeAll(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = csvEscape(c)
+	}
+	return out
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Experiment is one entry of the reproduction suite.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg Config) ([]Table, error)
+}
+
+// All returns the experiment suite in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(),
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment and renders the tables to w.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, e := range All() {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatting helpers shared by the experiments.
+
+func fi(v int64) string { return fmt.Sprintf("%d", v) }
+
+func ff(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

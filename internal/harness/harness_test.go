@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := QuickConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: table %q has no rows", e.ID, tb.Title)
+				}
+				var buf bytes.Buffer
+				if err := tb.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(buf.String(), tb.ID) {
+					t.Fatal("render must include the table ID")
+				}
+				var csv bytes.Buffer
+				if err := tb.WriteCSV(&csv); err != nil {
+					t.Fatal(err)
+				}
+				if lines := strings.Count(csv.String(), "\n"); lines != len(tb.Rows)+2 {
+					t.Fatalf("CSV should have header+columns+rows lines, got %d for %d rows", lines, len(tb.Rows))
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("want 11 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("e3"); !ok {
+		t.Fatal("ByID should be case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID should reject unknown ids")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{}).validate(); err == nil {
+		t.Fatal("empty config must be invalid")
+	}
+	if err := (Config{Sizes: []int{0}}).validate(); err == nil {
+		t.Fatal("size 0 must be invalid")
+	}
+	if DefaultConfig().maxSize() != 512 {
+		t.Fatal("unexpected default max size")
+	}
+}
+
+func TestTableAddRowArity(t *testing.T) {
+	tb := Table{ID: "T", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong arity")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := Table{ID: "T", Title: `with "quotes", commas`, Columns: []string{"a"}}
+	tb.AddRow("x,y")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"x,y"`) || !strings.Contains(s, `""quotes""`) {
+		t.Fatalf("CSV escaping broken: %s", s)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in non-short mode only")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(QuickConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Fatalf("RunAll output missing %s", id)
+		}
+	}
+}

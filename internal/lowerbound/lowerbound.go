@@ -1,0 +1,93 @@
+// Package lowerbound builds the Theorem 5 experiment: on a SLAP whose
+// adjacent PEs may exchange only one bit per time step, component
+// labeling needs Ω(n lg n) time.
+//
+// The paper's argument: consider images whose odd rows are empty and
+// whose even rows each carry one run of 1s ending at the right edge. The
+// canonical label of the run in row y is its leftmost position — so the
+// rightmost PE's output encodes every run start. With n choices per even
+// row there are n^(n/2) distinguishable images, i.e. (n/2)·lg n bits,
+// but the rightmost PE starts with only its own n pixels and gains at
+// most one bit per step over its single incoming link.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/slap"
+)
+
+// EntropyBits returns lg of the number of distinguishable labelings of
+// the even-row-runs family: (⌈n/2⌉)·lg n.
+func EntropyBits(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64((n+1)/2) * math.Log2(float64(n))
+}
+
+// MinSteps returns the information-theoretic minimum number of time
+// steps for the rightmost PE of a 1-bit SLAP: it must acquire
+// EntropyBits(n) bits while starting with the n bits of its own column
+// and receiving at most one new bit per step.
+func MinSteps(n int) int64 {
+	b := EntropyBits(n) - float64(n)
+	if b < 0 {
+		return 0
+	}
+	return int64(math.Ceil(b))
+}
+
+// Datapoint is one measured size of the lower-bound experiment.
+type Datapoint struct {
+	N int
+	// EntropyBits is the output entropy of the family.
+	EntropyBits float64
+	// BoundSteps is the Ω(n lg n) information-theoretic minimum.
+	BoundSteps int64
+	// BitSteps is Algorithm CC's measured makespan on the 1-bit SLAP.
+	BitSteps int64
+	// WordSteps is the measured makespan on the standard word SLAP.
+	WordSteps int64
+}
+
+// RatioToBound returns BitSteps / BoundSteps (how far the algorithm is
+// from the information-theoretic floor), or 0 when the bound is 0.
+func (d Datapoint) RatioToBound() float64 {
+	if d.BoundSteps == 0 {
+		return 0
+	}
+	return float64(d.BitSteps) / float64(d.BoundSteps)
+}
+
+// Measure runs Algorithm CC on a random member of the even-row-runs
+// family under both the bit-serial and the word cost model and verifies
+// the two runs agree on the labeling.
+func Measure(n int, seed uint64, opt core.Options) (Datapoint, error) {
+	img := bitmap.RandomEvenRowRuns(n, seed)
+	d := Datapoint{N: n, EntropyBits: EntropyBits(n), BoundSteps: MinSteps(n)}
+
+	wordOpt := opt
+	wordOpt.Cost = slap.Unit()
+	wres, err := core.Label(img, wordOpt)
+	if err != nil {
+		return d, fmt.Errorf("lowerbound: word model: %w", err)
+	}
+	d.WordSteps = wres.Metrics.Time
+
+	bitOpt := opt
+	bitOpt.Cost = slap.BitSerial(slap.WordBitsFor(n))
+	bres, err := core.Label(img, bitOpt)
+	if err != nil {
+		return d, fmt.Errorf("lowerbound: bit model: %w", err)
+	}
+	d.BitSteps = bres.Metrics.Time
+
+	if !wres.Labels.Equal(bres.Labels) {
+		return d, fmt.Errorf("lowerbound: cost model changed the labeling at n=%d", n)
+	}
+	return d, nil
+}

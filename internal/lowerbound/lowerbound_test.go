@@ -1,0 +1,77 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"slapcc/internal/core"
+)
+
+func TestEntropyBits(t *testing.T) {
+	if EntropyBits(1) != 0 {
+		t.Fatal("n=1 has no entropy")
+	}
+	// n=16: 8 rows × lg 16 = 32 bits.
+	if got := EntropyBits(16); math.Abs(got-32) > 1e-9 {
+		t.Fatalf("EntropyBits(16): want 32, got %g", got)
+	}
+	// Superlinear growth: entropy/n should increase with n.
+	if EntropyBits(1024)/1024 <= EntropyBits(64)/64 {
+		t.Fatal("entropy per PE must grow with n (that's the whole point)")
+	}
+}
+
+func TestMinSteps(t *testing.T) {
+	if MinSteps(2) != 0 {
+		t.Fatalf("tiny n should have a vacuous bound, got %d", MinSteps(2))
+	}
+	// n=1024: 512·10 - 1024 = 4096.
+	if got := MinSteps(1024); got != 4096 {
+		t.Fatalf("MinSteps(1024): want 4096, got %d", got)
+	}
+}
+
+func TestMeasureRespectsBound(t *testing.T) {
+	for _, n := range []int{32, 64, 128} {
+		d, err := Measure(n, 42, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.BitSteps <= d.WordSteps {
+			t.Fatalf("n=%d: bit-serial must cost more than word links (%d vs %d)",
+				n, d.BitSteps, d.WordSteps)
+		}
+		if d.BitSteps < d.BoundSteps {
+			t.Fatalf("n=%d: measured %d beats the information-theoretic bound %d — impossible",
+				n, d.BitSteps, d.BoundSteps)
+		}
+		if d.BoundSteps > 0 && d.RatioToBound() <= 0 {
+			t.Fatalf("n=%d: ratio should be positive, got %g", n, d.RatioToBound())
+		}
+	}
+}
+
+func TestMeasuredGrowthSuperlinear(t *testing.T) {
+	// On the 1-bit SLAP the per-PE cost must grow with n (Θ(n lg n)
+	// total): T/n at n=256 should clearly exceed T/n at n=32.
+	d32, err := Measure(32, 7, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d256, err := Measure(256, 7, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32 := float64(d32.BitSteps) / 32
+	r256 := float64(d256.BitSteps) / 256
+	if r256 <= r32 {
+		t.Fatalf("bit-SLAP time per PE must grow: %g at n=32, %g at n=256", r32, r256)
+	}
+}
+
+func TestRatioToBoundZeroGuard(t *testing.T) {
+	d := Datapoint{BitSteps: 100, BoundSteps: 0}
+	if d.RatioToBound() != 0 {
+		t.Fatal("zero bound should yield ratio 0")
+	}
+}

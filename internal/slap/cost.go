@@ -1,0 +1,84 @@
+// Package slap simulates the scan line array processor: a SIMD linear
+// array of n processing elements (PEs) with Θ(n) memory each, where each
+// pair of adjacent PEs exchanges one Θ(lg n)-bit word per time step
+// (paper, Figure 1).
+//
+// # Timing model
+//
+// The paper's pseudocode is systolic: within any one pass, PE i receives
+// only from one fixed neighbor, each dequeue attempt costs one time step,
+// and local work is charged per union–find pointer step. Because
+// communication in every pass of Algorithm CC is unidirectional, the
+// simulator executes the PEs sequentially in topological order while
+// tracking a per-PE virtual clock; each message records when it becomes
+// available at the receiver (sender clock after transmission). A dequeue
+// at local time t consumes the earliest unconsumed message whose ready
+// time is ≤ t, and otherwise returns nothing — exactly the queue
+// semantics of Figures 5 and 6. Idle waiting is either fast-forwarded
+// (time passes, no work) or spent on caller-supplied idle work (the §3
+// idle-compression heuristic), one unit per idle cycle; both paths yield
+// identical clocks.
+//
+// The makespan of a phase is the maximum PE completion time; phases are
+// barrier-separated, matching the paper's phase-by-phase accounting. The
+// SIMD restriction (one common instruction stream with predication) costs
+// only a constant factor over this MIMD-style count and is not modeled.
+package slap
+
+import "fmt"
+
+// CostModel assigns step charges to the primitive operations of a PE.
+// The zero value is not valid; use Unit or BitSerial.
+type CostModel struct {
+	// LocalStep is the charge for one unit of local computation (one
+	// union–find pointer step, one queue bookkeeping action, …).
+	LocalStep int64
+	// QueueOp is the charge for one dequeue attempt (paper: one time step
+	// per loop iteration of the receive loops).
+	QueueOp int64
+	// WordSteps is the number of time steps one machine word needs to
+	// cross a link. 1 on the standard SLAP; WordBits on the restricted
+	// 1-bit SLAP of Theorem 5.
+	WordSteps int64
+	// WordBits records the word width in bits (Θ(lg n)); informational
+	// except that BitSerial sets WordSteps = WordBits.
+	WordBits int
+}
+
+// Unit returns the standard SLAP cost model: every primitive costs one
+// step and a word crosses a link in one step.
+func Unit() CostModel {
+	return CostModel{LocalStep: 1, QueueOp: 1, WordSteps: 1, WordBits: 0}
+}
+
+// BitSerial returns the Theorem 5 restricted model: links carry one bit
+// per step, so a wordBits-wide word needs wordBits steps to cross.
+func BitSerial(wordBits int) CostModel {
+	if wordBits < 1 {
+		panic(fmt.Sprintf("slap: word width %d < 1", wordBits))
+	}
+	return CostModel{LocalStep: 1, QueueOp: 1, WordSteps: int64(wordBits), WordBits: wordBits}
+}
+
+// Validate reports whether the model is usable.
+func (c CostModel) Validate() error {
+	if c.LocalStep < 1 || c.QueueOp < 1 || c.WordSteps < 1 {
+		return fmt.Errorf("slap: cost model charges must be ≥ 1: %+v", c)
+	}
+	return nil
+}
+
+// WordBitsFor returns the word width ⌈lg max(2, n²)⌉ the machine needs so
+// a single word can carry any pixel label of an n×n image (labels are
+// column-major positions, possibly offset by n² for the right pass).
+func WordBitsFor(n int) int {
+	need := uint64(2)
+	if n > 0 {
+		need = 2 * uint64(n) * uint64(n)
+	}
+	bitsN := 1
+	for v := need - 1; v > 1; v >>= 1 {
+		bitsN++
+	}
+	return bitsN
+}

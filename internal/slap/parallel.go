@@ -1,0 +1,156 @@
+package slap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The concurrent sweep engine runs every PE as its own goroutine with
+// channel links, exploiting the pipeline parallelism of the simulated
+// array on the host machine. Virtual time is unaffected: message ready
+// times and the receivers' poll arithmetic are computed exactly as in
+// the sequential engine, so both engines produce identical Metrics (the
+// tests demand bit-equality). Only wall-clock time differs.
+//
+// Restrictions in parallel mode:
+//   - Recv (the non-blocking single poll) is unsupported: knowing that
+//     *nothing* is available at virtual time t would require clock
+//     watermarks from the producer. Algorithm CC only ever blocks
+//     (RecvWait), so nothing in this repository needs it.
+//   - Phase bodies must not share mutable state across PEs (the engine
+//     cannot check this; the race detector can).
+
+// linkChanCap bounds in-flight records per link; producers block when a
+// consumer falls this far behind, throttling only wall time.
+const linkChanCap = 1 << 12
+
+// EnableParallel switches RunSweep to the concurrent engine for
+// subsequently executed phases.
+func (mc *Machine) EnableParallel() { mc.parallel = true }
+
+// runSweepParallel is RunSweep's concurrent twin. A panic in any PE
+// goroutine is captured and re-raised on the caller's goroutine after
+// the phase drains, preserving the sequential engine's failure behavior.
+func (mc *Machine) runSweepParallel(name string, dir Direction, body func(pe *PE)) int64 {
+	var phase PhaseMetrics
+	phase.Name = name
+	pes := make([]*PE, mc.n)
+	panics := make([]any, mc.n)
+	var prev chan timedMsg
+	var wg sync.WaitGroup
+	for pos := 0; pos < mc.n; pos++ {
+		idx := pos
+		if dir == RightToLeft {
+			idx = mc.n - 1 - pos
+		}
+		pe := &PE{Index: idx, cost: mc.cost, inCh: prev}
+		if pos < mc.n-1 {
+			pe.outCh = make(chan timedMsg, linkChanCap)
+			prev = pe.outCh
+		}
+		pes[pos] = pe
+		wg.Add(1)
+		go func(pos int, pe *PE) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[pos] = r
+				}
+				if pe.outCh != nil {
+					close(pe.outCh)
+				}
+				// Drain the inbound link so an upstream producer never
+				// blocks forever if this PE stopped early (e.g. after a
+				// captured panic).
+				if pe.inCh != nil {
+					for range pe.inCh {
+					}
+				}
+			}()
+			body(pe)
+		}(pos, pe)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+	// Fold in array order so aggregation is deterministic.
+	for _, pe := range pes {
+		mc.foldPE(&phase, pe)
+		if q := peakBacklogLog(pe.recvLog); q > phase.MaxQueue {
+			phase.MaxQueue = q
+		}
+	}
+	mc.metrics.add(phase)
+	return phase.Makespan
+}
+
+// sendCh transmits on the channel link (parallel mode).
+func (pe *PE) sendCh(m Msg) {
+	w := m.words()
+	d := w * pe.cost.WordSteps
+	pe.clock += d
+	pe.busy += d
+	pe.sends++
+	pe.words += w
+	pe.outCh <- timedMsg{msg: m, ready: pe.clock, consumeAt: -1}
+}
+
+// recvWaitCh blocks on the channel link until a record arrives or the
+// producer closes the stream, then applies the same poll arithmetic as
+// the sequential engine.
+func (pe *PE) recvWaitCh() (Msg, bool) {
+	tm, ok := <-pe.inCh
+	if !ok {
+		return Msg{}, false
+	}
+	polls := int64(1)
+	if diff := tm.ready - pe.clock; diff > pe.cost.QueueOp {
+		polls = (diff + pe.cost.QueueOp - 1) / pe.cost.QueueOp
+	}
+	if pe.idleFn != nil {
+		for i := int64(1); i < polls; i++ {
+			pe.clock += pe.cost.QueueOp
+			pe.idleTime += pe.cost.QueueOp
+			pe.nilRecvs++
+			pe.idleFn()
+		}
+	} else if polls > 1 {
+		idle := (polls - 1) * pe.cost.QueueOp
+		pe.clock += idle
+		pe.idleTime += idle
+		pe.nilRecvs += polls - 1
+	}
+	pe.clock += pe.cost.QueueOp
+	pe.busy += pe.cost.QueueOp
+	pe.recvs++
+	tm.consumeAt = pe.clock
+	pe.recvLog = append(pe.recvLog, tm)
+	return tm.msg, true
+}
+
+// peakBacklogLog computes the peak link backlog from a consumer's log of
+// (ready, consumeAt) pairs; both sequences are non-decreasing, exactly as
+// in the sequential engine's peakBacklog.
+func peakBacklogLog(log []timedMsg) int {
+	peak, cur := 0, 0
+	j := 0
+	for i := range log {
+		for j < i && log[j].consumeAt >= 0 && log[j].consumeAt < log[i].ready {
+			cur--
+			j++
+		}
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// errRecvParallel is the panic message for unsupported polls.
+func errRecvParallel(idx int) string {
+	return fmt.Sprintf("slap: PE %d: non-blocking Recv is unsupported in parallel mode (use RecvWait)", idx)
+}

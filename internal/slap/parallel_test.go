@@ -1,0 +1,161 @@
+package slap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// pipelineProgram is a sweep body usable under both engines: each PE
+// does some local work per record and forwards it until the last PE.
+func pipelineProgram(t *testing.T, records int, work int64) func(pe *PE) {
+	return func(pe *PE) {
+		if !pe.HasIn() {
+			if !pe.HasOut() {
+				pe.Tick(work) // single-PE machine: purely local
+				return
+			}
+			for i := 0; i < records; i++ {
+				pe.Tick(work)
+				pe.Send(Msg{Kind: 1, A: int32(i), Words: 2})
+			}
+			pe.Send(Msg{Kind: 0}) // eos
+			return
+		}
+		for {
+			msg, ok := pe.RecvWait()
+			if !ok {
+				t.Error("stream ended without eos")
+				return
+			}
+			if msg.Kind == 0 {
+				if pe.HasOut() {
+					pe.Send(msg)
+				}
+				return
+			}
+			pe.Tick(work)
+			if pe.HasOut() {
+				pe.Send(msg)
+			}
+		}
+	}
+}
+
+func runBothEngines(t *testing.T, n, records int, work int64, dir Direction) (seq, par Metrics) {
+	t.Helper()
+	ms := NewMachine(n, Unit())
+	ms.RunSweep("p", dir, pipelineProgram(t, records, work))
+	mp := NewMachine(n, Unit())
+	mp.EnableParallel()
+	mp.RunSweep("p", dir, pipelineProgram(t, records, work))
+	return ms.Metrics(), mp.Metrics()
+}
+
+func metricsEqual(a, b Metrics) bool {
+	if a.Time != b.Time || a.Sends != b.Sends || a.Words != b.Words || a.MaxQueue != b.MaxQueue {
+		return false
+	}
+	if len(a.Phases) != len(b.Phases) {
+		return false
+	}
+	for i := range a.Phases {
+		pa, pb := a.Phases[i], b.Phases[i]
+		if pa.Makespan != pb.Makespan || pa.Busy != pb.Busy || pa.Idle != pb.Idle ||
+			pa.Sends != pb.Sends || pa.Words != pb.Words || pa.NilRecvs != pb.NilRecvs ||
+			pa.MaxQueue != pb.MaxQueue {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		n, records int
+		work       int64
+		dir        Direction
+	}{
+		{2, 1, 0, LeftToRight},
+		{8, 5, 3, LeftToRight},
+		{8, 5, 3, RightToLeft},
+		{64, 40, 1, LeftToRight},
+		{17, 9, 7, RightToLeft},
+		{1, 0, 5, LeftToRight},
+	} {
+		seq, par := runBothEngines(t, tc.n, tc.records, tc.work, tc.dir)
+		if !metricsEqual(seq, par) {
+			t.Errorf("n=%d records=%d work=%d %v:\nseq %+v\npar %+v",
+				tc.n, tc.records, tc.work, tc.dir, seq, par)
+		}
+	}
+}
+
+func TestParallelEngineMatchesSequentialQuick(t *testing.T) {
+	f := func(np, rp, wp uint8, right bool) bool {
+		n := int(np%20) + 1
+		records := int(rp % 30)
+		work := int64(wp % 10)
+		dir := LeftToRight
+		if right {
+			dir = RightToLeft
+		}
+		seq, par := runBothEngines(t, n, records, work, dir)
+		return metricsEqual(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelIdleWork(t *testing.T) {
+	// The idle hook must run the same number of times under both engines.
+	counts := [2]int{}
+	for mode := 0; mode < 2; mode++ {
+		m := NewMachine(2, Unit())
+		if mode == 1 {
+			m.EnableParallel()
+		}
+		calls := 0
+		m.RunSweep("idle", LeftToRight, func(pe *PE) {
+			if !pe.HasIn() {
+				pe.Tick(25)
+				pe.Send(Msg{})
+				return
+			}
+			pe.OnIdle(func() { calls++ })
+			if _, ok := pe.RecvWait(); !ok {
+				t.Fatal("want record")
+			}
+		})
+		counts[mode] = calls
+	}
+	if counts[0] != counts[1] || counts[0] == 0 {
+		t.Fatalf("idle calls differ: seq=%d par=%d", counts[0], counts[1])
+	}
+}
+
+func TestParallelRecvPanics(t *testing.T) {
+	m := NewMachine(2, Unit())
+	m.EnableParallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recv in parallel mode should panic")
+		}
+	}()
+	m.RunSweep("bad", LeftToRight, func(pe *PE) {
+		if !pe.HasIn() {
+			pe.Send(Msg{})
+			return
+		}
+		pe.Recv()
+	})
+}
+
+func TestParallelRunLocalUnaffected(t *testing.T) {
+	m := NewMachine(4, Unit())
+	m.EnableParallel()
+	span := m.RunLocal("w", func(pe *PE) { pe.Tick(int64(pe.Index)) })
+	if span != 3 {
+		t.Fatalf("RunLocal should behave identically, got %d", span)
+	}
+}

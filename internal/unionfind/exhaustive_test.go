@@ -1,0 +1,86 @@
+package unionfind
+
+import "testing"
+
+// TestExhaustiveSmallModel drives every implementation through an
+// exhaustive enumeration of union sequences on a small universe and
+// checks the resulting partition against the QuickFind oracle after
+// every operation. With n=4 elements there are 6 possible pairs; all
+// 6^4 sequences of four unions cover every reachable partition lattice
+// path, including repeated and redundant unions.
+func TestExhaustiveSmallModel(t *testing.T) {
+	const n = 4
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	const depth = 4
+	total := 1
+	for i := 0; i < depth; i++ {
+		total *= len(pairs)
+	}
+	for _, kind := range Kinds() {
+		if kind == KindQuickFind {
+			continue
+		}
+		for seq := 0; seq < total; seq++ {
+			u, _ := Make(kind, n)
+			oracle := NewQuickFind(n)
+			s := seq
+			for step := 0; step < depth; step++ {
+				p := pairs[s%len(pairs)]
+				s /= len(pairs)
+				_, _, _, got := u.Union(p[0], p[1])
+				_, _, _, want := oracle.Union(p[0], p[1])
+				if got != want {
+					t.Fatalf("%s seq %d step %d: united=%v want %v", kind, seq, step, got, want)
+				}
+				for x := 0; x < n; x++ {
+					for y := x + 1; y < n; y++ {
+						if (u.Find(x) == u.Find(y)) != (oracle.Find(x) == oracle.Find(y)) {
+							t.Fatalf("%s seq %d step %d: partition differs at (%d,%d)", kind, seq, step, x, y)
+						}
+					}
+				}
+				if u.Sets() != oracle.Sets() {
+					t.Fatalf("%s seq %d: set counts differ", kind, seq)
+				}
+			}
+			// Structural validation for the k-UF trees.
+			if k, ok := u.(*KUF); ok {
+				if err := k.Validate(); err != nil {
+					t.Fatalf("kuf seq %d: %v", seq, err)
+				}
+			}
+		}
+	}
+}
+
+// TestExhaustiveKUFArities re-runs the small-model enumeration for every
+// small arity of the Blum-style structure, where the union case analysis
+// (leaf attach, root split, child rebalance) is most intricate.
+func TestExhaustiveKUFArities(t *testing.T) {
+	const n = 6
+	pairs := [][2]int{{0, 1}, {2, 3}, {4, 5}, {0, 2}, {2, 4}, {1, 5}, {3, 4}}
+	for k := 2; k <= 4; k++ {
+		// Random-ish but deterministic subsets of the pair sequence.
+		for mask := 0; mask < 1<<len(pairs); mask++ {
+			u := NewKUFArity(n, k)
+			oracle := NewQuickFind(n)
+			for i, p := range pairs {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				u.Union(p[0], p[1])
+				oracle.Union(p[0], p[1])
+				if err := u.Validate(); err != nil {
+					t.Fatalf("k=%d mask %b after pair %v: %v", k, mask, p, err)
+				}
+			}
+			for x := 0; x < n; x++ {
+				for y := x + 1; y < n; y++ {
+					if (u.Find(x) == u.Find(y)) != (oracle.Find(x) == oracle.Find(y)) {
+						t.Fatalf("k=%d mask %b: partition differs", k, mask)
+					}
+				}
+			}
+		}
+	}
+}

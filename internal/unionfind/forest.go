@@ -1,0 +1,224 @@
+package unionfind
+
+import "fmt"
+
+// LinkRule selects how Forest.Union chooses the surviving root.
+type LinkRule uint8
+
+// Link rules (§3 of the paper; Tarjan & van Leeuwen's taxonomy).
+const (
+	// LinkBySize points the root of the smaller set at the root of the
+	// larger: Tarjan's "weighted union". Tree depth never exceeds ⌊lg n⌋.
+	LinkBySize LinkRule = iota
+	// LinkByRank points the lower-rank root at the higher-rank root,
+	// increasing the winner's rank on ties. Same ⌊lg n⌋ depth bound; the
+	// variation Tarjan & van Leeuwen also recommend.
+	LinkByRank
+	// LinkNaive always points the second root at the first. Depth can
+	// reach n-1: the structure previous SLAP work effectively fights.
+	LinkNaive
+)
+
+// CompressRule selects what Forest.Find does to the traversed path.
+type CompressRule uint8
+
+// Compression rules.
+const (
+	// CompressFull re-points every traversed node directly at the root
+	// (two passes).
+	CompressFull CompressRule = iota
+	// CompressHalve points every other traversed node at its grandparent
+	// (one pass): Tarjan & van Leeuwen's "halving", attractive on the
+	// SLAP because progress survives aborted finds.
+	CompressHalve
+	// CompressSplit points every traversed node at its grandparent (one
+	// pass): "splitting".
+	CompressSplit
+	// CompressNone leaves the path untouched.
+	CompressNone
+)
+
+func (l LinkRule) String() string {
+	switch l {
+	case LinkBySize:
+		return "size"
+	case LinkByRank:
+		return "rank"
+	case LinkNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("LinkRule(%d)", uint8(l))
+}
+
+func (c CompressRule) String() string {
+	switch c {
+	case CompressFull:
+		return "full"
+	case CompressHalve:
+		return "halving"
+	case CompressSplit:
+		return "splitting"
+	case CompressNone:
+		return "none"
+	}
+	return fmt.Sprintf("CompressRule(%d)", uint8(c))
+}
+
+// Forest is the classic disjoint-set forest with parent pointers,
+// parameterized by link and compression rules. With LinkBySize or
+// LinkByRank no find ever costs more than O(lg n) steps, which is what
+// bounds Algorithm CC at O(n lg n) overall; with compression the
+// amortized cost is O(α(n)).
+type Forest struct {
+	parent []int32
+	weight []int32 // size (LinkBySize) or rank (LinkByRank); unused for LinkNaive
+	link   LinkRule
+	comp   CompressRule
+	sets   int
+	steps  int64
+}
+
+var _ UnionFind = (*Forest)(nil)
+
+// NewForest returns a forest of n singletons with the given rules.
+func NewForest(n int, link LinkRule, comp CompressRule) *Forest {
+	if n < 0 {
+		panic(fmt.Sprintf("unionfind: negative size %d", n))
+	}
+	f := &Forest{
+		parent: make([]int32, n),
+		link:   link,
+		comp:   comp,
+		sets:   n,
+	}
+	for i := range f.parent {
+		f.parent[i] = int32(i)
+	}
+	if link != LinkNaive {
+		f.weight = make([]int32, n)
+		for i := range f.weight {
+			if link == LinkBySize {
+				f.weight[i] = 1
+			} // ranks start at 0
+		}
+	}
+	return f
+}
+
+// Find returns the root of x's tree, applying the configured compression.
+// Every parent-pointer traversal and every re-pointing charges one step.
+func (f *Forest) Find(x int) int {
+	switch f.comp {
+	case CompressFull:
+		root := int32(x)
+		f.steps++ // inspecting x's pointer
+		for f.parent[root] != root {
+			root = f.parent[root]
+			f.steps++
+		}
+		for cur := int32(x); f.parent[cur] != root; {
+			next := f.parent[cur]
+			f.parent[cur] = root
+			f.steps++
+			cur = next
+		}
+		return int(root)
+	case CompressHalve:
+		cur := int32(x)
+		f.steps++
+		for f.parent[cur] != cur {
+			p := f.parent[cur]
+			g := f.parent[p]
+			f.parent[cur] = g
+			cur = g
+			f.steps++
+		}
+		return int(cur)
+	case CompressSplit:
+		cur := int32(x)
+		f.steps++
+		for f.parent[cur] != cur {
+			p := f.parent[cur]
+			g := f.parent[p]
+			f.parent[cur] = g
+			cur = p
+			f.steps++
+		}
+		return int(cur)
+	default: // CompressNone
+		cur := int32(x)
+		f.steps++
+		for f.parent[cur] != cur {
+			cur = f.parent[cur]
+			f.steps++
+		}
+		return int(cur)
+	}
+}
+
+// Union links the roots of x's and y's trees per the link rule.
+func (f *Forest) Union(x, y int) (root, a, b int, united bool) {
+	ra := int32(f.Find(x))
+	rb := int32(f.Find(y))
+	a, b = int(ra), int(rb)
+	if ra == rb {
+		return a, a, b, false
+	}
+	winner, loser := ra, rb
+	switch f.link {
+	case LinkBySize:
+		if f.weight[winner] < f.weight[loser] {
+			winner, loser = loser, winner
+		}
+		f.weight[winner] += f.weight[loser]
+	case LinkByRank:
+		if f.weight[winner] < f.weight[loser] {
+			winner, loser = loser, winner
+		} else if f.weight[winner] == f.weight[loser] {
+			f.weight[winner]++
+		}
+	case LinkNaive:
+		// winner stays ra.
+	}
+	f.parent[loser] = winner
+	f.steps++
+	f.sets--
+	return int(winner), a, b, true
+}
+
+// Len returns the number of elements.
+func (f *Forest) Len() int { return len(f.parent) }
+
+// CapBound returns Len: roots are always elements.
+func (f *Forest) CapBound() int { return len(f.parent) }
+
+// Sets returns the number of remaining disjoint sets.
+func (f *Forest) Sets() int { return f.sets }
+
+// Steps returns the cumulative charged operations.
+func (f *Forest) Steps() int64 { return f.steps }
+
+// Depth returns the current depth of element x (0 for roots) without
+// charging steps or compressing: a white-box helper for invariant tests
+// and for the idle-compression heuristic's victim selection.
+func (f *Forest) Depth(x int) int {
+	d := 0
+	for cur := int32(x); f.parent[cur] != cur; cur = f.parent[cur] {
+		d++
+	}
+	return d
+}
+
+// CompressOne performs one unit of background compression rooted at x:
+// it re-points x at its grandparent and reports whether anything changed.
+// The SLAP idle-compression heuristic (§3) calls this once per idle cycle.
+func (f *Forest) CompressOne(x int) bool {
+	p := f.parent[x]
+	g := f.parent[p]
+	if g == p {
+		return false
+	}
+	f.parent[x] = g
+	f.steps++
+	return true
+}

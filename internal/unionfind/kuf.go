@@ -1,0 +1,351 @@
+package unionfind
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// KUF is a k-ary UF-tree disjoint-set structure in the style of Blum
+// (SIAM J. Comput. 15(4), 1986), cited by the paper as the ingredient of
+// Theorem 3: every single operation — not merely the amortized cost —
+// completes in O(lg n / lg lg n) steps.
+//
+// Elements are the leaves of a forest of trees satisfying, for arity
+// k ≥ 2, the invariants
+//
+//	(I1) within one tree every leaf is at the same depth, equal to the
+//	     height stored at the root;
+//	(I2) every internal node other than the root has ≥ k children;
+//	(I3) every root of height ≥ 1 has between 2 and 2k children
+//	     (singleton sets are bare leaves of height 0).
+//
+// (I1)+(I2)+(I3) give size(tree of height h) ≥ 2·k^(h-1), hence
+// h ≤ 1 + log_k(n/2). Find walks leaf→root: O(h). Union either splices
+// child lists (moving ≤ 2k children, each one pointer update) or creates
+// a new root after rebalancing the two old roots' child counts, so it
+// costs O(k + h). With k = ⌈lg n / lg lg n⌉ both operations are
+// O(lg n / lg lg n) worst case.
+//
+// The exact case analysis (heights hA ≤ hB):
+//
+//	hA < hB, hA = 0:  attach the leaf to a height-1 node of B. If that
+//	                  node is B's root and already has 2k children, split
+//	                  the root: k of its children and the new leaf move
+//	                  under a fresh height-1 node, and a fresh height-2
+//	                  root adopts both (each side ≥ k ✓).
+//	hA < hB, hA ≥ 1:  move all of A's root children (≤ 2k) under the node
+//	                  at height hA on B's leftmost path; that node is not
+//	                  a root since hA < hB, so only (I2), a lower bound,
+//	                  applies to it.
+//	hA = hB = 0:      fresh height-1 root adopting both leaves.
+//	hA = hB ≥ 1:      let cA ≤ cB be the root child counts. If
+//	                  cA+cB ≤ 2k, move A's children (cA ≤ k of them)
+//	                  under B's root. Otherwise rebalance so both roots
+//	                  have ≥ k children (move k−cA ≤ k children from B
+//	                  to A if needed) and adopt both under a fresh root
+//	                  of height h+1 with exactly 2 children.
+type KUF struct {
+	k     int
+	n     int
+	sets  int
+	steps int64
+
+	parent     []int32 // parentNone for roots, parentDead for freed nodes
+	height     []int16 // immutable per node
+	firstChild []int32
+	nextSib    []int32
+	prevSib    []int32
+	childCount []int32
+}
+
+const (
+	parentNone int32 = -1
+	parentDead int32 = -2
+)
+
+var _ UnionFind = (*KUF)(nil)
+
+// NewKUF returns a KUF over n singleton sets with the Theorem 3 arity
+// k = max(2, ⌈lg n / lg lg n⌉).
+func NewKUF(n int) *KUF {
+	return NewKUFArity(n, DefaultArity(n))
+}
+
+// DefaultArity returns max(2, ⌈lg n / lg lg n⌉).
+func DefaultArity(n int) int {
+	if n < 4 {
+		return 2
+	}
+	lg := bits.Len(uint(n - 1))    // ⌈lg n⌉
+	lglg := bits.Len(uint(lg - 1)) // ⌈lg lg n⌉
+	if lglg < 1 {
+		lglg = 1
+	}
+	k := (lg + lglg - 1) / lglg
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// NewKUFArity returns a KUF with an explicit arity k ≥ 2.
+func NewKUFArity(n, k int) *KUF {
+	if n < 0 {
+		panic(fmt.Sprintf("unionfind: negative size %d", n))
+	}
+	if k < 2 {
+		panic(fmt.Sprintf("unionfind: KUF arity %d < 2", k))
+	}
+	u := &KUF{k: k, n: n, sets: n}
+	cap0 := n + n/2 + 4
+	u.parent = make([]int32, n, cap0)
+	u.height = make([]int16, n, cap0)
+	u.firstChild = make([]int32, n, cap0)
+	u.nextSib = make([]int32, n, cap0)
+	u.prevSib = make([]int32, n, cap0)
+	u.childCount = make([]int32, n, cap0)
+	for i := 0; i < n; i++ {
+		u.parent[i] = parentNone
+		u.firstChild[i] = -1
+		u.nextSib[i] = -1
+		u.prevSib[i] = -1
+	}
+	return u
+}
+
+// Arity returns the configured k.
+func (u *KUF) Arity() int { return u.k }
+
+// Len returns the number of elements.
+func (u *KUF) Len() int { return u.n }
+
+// CapBound returns 3n+1: n leaves plus at most two fresh internal nodes
+// per effective union, of which there are at most n−1.
+func (u *KUF) CapBound() int { return 3*u.n + 1 }
+
+// Sets returns the current number of disjoint sets.
+func (u *KUF) Sets() int { return u.sets }
+
+// Steps returns the cumulative charged operations.
+func (u *KUF) Steps() int64 { return u.steps }
+
+// Find walks from leaf x to its root, one step per edge.
+func (u *KUF) Find(x int) int {
+	cur := int32(x)
+	u.steps++
+	for u.parent[cur] != parentNone {
+		cur = u.parent[cur]
+		u.steps++
+	}
+	return int(cur)
+}
+
+// newNode allocates an internal node of the given height.
+func (u *KUF) newNode(height int16) int32 {
+	id := int32(len(u.parent))
+	u.parent = append(u.parent, parentNone)
+	u.height = append(u.height, height)
+	u.firstChild = append(u.firstChild, -1)
+	u.nextSib = append(u.nextSib, -1)
+	u.prevSib = append(u.prevSib, -1)
+	u.childCount = append(u.childCount, 0)
+	u.steps++
+	return id
+}
+
+// addChild links c as a child of p (one pointer splice: one step).
+func (u *KUF) addChild(p, c int32) {
+	u.parent[c] = p
+	u.prevSib[c] = -1
+	u.nextSib[c] = u.firstChild[p]
+	if u.firstChild[p] != -1 {
+		u.prevSib[u.firstChild[p]] = c
+	}
+	u.firstChild[p] = c
+	u.childCount[p]++
+	u.steps++
+}
+
+// removeChild unlinks c from its parent p.
+func (u *KUF) removeChild(p, c int32) {
+	if u.prevSib[c] != -1 {
+		u.nextSib[u.prevSib[c]] = u.nextSib[c]
+	} else {
+		u.firstChild[p] = u.nextSib[c]
+	}
+	if u.nextSib[c] != -1 {
+		u.prevSib[u.nextSib[c]] = u.prevSib[c]
+	}
+	u.nextSib[c] = -1
+	u.prevSib[c] = -1
+	u.childCount[p]--
+	u.steps++
+}
+
+// moveAllChildren reparents every child of from under to and marks from
+// dead. Cost: one step per moved child.
+func (u *KUF) moveAllChildren(from, to int32) {
+	for c := u.firstChild[from]; c != -1; {
+		next := u.nextSib[c]
+		u.removeChild(from, c)
+		u.addChild(to, c)
+		c = next
+	}
+	u.parent[from] = parentDead
+	u.childCount[from] = 0
+	u.firstChild[from] = -1
+}
+
+// moveChildren moves m children from from to to.
+func (u *KUF) moveChildren(from, to int32, m int) {
+	for i := 0; i < m; i++ {
+		c := u.firstChild[from]
+		if c == -1 {
+			panic("unionfind: KUF moveChildren underflow")
+		}
+		u.removeChild(from, c)
+		u.addChild(to, c)
+	}
+}
+
+// walkDown follows first-child pointers from node v for depth steps.
+func (u *KUF) walkDown(v int32, depth int) int32 {
+	for i := 0; i < depth; i++ {
+		v = u.firstChild[v]
+		u.steps++
+	}
+	return v
+}
+
+// Union merges the sets containing x and y per the case analysis above.
+func (u *KUF) Union(x, y int) (root, a, b int, united bool) {
+	ra := int32(u.Find(x))
+	rb := int32(u.Find(y))
+	a, b = int(ra), int(rb)
+	if ra == rb {
+		return a, a, b, false
+	}
+	if u.height[ra] > u.height[rb] {
+		ra, rb = rb, ra
+	}
+	hA, hB := int(u.height[ra]), int(u.height[rb])
+	var newRoot int32
+	switch {
+	case hA < hB && hA == 0:
+		if hB == 1 {
+			if int(u.childCount[rb]) < 2*u.k {
+				u.addChild(rb, ra)
+				newRoot = rb
+			} else {
+				// Root split: k of rb's children plus the new leaf move
+				// under a fresh height-1 node; a fresh height-2 root
+				// adopts both halves.
+				w := u.newNode(1)
+				u.moveChildren(rb, w, u.k)
+				u.addChild(w, ra)
+				r := u.newNode(2)
+				u.addChild(r, rb)
+				u.addChild(r, w)
+				newRoot = r
+			}
+		} else {
+			v := u.walkDown(rb, hB-1) // height-1 node, not the root
+			u.addChild(v, ra)
+			newRoot = rb
+		}
+	case hA < hB:
+		v := u.walkDown(rb, hB-hA) // height-hA node, not the root
+		u.moveAllChildren(ra, v)
+		newRoot = rb
+	case hA == 0: // hA == hB == 0
+		r := u.newNode(1)
+		u.addChild(r, ra)
+		u.addChild(r, rb)
+		newRoot = r
+	default: // hA == hB ≥ 1
+		if u.childCount[ra] > u.childCount[rb] {
+			ra, rb = rb, ra
+		}
+		cA, cB := int(u.childCount[ra]), int(u.childCount[rb])
+		if cA+cB <= 2*u.k {
+			u.moveAllChildren(ra, rb)
+			newRoot = rb
+		} else {
+			if cA < u.k {
+				u.moveChildren(rb, ra, u.k-cA)
+			}
+			r := u.newNode(int16(hA + 1))
+			u.addChild(r, ra)
+			u.addChild(r, rb)
+			newRoot = r
+		}
+	}
+	u.sets--
+	return int(newRoot), a, b, true
+}
+
+// Height returns the height of the tree rooted at root (a diagnostic for
+// the Theorem 3 experiments; charges no steps).
+func (u *KUF) Height(root int) int { return int(u.height[root]) }
+
+// Validate checks invariants (I1)–(I3) plus structural consistency of the
+// sibling lists, returning a descriptive error on the first violation.
+// It is O(nodes) and meant for tests.
+func (u *KUF) Validate() error {
+	liveRoots := 0
+	for id := range u.parent {
+		p := u.parent[id]
+		if p == parentDead {
+			continue
+		}
+		// Structural consistency of the child list.
+		count := int32(0)
+		for c := u.firstChild[id]; c != -1; c = u.nextSib[c] {
+			if u.parent[c] != int32(id) {
+				return fmt.Errorf("kuf: node %d lists child %d whose parent is %d", id, c, u.parent[c])
+			}
+			if u.height[c] != u.height[id]-1 {
+				return fmt.Errorf("kuf: node %d (h=%d) has child %d of height %d", id, u.height[id], c, u.height[c])
+			}
+			if u.nextSib[c] != -1 && u.prevSib[u.nextSib[c]] != c {
+				return fmt.Errorf("kuf: broken sibling links at %d", c)
+			}
+			count++
+		}
+		if count != u.childCount[id] {
+			return fmt.Errorf("kuf: node %d childCount=%d but list has %d", id, u.childCount[id], count)
+		}
+		if id < u.n && u.height[id] != 0 {
+			return fmt.Errorf("kuf: element %d has height %d", id, u.height[id])
+		}
+		if p == parentNone {
+			liveRoots++
+			if u.height[id] >= 1 && (count < 2 || count > int32(2*u.k)) {
+				return fmt.Errorf("kuf: root %d (h=%d) has %d children, want [2, %d]", id, u.height[id], count, 2*u.k)
+			}
+		} else {
+			if int(id) >= u.n && count < int32(u.k) {
+				return fmt.Errorf("kuf: internal non-root %d has %d children, want ≥ %d", id, count, u.k)
+			}
+		}
+	}
+	if liveRoots != u.sets {
+		return fmt.Errorf("kuf: %d live roots but Sets()=%d", liveRoots, u.sets)
+	}
+	// (I1): every leaf's depth equals its root's height.
+	for x := 0; x < u.n; x++ {
+		depth := 0
+		cur := int32(x)
+		for u.parent[cur] != parentNone {
+			if u.parent[cur] == parentDead {
+				return fmt.Errorf("kuf: leaf %d reaches dead node", x)
+			}
+			cur = u.parent[cur]
+			depth++
+		}
+		if depth != int(u.height[cur]) {
+			return fmt.Errorf("kuf: leaf %d at depth %d under root %d of height %d", x, depth, cur, u.height[cur])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package unionfind
+
+// Meter wraps a UnionFind and records per-operation cost statistics:
+// the quantity Theorem 3 is about is the *worst single operation*, which
+// cumulative counters cannot show. Costs are measured as Steps() deltas.
+type Meter struct {
+	inner UnionFind
+
+	finds, unions int64
+	findSteps     int64
+	unionSteps    int64
+	maxFind       int64
+	maxUnion      int64
+	// hist[b] counts operations whose cost c satisfies 2^b ≤ c < 2^(b+1),
+	// with bucket 0 holding c ≤ 1.
+	hist [32]int64
+}
+
+var _ UnionFind = (*Meter)(nil)
+
+// NewMeter wraps inner.
+func NewMeter(inner UnionFind) *Meter { return &Meter{inner: inner} }
+
+// Unwrap returns the wrapped structure.
+func (m *Meter) Unwrap() UnionFind { return m.inner }
+
+func (m *Meter) bucket(cost int64) {
+	b := 0
+	for c := cost; c > 1; c >>= 1 {
+		b++
+	}
+	if b >= len(m.hist) {
+		b = len(m.hist) - 1
+	}
+	m.hist[b]++
+}
+
+// Find forwards to the wrapped structure, recording the operation cost.
+func (m *Meter) Find(x int) int {
+	before := m.inner.Steps()
+	r := m.inner.Find(x)
+	cost := m.inner.Steps() - before
+	m.finds++
+	m.findSteps += cost
+	if cost > m.maxFind {
+		m.maxFind = cost
+	}
+	m.bucket(cost)
+	return r
+}
+
+// Union forwards to the wrapped structure, recording the operation cost.
+func (m *Meter) Union(x, y int) (root, a, b int, united bool) {
+	before := m.inner.Steps()
+	root, a, b, united = m.inner.Union(x, y)
+	cost := m.inner.Steps() - before
+	m.unions++
+	m.unionSteps += cost
+	if cost > m.maxUnion {
+		m.maxUnion = cost
+	}
+	m.bucket(cost)
+	return root, a, b, united
+}
+
+// Len forwards to the wrapped structure.
+func (m *Meter) Len() int { return m.inner.Len() }
+
+// CapBound forwards to the wrapped structure.
+func (m *Meter) CapBound() int { return m.inner.CapBound() }
+
+// Sets forwards to the wrapped structure.
+func (m *Meter) Sets() int { return m.inner.Sets() }
+
+// Steps forwards to the wrapped structure.
+func (m *Meter) Steps() int64 { return m.inner.Steps() }
+
+// Stats summarizes what the meter observed.
+type Stats struct {
+	Finds, Unions         int64
+	FindSteps, UnionSteps int64
+	MaxFind, MaxUnion     int64
+}
+
+// Stats returns the recorded statistics.
+func (m *Meter) Stats() Stats {
+	return Stats{
+		Finds: m.finds, Unions: m.unions,
+		FindSteps: m.findSteps, UnionSteps: m.unionSteps,
+		MaxFind: m.maxFind, MaxUnion: m.maxUnion,
+	}
+}
+
+// MaxOpCost returns the largest cost of any single recorded operation.
+func (m *Meter) MaxOpCost() int64 {
+	if m.maxFind > m.maxUnion {
+		return m.maxFind
+	}
+	return m.maxUnion
+}
+
+// MeanOpCost returns the average cost over all recorded operations, or 0.
+func (m *Meter) MeanOpCost() float64 {
+	ops := m.finds + m.unions
+	if ops == 0 {
+		return 0
+	}
+	return float64(m.findSteps+m.unionSteps) / float64(ops)
+}
+
+// Histogram returns the cost histogram: bucket b counts operations with
+// cost in [2^b, 2^(b+1)) (bucket 0: cost ≤ 1), trimmed of trailing zeros.
+func (m *Meter) Histogram() []int64 {
+	last := -1
+	for i, v := range m.hist {
+		if v != 0 {
+			last = i
+		}
+	}
+	out := make([]int64, last+1)
+	copy(out, m.hist[:last+1])
+	return out
+}

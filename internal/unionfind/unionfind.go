@@ -1,0 +1,109 @@
+// Package unionfind provides the disjoint-set (union–find) structures at
+// the center of Greenberg's SLAP connected-components algorithm, with the
+// exact cost accounting the paper's analysis charges: every pointer
+// traversal and link update counts one step.
+//
+// The package offers:
+//
+//   - QuickFind: sets as relabeled member lists; O(1) finds, O(min set)
+//     unions. The conformance oracle for the other structures.
+//   - Forest: the classic linked forest with every combination the paper
+//     discusses (§3): naive linking, union by size (Tarjan's weighted
+//     union), union by rank; path compression, path halving, path
+//     splitting, or no compression (Tarjan; Tarjan & van Leeuwen).
+//   - KUF: a k-ary UF-tree structure in the style of Blum's data
+//     structure, giving O(lg n / lg lg n) worst-case time per single
+//     operation, the ingredient of the paper's Theorem 3.
+//   - Meter: a wrapper recording per-operation cost extremes and a
+//     histogram, used to demonstrate worst-case single-operation behavior.
+//
+// All implementations expose a cumulative Steps counter; callers charge
+// simulated SLAP time by differencing it around operations.
+package unionfind
+
+// UnionFind is a disjoint-set structure over the elements 0..Len()-1.
+//
+// Set identifiers are "node ids": small non-negative integers below
+// CapBound(). For forest-backed structures the id of a set is one of its
+// elements; KUF may return ids of internal nodes (≥ Len()). Identifiers
+// are stable between unions touching the set.
+type UnionFind interface {
+	// Find returns the identifier of the set containing x.
+	Find(x int) int
+
+	// Union merges the sets containing x and y.
+	// When the two sets were distinct, united is true, root identifies the
+	// merged set, and a, b are the identifiers the two sets had before the
+	// union (callers fold satellite data with s[root] = merge(s[a], s[b]);
+	// root may equal a or b, or be a fresh identifier).
+	// When x and y were already together, united is false and root = a = b.
+	Union(x, y int) (root, a, b int, united bool)
+
+	// Len returns the number of elements.
+	Len() int
+
+	// CapBound returns an exclusive upper bound on every identifier this
+	// structure can ever return, so callers can size satellite arrays once.
+	CapBound() int
+
+	// Sets returns the current number of disjoint sets.
+	Sets() int
+
+	// Steps returns the cumulative number of charged unit operations:
+	// pointer traversals, relabelings and link updates. This is the
+	// quantity the SLAP simulation converts into machine time.
+	Steps() int64
+}
+
+// New returns the package's default structure for n elements: the
+// weighted-union, path-compressing Forest that the paper's §3 analyzes
+// first (O(lg n) per operation worst case, ~constant amortized).
+func New(n int) UnionFind { return NewForest(n, LinkBySize, CompressFull) }
+
+// Kind names a union-find implementation for CLI flags and experiment
+// tables.
+type Kind string
+
+// The implementation kinds accepted by Make.
+const (
+	KindQuickFind  Kind = "quickfind"
+	KindTarjan     Kind = "tarjan"     // size + full compression
+	KindRank       Kind = "rank"       // rank + full compression
+	KindHalving    Kind = "halving"    // size + path halving
+	KindSplitting  Kind = "splitting"  // size + path splitting
+	KindNoCompress Kind = "nocompress" // size, no compression
+	KindNaiveLink  Kind = "naivelink"  // naive link + full compression
+	KindBlum       Kind = "blum"       // k-UF trees (Theorem 3)
+)
+
+// Kinds lists every Kind accepted by Make, in presentation order.
+func Kinds() []Kind {
+	return []Kind{
+		KindQuickFind, KindTarjan, KindRank, KindHalving,
+		KindSplitting, KindNoCompress, KindNaiveLink, KindBlum,
+	}
+}
+
+// Make constructs the named implementation for n elements. It returns
+// false for unknown kinds.
+func Make(kind Kind, n int) (UnionFind, bool) {
+	switch kind {
+	case KindQuickFind:
+		return NewQuickFind(n), true
+	case KindTarjan:
+		return NewForest(n, LinkBySize, CompressFull), true
+	case KindRank:
+		return NewForest(n, LinkByRank, CompressFull), true
+	case KindHalving:
+		return NewForest(n, LinkBySize, CompressHalve), true
+	case KindSplitting:
+		return NewForest(n, LinkBySize, CompressSplit), true
+	case KindNoCompress:
+		return NewForest(n, LinkBySize, CompressNone), true
+	case KindNaiveLink:
+		return NewForest(n, LinkNaive, CompressFull), true
+	case KindBlum:
+		return NewKUF(n), true
+	}
+	return nil, false
+}

@@ -1,0 +1,165 @@
+// Package slapcc labels the connected components of binary images on a
+// simulated scan line array processor (SLAP), reproducing Greenberg,
+// "Finding Connected Components on a Scan Line Array Processor",
+// SPAA 1995.
+//
+// The SLAP is a SIMD linear array of n processing elements holding one
+// image column each, exchanging one word per time step with its
+// neighbors. Algorithm CC labels an n×n image with two systolic
+// union–find sweeps plus a local merge: O(n lg n) worst case with
+// Tarjan's union–find, O(n lg n / lg lg n) with a Blum-style structure
+// (Theorem 3), and near-O(n) on typical images. The simulator counts the
+// exact time steps the paper's model charges, so the package reports both
+// the labeling and the machine-level cost of obtaining it.
+//
+// # Quick start
+//
+//	img := slapcc.MustParseImage("##.\n.#.\n..#")
+//	res, err := slapcc.Label(img)
+//	// res.Labels holds canonical component labels;
+//	// res.Metrics.Time is the simulated SLAP makespan.
+//
+// Labels are canonical: every component carries the least column-major
+// position (x·H + y) of its pixels; background pixels carry Background.
+//
+// The full evaluation suite behind EXPERIMENTS.md lives in cmd/slapbench;
+// deeper control (union–find variants, bit-serial links, idle-time
+// compression) is available through Options.
+package slapcc
+
+import (
+	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// Bitmap is a binary image; pixel (x, y) is column x, row y.
+type Bitmap = bitmap.Bitmap
+
+// LabelMap is a per-pixel component labeling.
+type LabelMap = bitmap.LabelMap
+
+// Background is the label of 0-pixels in a LabelMap.
+const Background = bitmap.Background
+
+// Connectivity selects which pixels count as adjacent.
+type Connectivity = bitmap.Connectivity
+
+// Supported connectivities: the paper's 4-connectivity (default) and the
+// customary 8-connected extension.
+const (
+	Conn4 = bitmap.Conn4
+	Conn8 = bitmap.Conn8
+)
+
+// Options configure a run; the zero value selects the paper's defaults
+// (Tarjan union–find, unit-cost word links, input phase included).
+type Options = core.Options
+
+// Result is a labeling run's output: labels, machine metrics, and the
+// union–find report.
+type Result = core.Result
+
+// Metrics is the simulated machine's accounting (total time, per-phase
+// makespans, traffic, queue peaks, per-PE memory).
+type Metrics = slap.Metrics
+
+// CostModel assigns step charges to PE operations.
+type CostModel = slap.CostModel
+
+// Monoid is a commutative associative fold operator for Aggregate.
+type Monoid = core.Monoid
+
+// AggregateResult is Aggregate's output.
+type AggregateResult = core.AggregateResult
+
+// UFKind names a union–find implementation.
+type UFKind = unionfind.Kind
+
+// Union–find implementations selectable via Options.UF.
+const (
+	UFTarjan     = unionfind.KindTarjan     // weighted union + path compression (default)
+	UFBlum       = unionfind.KindBlum       // Blum-style k-UF trees (Theorem 3)
+	UFRank       = unionfind.KindRank       // union by rank + compression
+	UFHalving    = unionfind.KindHalving    // one-pass path halving
+	UFSplitting  = unionfind.KindSplitting  // one-pass path splitting
+	UFNoCompress = unionfind.KindNoCompress // weighted union only
+	UFQuickFind  = unionfind.KindQuickFind  // label-array sets
+	UFNaiveLink  = unionfind.KindNaiveLink  // unbalanced linking (for ablations)
+)
+
+// Label runs Algorithm CC on img under default options.
+func Label(img *Bitmap) (*Result, error) { return core.Label(img, Options{}) }
+
+// LabelWithOptions runs Algorithm CC on img with explicit options.
+func LabelWithOptions(img *Bitmap, opt Options) (*Result, error) { return core.Label(img, opt) }
+
+// Aggregate labels every component of img with the op-fold of the
+// initial per-pixel labels over the whole component (the paper's
+// Corollary 4 extension). initial is indexed by column-major position.
+func Aggregate(img *Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	return core.Aggregate(img, initial, op, opt)
+}
+
+// MinOf returns the minimum monoid (Corollary 4's operator).
+func MinOf() Monoid { return core.Min() }
+
+// MaxOf returns the maximum monoid.
+func MaxOf() Monoid { return core.Max() }
+
+// SumOf returns the addition monoid; with OnesOf it computes component
+// areas.
+func SumOf() Monoid { return core.Sum() }
+
+// OrOf returns the bitwise-or monoid.
+func OrOf() Monoid { return core.Or() }
+
+// OnesOf returns an all-ones initial labeling for img.
+func OnesOf(img *Bitmap) []int32 { return core.Ones(img) }
+
+// UnitCost returns the standard SLAP cost model: one word per link per
+// step.
+func UnitCost() CostModel { return slap.Unit() }
+
+// BitSerialCost returns the Theorem 5 restricted model: one bit per link
+// per step for words of the given width.
+func BitSerialCost(wordBits int) CostModel { return slap.BitSerial(wordBits) }
+
+// WordBits returns the word width needed to carry labels of an n×n image.
+func WordBits(n int) int { return slap.WordBitsFor(n) }
+
+// NewImage returns an all-zero w×h image.
+func NewImage(w, h int) *Bitmap { return bitmap.New(w, h) }
+
+// ParseImage builds an image from ASCII art ('#'/'1' foreground, '.'/'0'
+// background, one row per line).
+func ParseImage(art string) (*Bitmap, error) { return bitmap.Parse(art) }
+
+// MustParseImage is ParseImage that panics on error.
+func MustParseImage(art string) *Bitmap { return bitmap.MustParse(art) }
+
+// RandomImage returns an n×n image with i.i.d. pixel density.
+func RandomImage(n int, density float64, seed uint64) *Bitmap {
+	return bitmap.Random(n, density, seed)
+}
+
+// GenerateFamily produces the n×n member of a named workload family
+// (see FamilyNames); it reports false for unknown names.
+func GenerateFamily(name string, n int) (*Bitmap, bool) {
+	f, ok := bitmap.FamilyByName(name)
+	if !ok {
+		return nil, false
+	}
+	return f.Generate(n), true
+}
+
+// FamilyNames lists the built-in workload families.
+func FamilyNames() []string {
+	fams := bitmap.Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}

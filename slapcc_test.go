@@ -1,0 +1,140 @@
+package slapcc
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPublicLabel(t *testing.T) {
+	img := MustParseImage(`
+#.#
+#.#
+###
+`)
+	res, err := Label(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels.ComponentCount() != 1 {
+		t.Fatalf("U shape should be one component, got %d", res.Labels.ComponentCount())
+	}
+	if res.Labels.Get(2, 0) != 0 {
+		t.Fatalf("canonical label should be 0, got %d", res.Labels.Get(2, 0))
+	}
+	if res.Metrics.Time <= 0 {
+		t.Fatal("metrics must be populated")
+	}
+}
+
+func TestPublicLabelWithOptions(t *testing.T) {
+	img := RandomImage(24, 0.5, 42)
+	base, err := Label(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []UFKind{UFBlum, UFRank, UFHalving, UFSplitting, UFNoCompress, UFQuickFind, UFNaiveLink} {
+		res, err := LabelWithOptions(img, Options{UF: kind, IdleCompression: true})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !res.Labels.Equal(base.Labels) {
+			t.Fatalf("%s: labels differ from default run", kind)
+		}
+	}
+}
+
+func TestPublicBitSerial(t *testing.T) {
+	img := RandomImage(16, 0.5, 7)
+	res, err := LabelWithOptions(img, Options{Cost: BitSerialCost(WordBits(16))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	word, err := Label(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Time <= word.Metrics.Time {
+		t.Fatal("bit-serial links must cost more")
+	}
+}
+
+func TestPublicAggregate(t *testing.T) {
+	img := MustParseImage(`
+###
+..#
+###
+`)
+	res, err := Aggregate(img, OnesOf(img), SumOf(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single S-shaped component of 7 pixels.
+	if res.PerPixel[0] != 7 {
+		t.Fatalf("component area should be 7, got %d", res.PerPixel[0])
+	}
+	for _, op := range []Monoid{MinOf(), MaxOf(), OrOf()} {
+		if op.Combine == nil || op.Name == "" {
+			t.Fatalf("monoid %+v incomplete", op)
+		}
+	}
+}
+
+func TestPublicConnectivity(t *testing.T) {
+	img := MustParseImage("#.\n.#")
+	four, err := Label(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := LabelWithOptions(img, Options{Connectivity: Conn8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Labels.ComponentCount() != 2 || eight.Labels.ComponentCount() != 1 {
+		t.Fatalf("connectivity semantics wrong: conn4=%d conn8=%d",
+			four.Labels.ComponentCount(), eight.Labels.ComponentCount())
+	}
+}
+
+func TestPublicFamilies(t *testing.T) {
+	names := FamilyNames()
+	if len(names) < 10 {
+		t.Fatalf("expected a rich family list, got %d", len(names))
+	}
+	img, ok := GenerateFamily("checker", 8)
+	if !ok || img.CountOnes() != 32 {
+		t.Fatal("GenerateFamily(checker, 8) wrong")
+	}
+	if _, ok := GenerateFamily("nope", 8); ok {
+		t.Fatal("unknown family should report false")
+	}
+}
+
+func TestPublicImageHelpers(t *testing.T) {
+	img := NewImage(3, 2)
+	img.Set(1, 1, true)
+	if !img.Get(1, 1) || img.CountOnes() != 1 {
+		t.Fatal("NewImage/Set/Get broken")
+	}
+	if _, err := ParseImage("#?"); err == nil {
+		t.Fatal("ParseImage should reject garbage")
+	}
+	if UnitCost().Validate() != nil {
+		t.Fatal("UnitCost must be valid")
+	}
+}
+
+func ExampleLabel() {
+	img := MustParseImage(`
+##..
+...#
+##.#
+`)
+	res, _ := Label(img)
+	fmt.Println("components:", res.Labels.ComponentCount())
+	fmt.Print(res.Labels)
+	// Output:
+	// components: 3
+	// aa..
+	// ...b
+	// cc.b
+}

@@ -20,6 +20,7 @@ const benchN = 256
 
 func benchLabel(b *testing.B, img *bitmap.Bitmap, opt core.Options) *core.Result {
 	b.Helper()
+	b.ReportAllocs()
 	var last *core.Result
 	for i := 0; i < b.N; i++ {
 		res, err := core.Label(img, opt)
@@ -85,6 +86,7 @@ func BenchmarkE5IdleCompression(b *testing.B) {
 // BenchmarkE6Aggregate — Corollary 4 extension overhead.
 func BenchmarkE6Aggregate(b *testing.B) {
 	img := bitmap.Random(benchN, 0.5, 1)
+	b.ReportAllocs()
 	var last *core.AggregateResult
 	for i := 0; i < b.N; i++ {
 		res, err := core.Aggregate(img, core.Ones(img), core.Sum(), core.Options{})
@@ -98,6 +100,7 @@ func BenchmarkE6Aggregate(b *testing.B) {
 
 // BenchmarkE7BitSerial — Theorem 5: Ω(n lg n) on 1-bit links.
 func BenchmarkE7BitSerial(b *testing.B) {
+	b.ReportAllocs()
 	var last lowerbound.Datapoint
 	for i := 0; i < b.N; i++ {
 		d, err := lowerbound.Measure(benchN, 1, core.Options{})
@@ -119,6 +122,7 @@ func BenchmarkE8Baselines(b *testing.B) {
 		b.ReportMetric(float64(res.Metrics.Time), "simsteps")
 	})
 	b.Run("blockmerge", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *baseline.Result
 		for i := 0; i < b.N; i++ {
 			res, err := baseline.BlockMerge(img)
@@ -131,6 +135,7 @@ func BenchmarkE8Baselines(b *testing.B) {
 	})
 	small := bitmap.HSerpentine(64)
 	b.Run("naive64serp", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *baseline.Result
 		for i := 0; i < b.N; i++ {
 			res, err := baseline.NaivePropagation(small, 0)
@@ -204,13 +209,16 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkUnionFindKinds measures host-side op throughput per structure.
+// BenchmarkUnionFindKinds measures host-side op throughput per structure,
+// reusing one structure via Reset the way the simulator does.
 func BenchmarkUnionFindKinds(b *testing.B) {
 	const n = 1 << 14
 	for _, kind := range unionfind.Kinds() {
 		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			u, _ := unionfind.Make(kind, n)
 			for i := 0; i < b.N; i++ {
-				u, _ := unionfind.Make(kind, n)
+				u.Reset(n)
 				for span := 1; span < n; span *= 2 {
 					for base := 0; base+span < n; base += 2 * span {
 						u.Union(base, base+span)
@@ -222,4 +230,40 @@ func BenchmarkUnionFindKinds(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkLabelerReuse contrasts the one-shot Label with an explicit
+// reused Labeler on a stream of distinct frames — the videopipeline
+// scenario. The reused labeler's only steady-state allocations are the
+// returned results; the one-shot path pays pool traffic per call and is
+// the fair baseline for it.
+func BenchmarkLabelerReuse(b *testing.B) {
+	const n, frames = 256, 8
+	stream := make([]*bitmap.Bitmap, frames)
+	for i := range stream {
+		stream[i] = bitmap.Random(n, 0.5, uint64(i+1))
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(frames * n * n))
+		for i := 0; i < b.N; i++ {
+			for _, img := range stream {
+				if _, err := core.Label(img, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(frames * n * n))
+		lab := core.NewLabeler(core.Options{})
+		for i := 0; i < b.N; i++ {
+			for _, img := range stream {
+				if _, err := lab.Label(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }

@@ -49,6 +49,12 @@ func main() {
 		{x: 44, y: 44, w: 6, h: 12, dx: 0, dy: 0},  // static
 	}
 
+	// One reusable labeler serves the whole stream: every frame re-uses
+	// the simulated machine, per-column union–find structures, and link
+	// buffers in place, so the per-frame host cost is the simulation
+	// itself, not allocation — the shape a real-time pipeline needs.
+	lab := slapcc.NewLabeler(slapcc.Options{})
+
 	fmt.Printf("%5s  %10s  %7s  %12s  %10s\n",
 		"frame", "components", "pixels", "largest area", "SLAP steps")
 	for t := 0; t < frames; t++ {
@@ -56,7 +62,7 @@ func main() {
 
 		// Label the frame and, in the same run, compute per-component
 		// areas with the Corollary 4 aggregation (sum of ones).
-		res, err := slapcc.Aggregate(img, slapcc.OnesOf(img), slapcc.SumOf(), slapcc.Options{})
+		res, err := lab.Aggregate(img, slapcc.OnesOf(img), slapcc.SumOf())
 		if err != nil {
 			log.Fatal(err)
 		}

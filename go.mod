@@ -1,0 +1,3 @@
+module slapcc
+
+go 1.22

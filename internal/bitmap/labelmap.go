@@ -52,6 +52,14 @@ func (lm *LabelMap) Set(x, y int, v int32) {
 	lm.lab[x*lm.h+y] = v
 }
 
+// ColumnSlice returns the backing storage of column x (labels indexed by
+// row). Writes through it are writes to the map — the simulator's merge
+// step uses it to assign a column's labels without per-pixel bounds
+// arithmetic.
+func (lm *LabelMap) ColumnSlice(x int) []int32 {
+	return lm.lab[x*lm.h : (x+1)*lm.h]
+}
+
 // Equal reports whether two label maps agree exactly.
 func (lm *LabelMap) Equal(o *LabelMap) bool {
 	if lm.w != o.w || lm.h != o.h {

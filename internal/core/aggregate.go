@@ -91,6 +91,16 @@ type AggregateResult struct {
 // Label-Pass-like sweeps (left-to-right and right-to-left) accumulating
 // per-component values, and finally combine the three pieces locally.
 func Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	lb := labelerPool.Get().(*Labeler)
+	defer labelerPool.Put(lb)
+	lb.userOpt = opt
+	return lb.Aggregate(img, initial, op)
+}
+
+// Aggregate is the Labeler's reusable-arena form of the package-level
+// Aggregate: the labeling runs entirely against the labeler's arenas;
+// only the aggregation satellites are allocated per call.
+func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*AggregateResult, error) {
 	w, h := img.W(), img.H()
 	if len(initial) != w*h {
 		return nil, fmt.Errorf("core: initial labels have length %d, want %d", len(initial), w*h)
@@ -98,7 +108,8 @@ func Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*Ag
 	if op.Combine == nil {
 		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)
 	}
-	lb, labels, err := runCC(img, opt)
+	labels, err := lb.runCC(img)
+	defer func() { lb.img = nil }() // don't keep the caller's image alive between runs
 	if err != nil {
 		return nil, err
 	}
@@ -114,21 +125,25 @@ func Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*Ag
 	states := make([]*aggState, w)
 
 	// Local fold per column, and left/right extension flags per component.
+	// Column bits come from the left-pass arena, which runCC left intact
+	// (witness reads the neighbor columns the same way the sweeps did).
+	passCols := lb.passCols[0]
 	lb.m.RunLocal("agg:local", func(pe *slap.PE) {
 		x := pe.Index
 		st := newAggState(op)
 		states[x] = st
+		col := passCols[x].col
 		for j := 0; j < h; j++ {
 			pe.Tick(1)
-			if !img.Get(x, j) {
+			if !col[j] {
 				continue
 			}
 			c := st.compIndex(pe, labels.Get(x, j))
 			st.local[c] = op.Combine(st.local[c], initial[x*h+j])
-			if lb.witness(x, j, 1) != -1 {
+			if lb.witness(passCols, x, j, 1) != -1 {
 				st.extR[c] = true
 			}
-			if lb.witness(x, j, -1) != -1 {
+			if lb.witness(passCols, x, j, -1) != -1 {
 				st.extL[c] = true
 			}
 		}
@@ -200,7 +215,7 @@ func (st *aggState) compIndex(pe *slap.PE, label int32) int {
 // direction: a component's value is forwarded once, either immediately
 // (components that do not extend backward) or upon receiving the single
 // incoming record for it.
-func (lb *labeler) aggSweep(dir slap.Direction, states []*aggState, op Monoid) {
+func (lb *Labeler) aggSweep(dir slap.Direction, states []*aggState, op Monoid) {
 	w := lb.w
 	lastCol := w - 1
 	if dir == slap.RightToLeft {

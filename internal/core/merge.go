@@ -2,11 +2,61 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"slapcc/internal/bitmap"
 	"slapcc/internal/slap"
 	"slapcc/internal/unionfind"
 )
+
+// mergeScratch is the labeler-owned arena for the merge step: a dense
+// epoch-versioned interning table over the label space (left labels are
+// < w·h, right labels < 2·w·h, so a flat array replaces the per-column
+// hash map the hot path used to allocate and re-hash), the per-column
+// edge list and class minima, and one accumulated union–find meter whose
+// inner forest is re-initialized per column. Bumping the epoch
+// invalidates the whole table in O(1) between columns.
+type mergeScratch struct {
+	// mark[label] packs (epoch << 32) | id, so an intern probe touches
+	// one cache line instead of two.
+	mark     []uint64
+	epoch    uint32
+	values   []int32
+	edges    []mergeEdge
+	classMin []int32
+	forest   *unionfind.Forest
+	meter    *unionfind.Meter
+}
+
+type mergeEdge struct{ a, b int32 }
+
+// reset prepares the scratch for a run over a 2·w·h label space.
+func (sc *mergeScratch) reset(space int) {
+	if len(sc.mark) < space {
+		sc.mark = make([]uint64, space)
+		sc.epoch = 0
+	}
+	if sc.forest == nil {
+		// The merge's "familiar sequential algorithm" (Lemma 2) runs on
+		// the package default structure, as before.
+		sc.forest = unionfind.NewForest(0, unionfind.LinkBySize, unionfind.CompressFull)
+		sc.meter = unionfind.NewMeter(sc.forest)
+		// Only Stats/MaxOpCost feed the UF report; skip the histogram.
+		sc.meter.DisableHistogram()
+	}
+	sc.meter.ResetStats()
+}
+
+// nextEpoch invalidates the interning table for the next column.
+func (sc *mergeScratch) nextEpoch() {
+	if sc.epoch == math.MaxUint32 {
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.epoch = 0
+	}
+	sc.epoch++
+}
 
 // merge is step 3 of Algorithm CC (Figure 2): within each PE,
 // independently and in parallel, run sequential connected components on
@@ -17,65 +67,94 @@ import (
 // that least position's label reaches every column the component touches
 // through the left labeling, and right-pass labels (offset by w·h) never
 // undercut left-pass labels.
-func (lb *labeler) merge(left, right []*colState) *bitmap.LabelMap {
+func (lb *Labeler) merge(left, right []colState) *bitmap.LabelMap {
 	w, h := lb.w, lb.h
 	labels := bitmap.NewLabelMap(w, h)
+	sc := &lb.mg
+	sc.reset(2 * w * h)
+	lb.meters = append(lb.meters, sc.meter)
+	unit := lb.opt.UnitCostUF
 	lb.m.RunLocal("merge", func(pe *slap.PE) {
 		x := pe.Index
-		lcol, rcol := left[x], right[x]
+		lcol, rcol := &left[x], &right[x]
+		// The phase is purely local, so every charge is accumulated in
+		// ticks and charged once: the PE clock is identical to charging
+		// operation by operation.
+		var ticks int64
 
-		// Dense-index the distinct labels appearing in this column.
-		index := make(map[int32]int, 2*len(lcol.ones))
-		var values []int32
-		idOf := func(label int32) int {
-			pe.Tick(1)
-			if id, ok := index[label]; ok {
-				return id
-			}
-			id := len(values)
-			index[label] = id
-			values = append(values, label)
-			return id
-		}
-		type edge struct{ a, b int }
-		edges := make([]edge, 0, len(lcol.ones))
+		// Dense-index the distinct labels appearing in this column (one
+		// charged step per intern lookup, as the map-based merge charged;
+		// the lookup is open-coded — a closure would force the tick
+		// accumulator into memory on a 2-probes-per-pixel path).
+		sc.nextEpoch()
+		sc.values = sc.values[:0]
+		sc.edges = sc.edges[:0]
+		epoch := sc.epoch
 		for _, j := range lcol.ones {
 			ll, rl := lcol.out[j], rcol.out[j]
 			if ll == -1 || rl == -1 {
 				panic(fmt.Sprintf("core: PE %d row %d: missing pass label (%d, %d)", x, j, ll, rl))
 			}
-			edges = append(edges, edge{idOf(ll), idOf(rl)})
+			ticks += 2
+			var ea, eb int32
+			if m := sc.mark[ll]; uint32(m>>32) == epoch {
+				ea = int32(uint32(m))
+			} else {
+				ea = int32(len(sc.values))
+				sc.mark[ll] = uint64(epoch)<<32 | uint64(uint32(ea))
+				sc.values = append(sc.values, ll)
+			}
+			if m := sc.mark[rl]; uint32(m>>32) == epoch {
+				eb = int32(uint32(m))
+			} else {
+				eb = int32(len(sc.values))
+				sc.mark[rl] = uint64(epoch)<<32 | uint64(uint32(eb))
+				sc.values = append(sc.values, rl)
+			}
+			sc.edges = append(sc.edges, mergeEdge{ea, eb})
 		}
-		if len(values) == 0 {
+		if len(sc.values) == 0 {
 			return
 		}
 		// Sequential connected components over ≤ 2·ones nodes and ones
 		// edges: the "familiar sequential algorithm" of Lemma 2.
-		uf := unionfind.NewMeter(unionfind.New(len(values)))
-		lb.meters = append(lb.meters, uf)
-		for _, e := range edges {
-			lb.chargeUF(pe, uf, 1, func() { uf.Union(e.a, e.b) })
+		sc.forest.Reset(len(sc.values))
+		for _, e := range sc.edges {
+			_, _, _, _, cost := sc.meter.UnionCost(int(e.a), int(e.b))
+			if unit {
+				ticks++
+			} else {
+				ticks += cost
+			}
 		}
 		// Least label per class.
-		classMin := make([]int32, uf.CapBound())
-		for i := range classMin {
-			classMin[i] = -1
-		}
-		for id, v := range values {
-			var root int
-			lb.chargeUF(pe, uf, 1, func() { root = uf.Find(id) })
+		classMin := fillNeg(unionfind.GrowInt32(sc.classMin, len(sc.values)))
+		sc.classMin = classMin
+		for id, v := range sc.values {
+			root, cost := sc.meter.FindCost(id)
+			if unit {
+				ticks++
+			} else {
+				ticks += cost
+			}
 			if classMin[root] == -1 || v < classMin[root] {
 				classMin[root] = v
 			}
-			pe.Tick(1)
+			ticks++
 		}
+		outLab := labels.ColumnSlice(x)
 		for _, j := range lcol.ones {
-			var root int
-			lb.chargeUF(pe, uf, 1, func() { root = uf.Find(index[lcol.out[j]]) })
-			labels.Set(x, int(j), classMin[root])
-			pe.Tick(1)
+			root, cost := sc.meter.FindCost(int(uint32(sc.mark[lcol.out[j]])))
+			if unit {
+				ticks++
+			} else {
+				ticks += cost
+			}
+			outLab[j] = classMin[root]
+			ticks++
 		}
-		pe.DeclareMemory(int64(4 * len(values)))
+		pe.Tick(ticks)
+		pe.DeclareMemory(int64(4 * len(sc.values)))
 	})
 	return labels
 }

@@ -5,8 +5,18 @@ import (
 	"testing/quick"
 
 	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
 	"slapcc/internal/unionfind"
 )
+
+// forceConcurrent makes parallel-mode runs in these tests exercise the
+// batched concurrent engine even on single-core hosts, where they would
+// otherwise cover only the sequential delegate.
+func forceConcurrent(t *testing.T) {
+	t.Helper()
+	slap.ForceConcurrentEngines(true)
+	t.Cleanup(func() { slap.ForceConcurrentEngines(false) })
+}
 
 // metricsIdentical compares everything the experiments report.
 func metricsIdentical(t *testing.T, a, b *Result) bool {
@@ -33,6 +43,7 @@ func metricsIdentical(t *testing.T, a, b *Result) bool {
 }
 
 func TestParallelLabelIdenticalToSequential(t *testing.T) {
+	forceConcurrent(t)
 	for _, fam := range bitmap.Families() {
 		img := fam.Generate(29)
 		seq := mustLabel(t, img, Options{})
@@ -48,6 +59,7 @@ func TestParallelLabelIdenticalToSequential(t *testing.T) {
 }
 
 func TestParallelWithAllOptions(t *testing.T) {
+	forceConcurrent(t)
 	img := bitmap.Random(33, 0.5, 77)
 	for _, kind := range unionfind.Kinds() {
 		for _, spec := range []bool{false, true} {
@@ -63,6 +75,7 @@ func TestParallelWithAllOptions(t *testing.T) {
 }
 
 func TestParallelAggregate(t *testing.T) {
+	forceConcurrent(t)
 	img := bitmap.Random(25, 0.5, 5)
 	seq, err := Aggregate(img, Ones(img), Sum(), Options{})
 	if err != nil {
@@ -85,6 +98,7 @@ func TestParallelAggregate(t *testing.T) {
 // Property: on random images with random options, both engines agree on
 // labels, total time, traffic, and the UF report.
 func TestParallelQuick(t *testing.T) {
+	forceConcurrent(t)
 	f := func(seed uint32, np, dp uint8, spec, idle bool) bool {
 		n := int(np%24) + 1
 		img := bitmap.Random(n, float64(dp%11)/10, uint64(seed))

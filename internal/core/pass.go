@@ -12,18 +12,25 @@ import (
 // pixels, its union–find structure over rows, and the per-set satellite
 // data adjnext/adjprev (a witness row where the set touches the next /
 // previous column of the sweep; -1 is the paper's nil) and label.
+//
+// colStates live in the Labeler's per-pass arenas and are re-initialized
+// in place for every run, so a warm Labeler performs no per-column
+// allocation at all.
 type colState struct {
-	col     []bool
-	uf      *unionfind.Meter
-	forest  *unionfind.Forest // non-nil when forest-backed (idle compression)
-	adjnext []int32
-	adjprev []int32
-	label   []int32
-	ones    []int32 // rows of 1-pixels (idle-compression victims)
-	out     []int32 // final per-row pass labels (-1 on 0-pixels)
+	col    []bool
+	uf     *unionfind.Meter
+	kind   unionfind.Kind    // the kind uf wraps (arena revalidation)
+	forest *unionfind.Forest // non-nil when forest-backed (idle compression)
+	// adj interleaves the two witness satellites — adj[2s] is the
+	// paper's adjnext[s], adj[2s+1] its adjprev[s] — so the hot paths
+	// touch one cache line per set instead of two.
+	adj   []int32
+	label []int32
+	ones  []int32 // rows of 1-pixels (idle-compression victims)
+	out   []int32 // final per-row pass labels (-1 on 0-pixels)
 
 	// Per-PE speculation counters (kept here, not on the labeler, so
-	// parallel sweeps stay race-free; summed in finishSpec).
+	// parallel sweeps stay race-free; summed after the pass).
 	specSends  int64
 	specWasted int64
 }
@@ -36,12 +43,20 @@ func passName(dir slap.Direction, step string) string {
 	return "right:" + step
 }
 
+// passIndex maps a sweep direction to its arena slot.
+func passIndex(dir slap.Direction) int {
+	if dir == slap.LeftToRight {
+		return 0
+	}
+	return 1
+}
+
 // runPass computes one directional connected labeling (steps 1–4 of
-// Algorithm Left-Components, Figure 4) and returns per-column label
-// slices. Left pass labels are column-major positions; right pass labels
+// Algorithm Left-Components, Figure 4) and returns the per-column state
+// arena. Left pass labels are column-major positions; right pass labels
 // are offset by w·h and use the mirrored column order, so the two label
 // spaces are disjoint and left labels always win the final minimum.
-func (lb *labeler) runPass(dir slap.Direction) []*colState {
+func (lb *Labeler) runPass(dir slap.Direction) []colState {
 	w, h := lb.w, lb.h
 	dx := 1
 	base := int32(0)
@@ -58,18 +73,35 @@ func (lb *labeler) runPass(dir slap.Direction) []*colState {
 		return base + int32((w-1-x)*h+j)
 	}
 
-	// Column states are created up front (they are the PEs' persistent
-	// local memories across phases); the sweeps themselves may then run
-	// PEs concurrently without sharing any mutable labeler state.
-	cols := make([]*colState, w)
+	// Column states are re-initialized up front (they are the PEs'
+	// persistent local memories across phases); the sweeps themselves may
+	// then run PEs concurrently without sharing any mutable labeler state.
+	// The right pass reads the column bits and 1-row lists of the left
+	// pass's states instead of re-extracting them: both are immutable for
+	// the rest of the run, and the passes always execute left-first.
+	p := passIndex(dir)
+	cols := lb.ensurePass(p)
 	for x := range cols {
-		cols[x] = lb.newColState(x)
+		var share *colState
+		if p == 1 {
+			share = &lb.passCols[0][x]
+		}
+		lb.resetColState(&cols[x], x, share)
 	}
 
 	// Step 1 (Figure 5): the union–find pass.
 	lb.m.RunSweep(passName(dir, "unionfind"), dir, func(pe *slap.PE) {
 		x := pe.Index
-		st := cols[x]
+		st := &cols[x]
+		// The sweep-order neighbor columns, unpacked once: the witness
+		// tests on the hot path are then plain bool loads.
+		var nextCol, prevCol []bool
+		if nx := x + dx; nx >= 0 && nx < w {
+			nextCol = cols[nx].col
+		}
+		if px := x - dx; px >= 0 && px < w {
+			prevCol = cols[px].col
+		}
 
 		// Make-Set(j) for every row, and initialize the adjacency
 		// witnesses of the singleton sets (constant work per row).
@@ -78,33 +110,61 @@ func (lb *labeler) runPass(dir slap.Direction) []*colState {
 		// three next-column pixels that are not connected to each other
 		// except through this pixel, so consecutive neighbors are
 		// chained with bridge records the next column replays as unions.
-		for j := 0; j < h; j++ {
-			pe.Tick(1)
-			if !st.col[j] {
-				continue
+		if lb.opt.Connectivity == bitmap.Conn8 {
+			for j := 0; j < h; j++ {
+				pe.Tick(1)
+				if !st.col[j] {
+					continue
+				}
+				st.adj[2*j] = lb.witnessIn(nextCol, j)
+				st.adj[2*j+1] = lb.witnessIn(prevCol, j)
+				if x != lastCol {
+					prevNbr := int32(-1)
+					for _, r := range []int{j - 1, j, j + 1} {
+						if r < 0 || r >= h || !nextCol[r] {
+							continue
+						}
+						if prevNbr != -1 {
+							pe.Send(slap.Msg{Kind: msgUnion, A: prevNbr, B: int32(r), Words: 2})
+						}
+						prevNbr = int32(r)
+					}
+				}
 			}
-			st.adjnext[j] = lb.witness(x, j, dx)
-			st.adjprev[j] = lb.witness(x, j, -dx)
-			if lb.opt.Connectivity == bitmap.Conn8 && x != lastCol {
-				prevNbr := int32(-1)
-				for _, r := range []int{j - 1, j, j + 1} {
-					if r < 0 || r >= h || !lb.img.Get(x+dx, r) {
-						continue
-					}
-					if prevNbr != -1 {
-						pe.Send(slap.Msg{Kind: msgUnion, A: prevNbr, B: int32(r), Words: 2})
-					}
-					prevNbr = int32(r)
+		} else {
+			// Conn4 sends nothing here, so the per-row tick is charged in
+			// one batch and only 1-rows are visited: clocks are identical
+			// to the row-by-row loop above.
+			pe.Tick(int64(h))
+			for _, j32 := range st.ones {
+				j := int(j32)
+				if nextCol != nil && nextCol[j] {
+					st.adj[2*j] = j32
+				} else {
+					st.adj[2*j] = -1
+				}
+				if prevCol != nil && prevCol[j] {
+					st.adj[2*j+1] = j32
+				} else {
+					st.adj[2*j+1] = -1
 				}
 			}
 		}
-		// Phase one: union vertical runs within the column.
-		for j := 1; j < h; j++ {
-			pe.Tick(1)
-			if st.col[j-1] && st.col[j] {
-				_ = lb.apply(pe, st, int32(j-1), int32(j), x != lastCol, false)
+		// Phase one: union vertical runs within the column. Unions happen
+		// exactly at consecutive pairs of 1-rows, so only the ones list
+		// is walked; the per-row tick of the row scan is charged in
+		// arrears right before each union, keeping the clock at every
+		// union (and so at every send) identical to ticking row by row.
+		lastRow := int32(0)
+		for i := 1; i < len(st.ones); i++ {
+			j := st.ones[i]
+			if st.ones[i-1]+1 == j {
+				pe.Tick(int64(j - lastRow))
+				lastRow = j
+				_ = lb.apply(pe, st, j-1, j, x != lastCol, false)
 			}
 		}
+		pe.Tick(int64(h-1) - int64(lastRow))
 		// Phase two: replay relevant unions arriving from the previous
 		// column until eos.
 		// Speculation throttle (stands in for the paper's quash
@@ -113,6 +173,7 @@ func (lb *labeler) runPass(dir slap.Direction) []*colState {
 		// speculating for the rest of the pass.
 		const specWasteBudget = 8
 		var specFired, specWasted int64
+		speculating := lb.opt.Speculate && x != lastCol
 		if pe.HasIn() {
 			if lb.opt.IdleCompression && st.forest != nil && len(st.ones) > 0 {
 				cursor := 0
@@ -144,15 +205,17 @@ func (lb *labeler) runPass(dir slap.Direction) []*colState {
 				// next-column neighbors share a component and the
 				// downstream union is at worst a no-op.
 				speculated := false
-				throttled := specWasted >= specWasteBudget && specWasted > specFired-specWasted
-				if lb.opt.Speculate && x != lastCol && !throttled {
-					pe.Tick(1)
-					wa, wb := lb.witness(x, int(msg.A), dx), lb.witness(x, int(msg.B), dx)
-					if wa != -1 && wb != -1 {
-						pe.Send(slap.Msg{Kind: msgUnion, A: wa, B: wb, Words: 2})
-						st.specSends++
-						specFired++
-						speculated = true
+				if speculating {
+					throttled := specWasted >= specWasteBudget && specWasted > specFired-specWasted
+					if !throttled {
+						pe.Tick(1)
+						wa, wb := lb.witnessIn(nextCol, int(msg.A)), lb.witnessIn(nextCol, int(msg.B))
+						if wa != -1 && wb != -1 {
+							pe.Send(slap.Msg{Kind: msgUnion, A: wa, B: wb, Words: 2})
+							st.specSends++
+							specFired++
+							speculated = true
+						}
 					}
 				}
 				if !lb.apply(pe, st, msg.A, msg.B, x != lastCol, speculated) && speculated {
@@ -165,41 +228,56 @@ func (lb *labeler) runPass(dir slap.Direction) []*colState {
 			pe.Send(slap.Msg{Kind: msgEOS})
 		}
 		// The PE's memory: column bits, union–find arrays, satellites.
-		pe.DeclareMemory(int64(h) + 2*int64(h) + 3*int64(len(st.adjnext)))
+		pe.DeclareMemory(int64(h) + 2*int64(h) + 3*int64(len(st.adj)/2))
 	})
 
 	// Step 2: a find on every pixel (also primes path compression so
-	// every later find is cheap, as §3 notes).
+	// every later find is cheap, as §3 notes). The phase is purely local,
+	// so every charge — the per-row bookkeeping tick and the union–find
+	// step costs — is accumulated and charged in one batch: the PE
+	// clocks are identical to ticking operation by operation.
+	unit := lb.opt.UnitCostUF
 	lb.m.RunLocal(passName(dir, "findall"), func(pe *slap.PE) {
-		st := cols[pe.Index]
-		for j := 0; j < h; j++ {
-			pe.Tick(1)
-			if st.col[j] {
-				lb.chargeUF(pe, st.uf, 1, func() { st.uf.Find(j) })
+		st := &cols[pe.Index]
+		ticks := int64(h)
+		for _, j := range st.ones {
+			_, cost := st.uf.FindCost(int(j))
+			if unit {
+				ticks++
+			} else {
+				ticks += cost
 			}
 		}
+		pe.Tick(ticks)
 	})
 
 	// Step 3 (Figure 6): the label pass, with the min rule (see below).
 	lb.m.RunSweep(passName(dir, "labelpass"), dir, func(pe *slap.PE) {
 		x := pe.Index
-		st := cols[x]
+		st := &cols[x]
 		// Sets with no previous-column adjacency label themselves with
 		// their first pixel's position and send the label onward once.
-		for j := 0; j < h; j++ {
-			pe.Tick(1)
-			if !st.col[j] {
-				continue
+		// Only 1-rows do work, so the ones list is walked and the row
+		// scan's per-row tick is charged in arrears before each find,
+		// exactly like the union–find pass's phase one.
+		lastRow := int32(-1)
+		for _, j := range st.ones {
+			pe.Tick(int64(j - lastRow))
+			lastRow = j
+			s, cost := st.uf.FindCost(int(j))
+			if unit {
+				pe.Tick(1)
+			} else {
+				pe.Tick(cost)
 			}
-			var s int
-			lb.chargeUF(pe, st.uf, 1, func() { s = st.uf.Find(j) })
-			if st.adjprev[s] == -1 && st.label[s] == -1 {
-				st.label[s] = posOf(x, j)
-				if st.adjnext[s] != -1 {
-					pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adjnext[s], Words: 2})
+			if st.adj[2*s+1] == -1 && st.label[s] == -1 {
+				st.label[s] = posOf(x, int(j))
+				if st.adj[2*s] != -1 {
+					pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adj[2*s], Words: 2})
 				}
 			}
 		}
+		pe.Tick(int64(h-1) - int64(lastRow))
 		// Incoming labels. Figure 6 overwrites label[S] per arrival; when
 		// two sets of the previous column merge only through this column,
 		// overwriting is order-dependent, so we apply the paper's §2
@@ -219,13 +297,18 @@ func (lb *labeler) runPass(dir slap.Direction) []*colState {
 				if msg.Kind != msgLabel {
 					panic(fmt.Sprintf("core: PE %d: unexpected message kind %d in label pass", x, msg.Kind))
 				}
-				var s int
-				lb.chargeUF(pe, st.uf, 1, func() { s = st.uf.Find(int(msg.B)) })
-				pe.Tick(1)
+				// One find charge plus the record's bookkeeping step,
+				// fused (no send happens between them).
+				s, cost := st.uf.FindCost(int(msg.B))
+				if unit {
+					pe.Tick(2)
+				} else {
+					pe.Tick(cost + 1)
+				}
 				if st.label[s] == -1 || msg.A < st.label[s] {
 					st.label[s] = msg.A
-					if st.adjnext[s] != -1 {
-						pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adjnext[s], Words: 2})
+					if st.adj[2*s] != -1 {
+						pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adj[2*s], Words: 2})
 					}
 				}
 			}
@@ -235,55 +318,97 @@ func (lb *labeler) runPass(dir slap.Direction) []*colState {
 		}
 	})
 
-	// Step 4: assign each pixel its set's label.
+	// Step 4: assign each pixel its set's label (purely local: charges
+	// are batched like findall's).
 	lb.m.RunLocal(passName(dir, "assign"), func(pe *slap.PE) {
-		st := cols[pe.Index]
-		for j := 0; j < h; j++ {
-			pe.Tick(1)
-			if !st.col[j] {
-				continue
+		st := &cols[pe.Index]
+		ticks := int64(h)
+		for _, j := range st.ones {
+			s, cost := st.uf.FindCost(int(j))
+			if unit {
+				ticks++
+			} else {
+				ticks += cost
 			}
-			var s int
-			lb.chargeUF(pe, st.uf, 1, func() { s = st.uf.Find(j) })
 			if st.label[s] == -1 {
 				panic(fmt.Sprintf("core: PE %d row %d: set %d never received a label", pe.Index, j, s))
 			}
 			st.out[j] = st.label[s]
 		}
+		pe.Tick(ticks)
 	})
 
 	// Fold the per-PE speculation counters (kept PE-local so concurrent
 	// sweeps never touch shared labeler state).
-	for _, st := range cols {
-		lb.spec.Sends += st.specSends
-		lb.spec.Wasted += st.specWasted
+	for x := range cols {
+		lb.spec.Sends += cols[x].specSends
+		lb.spec.Wasted += cols[x].specWasted
 	}
 	return cols
 }
 
-// newColState builds the per-column pass state for column x.
-func (lb *labeler) newColState(x int) *colState {
-	h := lb.h
-	uf, _ := unionfind.Make(lb.opt.UF, h)
-	st := &colState{
-		col: lb.img.Column(x, nil),
-		uf:  unionfind.NewMeter(uf),
+// ensurePass returns the pass arena sized to the current run's width,
+// growing it (and carrying over existing column states) when needed.
+func (lb *Labeler) ensurePass(p int) []colState {
+	if cap(lb.passCols[p]) < lb.w {
+		grown := make([]colState, lb.w)
+		copy(grown, lb.passCols[p])
+		lb.passCols[p] = grown
 	}
-	if f, ok := uf.(*unionfind.Forest); ok {
+	lb.passCols[p] = lb.passCols[p][:lb.w]
+	return lb.passCols[p]
+}
+
+// resetColState re-initializes the per-column pass state for column x of
+// the current image, reusing every backing array of a previous run. A
+// reset state is indistinguishable from a freshly built one. When share
+// is non-nil its column bits and 1-row list are adopted by reference
+// (they depend only on the image, not the sweep direction, and stay
+// immutable for the rest of the run).
+func (lb *Labeler) resetColState(st *colState, x int, share *colState) {
+	h := lb.h
+	if share != nil {
+		st.col = share.col
+	} else {
+		st.col = lb.img.Column(x, growBools(st.col, h))[:h]
+	}
+	if st.uf == nil || st.kind != lb.opt.UF {
+		inner, _ := unionfind.Make(lb.opt.UF, h)
+		st.uf = unionfind.NewMeter(inner)
+		// Only Stats/MaxOpCost feed the UF report; skip the histogram.
+		st.uf.DisableHistogram()
+		st.kind = lb.opt.UF
+	} else {
+		st.uf.Reset(h)
+	}
+	st.forest = nil
+	if f, ok := st.uf.Unwrap().(*unionfind.Forest); ok {
 		st.forest = f
 	}
-	cb := uf.CapBound()
-	st.adjnext = fillNeg(make([]int32, cb))
-	st.adjprev = fillNeg(make([]int32, cb))
-	st.label = fillNeg(make([]int32, cb))
-	st.out = fillNeg(make([]int32, h))
-	for j := 0; j < h; j++ {
-		if st.col[j] {
-			st.ones = append(st.ones, int32(j))
+	cb := st.uf.CapBound()
+	// adj needs no -1 pre-fill: every slot the passes read is written
+	// first (witnesses for 1-rows in the make-set loop, merged roots in
+	// apply's satellite fold — and 0-rows are never unioned, so stale
+	// slots are unreachable). label is different: "label[s] == -1" is
+	// the not-yet-labeled sentinel the label pass tests before any
+	// write. out is re-filled too, purely to keep the merge's "missing
+	// pass label" sanity panic meaningful (a block copy; the cost is
+	// noise).
+	st.adj = unionfind.GrowInt32(st.adj, 2*cb)
+	st.label = fillNeg(unionfind.GrowInt32(st.label, cb))
+	st.out = fillNeg(unionfind.GrowInt32(st.out, h))
+	if share != nil {
+		st.ones = share.ones
+	} else {
+		st.ones = st.ones[:0]
+		for j := 0; j < h; j++ {
+			if st.col[j] {
+				st.ones = append(st.ones, int32(j))
+			}
 		}
 	}
+	st.specSends, st.specWasted = 0, 0
 	lb.meters = append(lb.meters, st.uf)
-	return st
 }
 
 // apply is the paper's Apply (Figure 5): union the sets holding the two
@@ -292,26 +417,28 @@ func (lb *labeler) newColState(x int) *colState {
 // already forwarded speculatively, the normal forward is suppressed
 // (both messages would union the same two downstream sets). It reports
 // whether the two rows were in distinct sets.
-func (lb *labeler) apply(pe *slap.PE, st *colState, top, bot int32, hasOut, speculated bool) bool {
+func (lb *Labeler) apply(pe *slap.PE, st *colState, top, bot int32, hasOut, speculated bool) bool {
 	if !st.col[top] || !st.col[bot] {
 		panic(fmt.Sprintf("core: PE %d: union witness rows (%d,%d) include a 0-pixel", pe.Index, top, bot))
 	}
-	var root, a, b int
-	var united bool
-	lb.chargeUF(pe, st.uf, 1, func() {
-		root, a, b, united = st.uf.Union(int(top), int(bot))
-	})
+	root, a, b, united, cost := st.uf.UnionCost(int(top), int(bot))
+	if lb.opt.UnitCostUF {
+		pe.Tick(1)
+	} else {
+		pe.Tick(cost)
+	}
 	if !united {
 		return false
 	}
 	// Forward the relevant union before folding satellites: the witness
 	// rows must be the pre-union ones (Figure 5 enqueues before Union).
-	if !speculated && st.adjnext[a] != -1 && st.adjnext[b] != -1 && hasOut {
-		pe.Send(slap.Msg{Kind: msgUnion, A: st.adjnext[a], B: st.adjnext[b], Words: 2})
+	adj := st.adj
+	if !speculated && adj[2*a] != -1 && adj[2*b] != -1 && hasOut {
+		pe.Send(slap.Msg{Kind: msgUnion, A: adj[2*a], B: adj[2*b], Words: 2})
 	}
 	pe.Tick(1)
-	st.adjnext[root] = firstWitness(st.adjnext[a], st.adjnext[b])
-	st.adjprev[root] = firstWitness(st.adjprev[a], st.adjprev[b])
+	adj[2*root] = firstWitness(adj[2*a], adj[2*b])
+	adj[2*root+1] = firstWitness(adj[2*a+1], adj[2*b+1])
 	return true
 }
 
@@ -326,25 +453,50 @@ func firstWitness(a, b int32) int32 {
 // witness returns a row of column x+dir holding a 1-pixel adjacent to
 // pixel (x, j) under the configured connectivity, or -1 (the paper's
 // nil). Constant work; the returned row identifies where the neighboring
-// column should replay information concerning (x, j)'s set.
-func (lb *labeler) witness(x, j, dir int) int32 {
-	if lb.img.Get(x+dir, j) {
+// column should replay information concerning (x, j)'s set. It reads the
+// neighbor's column bits from the pass arena (every column is unpacked
+// before the sweeps start), which is cheaper than re-extracting bits
+// from the image on the simulator's hottest path.
+func (lb *Labeler) witness(cols []colState, x, j, dir int) int32 {
+	nx := x + dir
+	if nx < 0 || nx >= lb.w {
+		return -1
+	}
+	return lb.witnessIn(cols[nx].col, j)
+}
+
+// witnessIn is witness against an already-resolved neighbor column
+// (nil when the neighbor is off the edge of the image).
+func (lb *Labeler) witnessIn(ncol []bool, j int) int32 {
+	if ncol == nil {
+		return -1
+	}
+	if ncol[j] {
 		return int32(j)
 	}
 	if lb.opt.Connectivity == bitmap.Conn8 {
-		if lb.img.Get(x+dir, j-1) {
+		if j > 0 && ncol[j-1] {
 			return int32(j - 1)
 		}
-		if lb.img.Get(x+dir, j+1) {
+		if j+1 < len(ncol) && ncol[j+1] {
 			return int32(j + 1)
 		}
 	}
 	return -1
 }
 
+// fillNeg fills s with -1 (the paper's nil) by block-copying from a
+// shared template: reset paths fill thousands of satellite arrays per
+// run, and a memmove beats an element-by-element loop.
 func fillNeg(s []int32) []int32 {
-	for i := range s {
-		s[i] = -1
-	}
+	copy(s, unionfind.NegTable(len(s)))
 	return s
+}
+
+// growBools returns a length-n slice backed by s's array when possible.
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

@@ -54,7 +54,8 @@ func (d Direction) String() string {
 // PE is one processing element's view during a phase: a virtual clock,
 // an inbound link from the previous PE of the sweep and an outbound link
 // toward the next. Programs call Tick for local work, Send/Recv/RecvWait
-// for communication, and may install idle work with OnIdle.
+// for communication, and may install idle work with OnIdle. A PE is only
+// valid for the duration of the phase body it is passed to.
 type PE struct {
 	// Index is the PE's position, 0..n-1 (the column it holds).
 	Index int
@@ -65,11 +66,26 @@ type PE struct {
 	out    *link
 	idleFn func()
 
-	// Parallel-mode link endpoints and the consumer-side record log
-	// (see parallel.go); nil in sequential mode.
-	inCh    chan timedMsg
-	outCh   chan timedMsg
-	recvLog []timedMsg
+	// noPoll marks parallel-mode execution, where the non-blocking Recv
+	// poll is unsupported (see parallel.go) — also on the sequential
+	// executor when it stands in for the concurrent engine, so programs
+	// behave identically on every host.
+	noPoll bool
+
+	// Batched link endpoints of the concurrent engine (see parallel.go);
+	// nil in sequential mode.
+	inCh   chan []timedMsg
+	outCh  chan []timedMsg
+	inBuf  []timedMsg
+	inPos  int
+	outBuf []timedMsg
+	pool   chan []timedMsg
+
+	// Streaming peak-backlog tracker (consumer side, concurrent engine):
+	// consume times of not-yet-retired records, a sliding window.
+	pendCons   []int64
+	pendHead   int
+	maxBacklog int
 
 	busy     int64
 	idleTime int64
@@ -83,10 +99,11 @@ type PE struct {
 // Now returns the PE's clock within the current phase.
 func (pe *PE) Now() int64 { return pe.clock }
 
-// Tick charges units of local computation.
+// Tick charges units of local computation. (The panic is a constant so
+// Tick stays within the inlining budget of the simulation's hot loops.)
 func (pe *PE) Tick(units int64) {
 	if units < 0 {
-		panic(fmt.Sprintf("slap: negative tick %d on PE %d", units, pe.Index))
+		panic("slap: negative tick")
 	}
 	d := units * pe.cost.LocalStep
 	pe.clock += d
@@ -120,7 +137,7 @@ func (pe *PE) Send(m Msg) {
 		return
 	}
 	if pe.out == nil {
-		panic(fmt.Sprintf("slap: PE %d has no outbound link", pe.Index))
+		pe.sendNoLink()
 	}
 	w := m.words()
 	d := w * pe.cost.WordSteps
@@ -131,12 +148,16 @@ func (pe *PE) Send(m Msg) {
 	pe.out.msgs = append(pe.out.msgs, timedMsg{msg: m, ready: pe.clock, consumeAt: -1})
 }
 
+func (pe *PE) sendNoLink() {
+	panic(fmt.Sprintf("slap: PE %d has no outbound link", pe.Index))
+}
+
 // Recv performs one dequeue attempt (one QueueOp charge): it returns the
 // earliest unconsumed inbound record whose ready time has passed, or
 // ok=false when the queue is empty at this instant — the paper's
 // "Dequeue returns nil if empty queue".
 func (pe *PE) Recv() (m Msg, ok bool) {
-	if pe.inCh != nil {
+	if pe.noPoll {
 		panic(errRecvParallel(pe.Index))
 	}
 	pe.clock += pe.cost.QueueOp
@@ -153,6 +174,7 @@ func (pe *PE) Recv() (m Msg, ok bool) {
 	pe.in.consumed++
 	next.consumeAt = pe.clock
 	pe.recvs++
+	pe.noteBacklog(next.ready, pe.clock)
 	return next.msg, true
 }
 
@@ -172,10 +194,15 @@ func (pe *PE) RecvWait() (m Msg, ok bool) {
 	}
 	next := &pe.in.msgs[pe.in.consumed]
 	// Polls complete at clock+Q, clock+2Q, …; the successful one is the
-	// first completing at or after next.ready.
+	// first completing at or after next.ready. (The unit-cost model is
+	// the overwhelmingly common case; skip its division.)
 	polls := int64(1)
 	if diff := next.ready - pe.clock; diff > pe.cost.QueueOp {
-		polls = (diff + pe.cost.QueueOp - 1) / pe.cost.QueueOp
+		if pe.cost.QueueOp == 1 {
+			polls = diff
+		} else {
+			polls = (diff + pe.cost.QueueOp - 1) / pe.cost.QueueOp
+		}
 	}
 	if pe.idleFn != nil {
 		for i := int64(1); i < polls; i++ {
@@ -195,6 +222,7 @@ func (pe *PE) RecvWait() (m Msg, ok bool) {
 	pe.in.consumed++
 	next.consumeAt = pe.clock
 	pe.recvs++
+	pe.noteBacklog(next.ready, pe.clock)
 	return next.msg, true
 }
 
@@ -252,13 +280,23 @@ func (m *Metrics) Phase(name string) (PhaseMetrics, bool) {
 }
 
 // Machine is an n-PE SLAP. Programs run against it phase by phase; it
-// accumulates Metrics.
+// accumulates Metrics. A Machine can be reused across runs with Reset,
+// in which case its internal link and PE scratch memory is recycled —
+// the hot path of a reused machine allocates nothing.
 type Machine struct {
 	n        int
 	cost     CostModel
 	metrics  Metrics
 	profile  bool
 	parallel bool
+	// alwaysConcurrent forces the concurrent sweep engine even when the
+	// host has no parallelism (tests exercise the engine with it).
+	alwaysConcurrent bool
+
+	// Arenas reused across phases and runs.
+	scratchPE PE
+	freeLinks []*link
+	pendBuf   []int64 // backlog-tracker buffer handed to the scratch PE
 }
 
 // EnableProfile turns on per-PE completion-time recording (PhaseMetrics.
@@ -267,13 +305,27 @@ func (mc *Machine) EnableProfile() { mc.profile = true }
 
 // NewMachine returns an n-PE machine under the given cost model.
 func NewMachine(n int, cost CostModel) *Machine {
+	mc := &Machine{}
+	mc.Reset(n, cost)
+	return mc
+}
+
+// Reset re-initializes the machine to n PEs under the given cost model,
+// clearing accumulated metrics and mode flags while keeping internal
+// buffers for reuse. A reset machine is observationally identical to a
+// fresh NewMachine(n, cost).
+func (mc *Machine) Reset(n int, cost CostModel) {
 	if n < 0 {
 		panic(fmt.Sprintf("slap: negative machine size %d", n))
 	}
 	if err := cost.Validate(); err != nil {
 		panic(err)
 	}
-	return &Machine{n: n, cost: cost, metrics: Metrics{N: n}}
+	mc.n = n
+	mc.cost = cost
+	mc.profile = false
+	mc.parallel = false
+	mc.metrics = Metrics{N: n, Phases: mc.metrics.Phases[:0]}
 }
 
 // N returns the number of PEs.
@@ -282,8 +334,33 @@ func (mc *Machine) N() int { return mc.n }
 // Cost returns the machine's cost model.
 func (mc *Machine) Cost() CostModel { return mc.cost }
 
-// Metrics returns the metrics accumulated so far.
-func (mc *Machine) Metrics() Metrics { return mc.metrics }
+// Metrics returns the metrics accumulated so far. The returned value is
+// an independent copy: it stays valid after the machine is reset.
+func (mc *Machine) Metrics() Metrics {
+	m := mc.metrics
+	m.Phases = append([]PhaseMetrics(nil), mc.metrics.Phases...)
+	for i := range m.Phases {
+		if p := m.Phases[i].PerPE; p != nil {
+			m.Phases[i].PerPE = append([]int64(nil), p...)
+		}
+	}
+	return m
+}
+
+// acquireLink returns an empty link, recycling a released one if any.
+func (mc *Machine) acquireLink() *link {
+	if k := len(mc.freeLinks); k > 0 {
+		l := mc.freeLinks[k-1]
+		mc.freeLinks = mc.freeLinks[:k-1]
+		l.msgs = l.msgs[:0]
+		l.consumed = 0
+		return l
+	}
+	return &link{}
+}
+
+// releaseLink returns a fully folded link to the arena.
+func (mc *Machine) releaseLink(l *link) { mc.freeLinks = append(mc.freeLinks, l) }
 
 // ChargeGlobal records a phase that occupies every PE for the given
 // number of steps — used for the image input phase (one row per step,
@@ -304,8 +381,9 @@ func (mc *Machine) ChargeGlobal(name string, steps int64) {
 func (mc *Machine) RunLocal(name string, body func(pe *PE)) int64 {
 	var phase PhaseMetrics
 	phase.Name = name
+	pe := &mc.scratchPE
 	for i := 0; i < mc.n; i++ {
-		pe := &PE{Index: i, cost: mc.cost}
+		*pe = PE{Index: i, cost: mc.cost}
 		body(pe)
 		mc.foldPE(&phase, pe)
 	}
@@ -321,32 +399,47 @@ func (mc *Machine) RunSweep(name string, dir Direction, body func(pe *PE)) int64
 	if mc.parallel {
 		return mc.runSweepParallel(name, dir, body)
 	}
+	return mc.runSweepSeq(name, dir, body, false)
+}
+
+// runSweepSeq executes the sweep on the calling goroutine in topological
+// order. At most two link buffers are ever live — the one the current PE
+// consumes and the one it produces; a link is folded into the queue
+// statistics and recycled as soon as its consumer finishes, so a sweep
+// over a reused machine allocates nothing.
+func (mc *Machine) runSweepSeq(name string, dir Direction, body func(pe *PE), noPoll bool) int64 {
 	var phase PhaseMetrics
 	phase.Name = name
-	links := make([]*link, mc.n) // links[i] = outbound link of the i-th PE in sweep order
+	var in, out *link
+	pe := &mc.scratchPE
 	for pos := 0; pos < mc.n; pos++ {
 		idx := pos
 		if dir == RightToLeft {
 			idx = mc.n - 1 - pos
 		}
-		pe := &PE{Index: idx, cost: mc.cost}
-		if pos > 0 {
-			pe.in = links[pos-1]
-		}
+		out = nil
 		if pos < mc.n-1 {
-			links[pos] = &link{}
-			pe.out = links[pos]
+			out = mc.acquireLink()
 		}
+		*pe = PE{Index: idx, cost: mc.cost, in: in, out: out, noPoll: noPoll, pendCons: mc.pendBuf[:0]}
 		body(pe)
 		mc.foldPE(&phase, pe)
-	}
-	for _, l := range links {
-		if l == nil {
-			continue
+		mc.pendBuf = pe.pendCons[:0]
+		if in != nil {
+			// The consumer streamed its own peak backlog; a full link
+			// rescan is only needed when records were left unconsumed
+			// (impossible for the eos-terminated programs in this
+			// repository, but legal for the machine).
+			q := pe.maxBacklog
+			if in.consumed != len(in.msgs) {
+				q = peakBacklog(in)
+			}
+			if q > phase.MaxQueue {
+				phase.MaxQueue = q
+			}
+			mc.releaseLink(in)
 		}
-		if q := peakBacklog(l); q > phase.MaxQueue {
-			phase.MaxQueue = q
-		}
+		in = out
 	}
 	mc.metrics.add(phase)
 	return phase.Makespan

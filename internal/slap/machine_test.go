@@ -385,6 +385,61 @@ func TestProfilePerPE(t *testing.T) {
 	}
 }
 
+// TestMachineResetMatchesFresh: a reset machine must be observationally
+// identical to a fresh one, and its sweeps must stop allocating once the
+// link arena is warm.
+func TestMachineResetMatchesFresh(t *testing.T) {
+	run := func(m *Machine) Metrics {
+		m.ChargeGlobal("input", 3)
+		m.RunSweep("s", LeftToRight, func(pe *PE) {
+			if !pe.HasIn() {
+				for i := 0; i < 10; i++ {
+					pe.Tick(2)
+					pe.Send(Msg{Kind: 1, Words: 2})
+				}
+				pe.Send(Msg{Kind: 0})
+				return
+			}
+			for {
+				msg, ok := pe.RecvWait()
+				if !ok || msg.Kind == 0 {
+					return
+				}
+				pe.Tick(1)
+			}
+		})
+		m.RunLocal("l", func(pe *PE) { pe.Tick(int64(pe.Index)) })
+		return m.Metrics()
+	}
+	fresh := run(NewMachine(6, Unit()))
+	reused := NewMachine(9, BitSerial(4))
+	run(reused) // dirty it
+	reused.Reset(6, Unit())
+	if got := run(reused); !metricsEqual(fresh, got) {
+		t.Fatalf("reset machine diverges:\nfresh  %+v\nreused %+v", fresh, got)
+	}
+	// The copy Metrics returns must survive a Reset.
+	snapshot := reused.Metrics()
+	phases := len(snapshot.Phases)
+	reused.Reset(2, Unit())
+	run(reused)
+	if len(snapshot.Phases) != phases || snapshot.Phases[0].Name != "input" {
+		t.Fatal("Metrics snapshot corrupted by machine reuse")
+	}
+	// Warm sequential sweeps allocate nothing.
+	m := NewMachine(6, Unit())
+	run(m)
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Reset(6, Unit())
+		run(m)
+	})
+	// Metrics() deep-copies its phase slice per call; everything else is
+	// arena-backed.
+	if allocs > 4 {
+		t.Fatalf("warm sequential run allocates %.1f times, want ≤ 4", allocs)
+	}
+}
+
 // Property: for any pattern of sender delays, the receiver's completion
 // time equals max over records of (arrival chain), and busy+idle = clock
 // on the receiving PE.

@@ -2,15 +2,30 @@ package slap
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// The concurrent sweep engine runs every PE as its own goroutine with
-// channel links, exploiting the pipeline parallelism of the simulated
-// array on the host machine. Virtual time is unaffected: message ready
-// times and the receivers' poll arithmetic are computed exactly as in
-// the sequential engine, so both engines produce identical Metrics (the
-// tests demand bit-equality). Only wall-clock time differs.
+// The concurrent sweep engine runs every PE as its own goroutine,
+// exploiting the pipeline parallelism of the simulated array on the host
+// machine. Virtual time is unaffected: message ready times and the
+// receivers' poll arithmetic are computed exactly as in the sequential
+// engine, so both engines produce identical Metrics (the tests demand
+// bit-equality). Only wall-clock time differs.
+//
+// Links carry *batches* of records rather than single records: a
+// producer accumulates up to batchSize records in a local buffer and
+// publishes the whole buffer with one channel operation (flushing early
+// when it is itself about to block, so the pipeline never stalls on an
+// unpublished batch). This amortizes the per-record synchronization that
+// made a channel-per-record engine slower than the sequential one, which
+// defeated the engine's purpose.
+//
+// On a host without parallelism (GOMAXPROCS=1) goroutines cannot
+// overlap, so any synchronization is pure overhead: the engine then
+// delegates to the sequential executor, keeping the parallel-mode API
+// restrictions below so programs behave identically everywhere.
 //
 // Restrictions in parallel mode:
 //   - Recv (the non-blocking single poll) is unsupported: knowing that
@@ -20,32 +35,59 @@ import (
 //   - Phase bodies must not share mutable state across PEs (the engine
 //     cannot check this; the race detector can).
 
-// linkChanCap bounds in-flight records per link; producers block when a
-// consumer falls this far behind, throttling only wall time.
-const linkChanCap = 1 << 12
+const (
+	// batchSize is the number of records a producer accumulates before
+	// publishing a batch to its consumer.
+	batchSize = 256
+	// linkDepth bounds the published batches in flight per link;
+	// producers block when a consumer falls this far behind, throttling
+	// only wall time.
+	linkDepth = 8
+)
 
 // EnableParallel switches RunSweep to the concurrent engine for
 // subsequently executed phases.
 func (mc *Machine) EnableParallel() { mc.parallel = true }
 
-// runSweepParallel is RunSweep's concurrent twin. A panic in any PE
+// forceConcurrent bypasses the single-core delegate below, so
+// conformance tests can exercise the batched concurrent engine end to
+// end regardless of the host's GOMAXPROCS.
+var forceConcurrent atomic.Bool
+
+// ForceConcurrentEngines toggles the test hook that makes parallel-mode
+// sweeps use the concurrent engine even on single-core hosts. It exists
+// for engine-equivalence tests; production callers never need it.
+func ForceConcurrentEngines(on bool) { forceConcurrent.Store(on) }
+
+// runSweepParallel picks the executor for a parallel-mode sweep.
+func (mc *Machine) runSweepParallel(name string, dir Direction, body func(pe *PE)) int64 {
+	if !mc.alwaysConcurrent && !forceConcurrent.Load() && runtime.GOMAXPROCS(0) == 1 {
+		return mc.runSweepSeq(name, dir, body, true)
+	}
+	return mc.runSweepConcurrent(name, dir, body)
+}
+
+// runSweepConcurrent is RunSweep's concurrent twin. A panic in any PE
 // goroutine is captured and re-raised on the caller's goroutine after
 // the phase drains, preserving the sequential engine's failure behavior.
-func (mc *Machine) runSweepParallel(name string, dir Direction, body func(pe *PE)) int64 {
+func (mc *Machine) runSweepConcurrent(name string, dir Direction, body func(pe *PE)) int64 {
 	var phase PhaseMetrics
 	phase.Name = name
 	pes := make([]*PE, mc.n)
 	panics := make([]any, mc.n)
-	var prev chan timedMsg
+	// pool recycles batch buffers machine-wide for the phase.
+	pool := make(chan []timedMsg, 8*runtime.GOMAXPROCS(0))
+	var prev chan []timedMsg
 	var wg sync.WaitGroup
 	for pos := 0; pos < mc.n; pos++ {
 		idx := pos
 		if dir == RightToLeft {
 			idx = mc.n - 1 - pos
 		}
-		pe := &PE{Index: idx, cost: mc.cost, inCh: prev}
+		pe := &PE{Index: idx, cost: mc.cost, inCh: prev, pool: pool, noPoll: true}
 		if pos < mc.n-1 {
-			pe.outCh = make(chan timedMsg, linkChanCap)
+			pe.outCh = make(chan []timedMsg, linkDepth)
+			pe.outBuf = make([]timedMsg, 0, batchSize)
 			prev = pe.outCh
 		}
 		pes[pos] = pe
@@ -57,13 +99,15 @@ func (mc *Machine) runSweepParallel(name string, dir Direction, body func(pe *PE
 					panics[pos] = r
 				}
 				if pe.outCh != nil {
+					pe.flushOut()
 					close(pe.outCh)
 				}
 				// Drain the inbound link so an upstream producer never
 				// blocks forever if this PE stopped early (e.g. after a
 				// captured panic).
 				if pe.inCh != nil {
-					for range pe.inCh {
+					for b := range pe.inCh {
+						pe.putBatch(b)
 					}
 				}
 			}()
@@ -79,15 +123,42 @@ func (mc *Machine) runSweepParallel(name string, dir Direction, body func(pe *PE
 	// Fold in array order so aggregation is deterministic.
 	for _, pe := range pes {
 		mc.foldPE(&phase, pe)
-		if q := peakBacklogLog(pe.recvLog); q > phase.MaxQueue {
-			phase.MaxQueue = q
+		if pe.maxBacklog > phase.MaxQueue {
+			phase.MaxQueue = pe.maxBacklog
 		}
 	}
 	mc.metrics.add(phase)
 	return phase.Makespan
 }
 
-// sendCh transmits on the channel link (parallel mode).
+// getBatch returns an empty batch buffer, recycling from the pool.
+func (pe *PE) getBatch() []timedMsg {
+	select {
+	case b := <-pe.pool:
+		return b[:0]
+	default:
+		return make([]timedMsg, 0, batchSize)
+	}
+}
+
+// putBatch offers a spent batch buffer back to the pool.
+func (pe *PE) putBatch(b []timedMsg) {
+	select {
+	case pe.pool <- b:
+	default:
+	}
+}
+
+// flushOut publishes the producer's pending batch, if any.
+func (pe *PE) flushOut() {
+	if len(pe.outBuf) == 0 {
+		return
+	}
+	pe.outCh <- pe.outBuf
+	pe.outBuf = pe.getBatch()
+}
+
+// sendCh transmits on the batched link (concurrent engine).
 func (pe *PE) sendCh(m Msg) {
 	w := m.words()
 	d := w * pe.cost.WordSteps
@@ -95,17 +166,39 @@ func (pe *PE) sendCh(m Msg) {
 	pe.busy += d
 	pe.sends++
 	pe.words += w
-	pe.outCh <- timedMsg{msg: m, ready: pe.clock, consumeAt: -1}
+	pe.outBuf = append(pe.outBuf, timedMsg{msg: m, ready: pe.clock, consumeAt: -1})
+	if len(pe.outBuf) == batchSize {
+		pe.flushOut()
+	}
 }
 
-// recvWaitCh blocks on the channel link until a record arrives or the
+// recvWaitCh blocks on the batched link until a record arrives or the
 // producer closes the stream, then applies the same poll arithmetic as
-// the sequential engine.
+// the sequential engine. Before blocking it publishes its own pending
+// batch so downstream PEs keep working through the stall.
 func (pe *PE) recvWaitCh() (Msg, bool) {
-	tm, ok := <-pe.inCh
-	if !ok {
-		return Msg{}, false
+	if pe.inPos == len(pe.inBuf) {
+		if pe.inBuf != nil {
+			pe.putBatch(pe.inBuf)
+			pe.inBuf = nil
+		}
+		var b []timedMsg
+		var ok bool
+		select {
+		case b, ok = <-pe.inCh:
+		default:
+			if pe.outCh != nil {
+				pe.flushOut()
+			}
+			b, ok = <-pe.inCh
+		}
+		if !ok {
+			return Msg{}, false
+		}
+		pe.inBuf, pe.inPos = b, 0
 	}
+	tm := &pe.inBuf[pe.inPos]
+	pe.inPos++
 	polls := int64(1)
 	if diff := tm.ready - pe.clock; diff > pe.cost.QueueOp {
 		polls = (diff + pe.cost.QueueOp - 1) / pe.cost.QueueOp
@@ -126,28 +219,29 @@ func (pe *PE) recvWaitCh() (Msg, bool) {
 	pe.clock += pe.cost.QueueOp
 	pe.busy += pe.cost.QueueOp
 	pe.recvs++
-	tm.consumeAt = pe.clock
-	pe.recvLog = append(pe.recvLog, tm)
+	pe.noteBacklog(tm.ready, pe.clock)
 	return tm.msg, true
 }
 
-// peakBacklogLog computes the peak link backlog from a consumer's log of
-// (ready, consumeAt) pairs; both sequences are non-decreasing, exactly as
-// in the sequential engine's peakBacklog.
-func peakBacklogLog(log []timedMsg) int {
-	peak, cur := 0, 0
-	j := 0
-	for i := range log {
-		for j < i && log[j].consumeAt >= 0 && log[j].consumeAt < log[i].ready {
-			cur--
-			j++
-		}
-		cur++
-		if cur > peak {
-			peak = cur
-		}
+// noteBacklog streams the peak-backlog computation of the sequential
+// engine's peakBacklog: pendCons holds the consume times of previously
+// consumed records not yet retired; a record consumed strictly before the
+// new record's ready time had left the queue by the time the new record
+// entered it. Ready and consume times are both non-decreasing, so the
+// window only moves forward and the work is O(1) amortized.
+func (pe *PE) noteBacklog(ready, consumeAt int64) {
+	for pe.pendHead < len(pe.pendCons) && pe.pendCons[pe.pendHead] < ready {
+		pe.pendHead++
 	}
-	return peak
+	if cur := len(pe.pendCons) - pe.pendHead + 1; cur > pe.maxBacklog {
+		pe.maxBacklog = cur
+	}
+	if pe.pendHead > 32 && 2*pe.pendHead >= len(pe.pendCons) {
+		n := copy(pe.pendCons, pe.pendCons[pe.pendHead:])
+		pe.pendCons = pe.pendCons[:n]
+		pe.pendHead = 0
+	}
+	pe.pendCons = append(pe.pendCons, consumeAt)
 }
 
 // errRecvParallel is the panic message for unsupported polls.

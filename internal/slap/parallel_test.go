@@ -47,6 +47,10 @@ func runBothEngines(t *testing.T, n, records int, work int64, dir Direction) (se
 	ms.RunSweep("p", dir, pipelineProgram(t, records, work))
 	mp := NewMachine(n, Unit())
 	mp.EnableParallel()
+	// Force the concurrent engine so these tests exercise it even on a
+	// single-core host, where EnableParallel alone would delegate to the
+	// sequential executor.
+	mp.alwaysConcurrent = true
 	mp.RunSweep("p", dir, pipelineProgram(t, records, work))
 	return ms.Metrics(), mp.Metrics()
 }
@@ -114,6 +118,7 @@ func TestParallelIdleWork(t *testing.T) {
 		m := NewMachine(2, Unit())
 		if mode == 1 {
 			m.EnableParallel()
+			m.alwaysConcurrent = true
 		}
 		calls := 0
 		m.RunSweep("idle", LeftToRight, func(pe *PE) {
@@ -135,20 +140,55 @@ func TestParallelIdleWork(t *testing.T) {
 }
 
 func TestParallelRecvPanics(t *testing.T) {
-	m := NewMachine(2, Unit())
-	m.EnableParallel()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Recv in parallel mode should panic")
-		}
-	}()
-	m.RunSweep("bad", LeftToRight, func(pe *PE) {
-		if !pe.HasIn() {
-			pe.Send(Msg{})
-			return
-		}
-		pe.Recv()
-	})
+	// The poll restriction must hold on both parallel-mode executors: the
+	// concurrent engine and the single-core sequential delegate.
+	for _, force := range []bool{true, false} {
+		func() {
+			m := NewMachine(2, Unit())
+			m.EnableParallel()
+			m.alwaysConcurrent = force
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Recv in parallel mode should panic (forceConcurrent=%v)", force)
+				}
+			}()
+			m.RunSweep("bad", LeftToRight, func(pe *PE) {
+				if !pe.HasIn() {
+					pe.Send(Msg{})
+					return
+				}
+				pe.Recv()
+			})
+		}()
+	}
+}
+
+// TestParallelDelegateMatchesSequential pins the single-core fallback:
+// with the concurrent engine not forced, a parallel-mode sweep must
+// produce the same metrics as the plain sequential engine regardless of
+// which executor GOMAXPROCS selects.
+func TestParallelDelegateMatchesSequential(t *testing.T) {
+	ms := NewMachine(16, Unit())
+	ms.RunSweep("p", LeftToRight, pipelineProgram(t, 20, 2))
+	mp := NewMachine(16, Unit())
+	mp.EnableParallel()
+	mp.RunSweep("p", LeftToRight, pipelineProgram(t, 20, 2))
+	if !metricsEqual(ms.Metrics(), mp.Metrics()) {
+		t.Fatalf("delegated engine diverges:\nseq %+v\npar %+v", ms.Metrics(), mp.Metrics())
+	}
+}
+
+// TestBatchedEngineLargeStream pushes well past one batch per link so
+// batch publication, early flush, and buffer recycling all engage.
+func TestBatchedEngineLargeStream(t *testing.T) {
+	const n, records = 5, 3000 // records >> batchSize
+	seq, par := runBothEngines(t, n, records, 1, LeftToRight)
+	if !metricsEqual(seq, par) {
+		t.Fatalf("batched engine diverges on large stream:\nseq %+v\npar %+v", seq, par)
+	}
+	if seq.Sends == 0 {
+		t.Fatal("stream should carry records")
+	}
 }
 
 func TestParallelRunLocalUnaffected(t *testing.T) {

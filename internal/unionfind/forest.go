@@ -82,78 +82,103 @@ var _ UnionFind = (*Forest)(nil)
 
 // NewForest returns a forest of n singletons with the given rules.
 func NewForest(n int, link LinkRule, comp CompressRule) *Forest {
-	if n < 0 {
-		panic(fmt.Sprintf("unionfind: negative size %d", n))
-	}
-	f := &Forest{
-		parent: make([]int32, n),
-		link:   link,
-		comp:   comp,
-		sets:   n,
-	}
-	for i := range f.parent {
-		f.parent[i] = int32(i)
-	}
-	if link != LinkNaive {
-		f.weight = make([]int32, n)
-		for i := range f.weight {
-			if link == LinkBySize {
-				f.weight[i] = 1
-			} // ranks start at 0
-		}
-	}
+	f := &Forest{link: link, comp: comp}
+	f.Reset(n)
 	return f
 }
 
+// Reset re-initializes the forest to n singletons in place, keeping the
+// link and compression rules and reusing the parent/weight arrays when
+// they are large enough. The initial values are block-copied from shared
+// templates: simulations reset thousands of forests per run, and a
+// memmove beats an element-by-element loop.
+func (f *Forest) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("unionfind: negative size %d", n))
+	}
+	f.parent = GrowInt32(f.parent, n)
+	copy(f.parent, identityTable(n))
+	if f.link != LinkNaive {
+		f.weight = GrowInt32(f.weight, n)
+		if f.link == LinkBySize {
+			copy(f.weight, onesTable(n))
+		} else {
+			for i := range f.weight {
+				f.weight[i] = 0 // ranks start at 0
+			}
+		}
+	}
+	f.sets = n
+	f.steps = 0
+}
+
 // Find returns the root of x's tree, applying the configured compression.
-// Every parent-pointer traversal and every re-pointing charges one step.
+// Every parent-pointer traversal and every re-pointing charges one step
+// (steps are counted locally and folded into the cumulative counter once,
+// which keeps the hot loops in registers; the charged totals are
+// identical to counting per traversal).
 func (f *Forest) Find(x int) int {
+	parent := f.parent
 	switch f.comp {
 	case CompressFull:
-		root := int32(x)
-		f.steps++ // inspecting x's pointer
-		for f.parent[root] != root {
-			root = f.parent[root]
-			f.steps++
-		}
-		for cur := int32(x); f.parent[cur] != root; {
-			next := f.parent[cur]
-			f.parent[cur] = root
-			f.steps++
-			cur = next
-		}
+		root, steps := f.findFull(int32(x))
+		f.steps += steps
 		return int(root)
 	case CompressHalve:
 		cur := int32(x)
-		f.steps++
-		for f.parent[cur] != cur {
-			p := f.parent[cur]
-			g := f.parent[p]
-			f.parent[cur] = g
+		steps := int64(1)
+		for parent[cur] != cur {
+			p := parent[cur]
+			g := parent[p]
+			parent[cur] = g
 			cur = g
-			f.steps++
+			steps++
 		}
+		f.steps += steps
 		return int(cur)
 	case CompressSplit:
 		cur := int32(x)
-		f.steps++
-		for f.parent[cur] != cur {
-			p := f.parent[cur]
-			g := f.parent[p]
-			f.parent[cur] = g
+		steps := int64(1)
+		for parent[cur] != cur {
+			p := parent[cur]
+			g := parent[p]
+			parent[cur] = g
 			cur = p
-			f.steps++
+			steps++
 		}
+		f.steps += steps
 		return int(cur)
 	default: // CompressNone
 		cur := int32(x)
-		f.steps++
-		for f.parent[cur] != cur {
-			cur = f.parent[cur]
-			f.steps++
+		steps := int64(1)
+		for parent[cur] != cur {
+			cur = parent[cur]
+			steps++
 		}
+		f.steps += steps
 		return int(cur)
 	}
+}
+
+// findFull is the CompressFull find: it returns the root and the steps
+// to charge (one per traversal and re-pointing, plus the initial pointer
+// inspection) without touching the cumulative counter, so callers on the
+// simulator's hot path fold the cost exactly once.
+func (f *Forest) findFull(x int32) (int32, int64) {
+	parent := f.parent
+	root := x
+	steps := int64(1) // inspecting x's pointer
+	for parent[root] != root {
+		root = parent[root]
+		steps++
+	}
+	for cur := x; parent[cur] != root; {
+		next := parent[cur]
+		parent[cur] = root
+		steps++
+		cur = next
+	}
+	return root, steps
 }
 
 // Union links the roots of x's and y's trees per the link rule.

@@ -49,6 +49,9 @@ type KUF struct {
 	n     int
 	sets  int
 	steps int64
+	// autoK records that k was chosen by DefaultArity(n), so Reset to a
+	// different n re-derives it exactly as a fresh NewKUF would.
+	autoK bool
 
 	parent     []int32 // parentNone for roots, parentDead for freed nodes
 	height     []int16 // immutable per node
@@ -68,7 +71,9 @@ var _ UnionFind = (*KUF)(nil)
 // NewKUF returns a KUF over n singleton sets with the Theorem 3 arity
 // k = max(2, ⌈lg n / lg lg n⌉).
 func NewKUF(n int) *KUF {
-	return NewKUFArity(n, DefaultArity(n))
+	u := NewKUFArity(n, DefaultArity(n))
+	u.autoK = true
+	return u
 }
 
 // DefaultArity returns max(2, ⌈lg n / lg lg n⌉).
@@ -90,27 +95,57 @@ func DefaultArity(n int) int {
 
 // NewKUFArity returns a KUF with an explicit arity k ≥ 2.
 func NewKUFArity(n, k int) *KUF {
-	if n < 0 {
-		panic(fmt.Sprintf("unionfind: negative size %d", n))
-	}
 	if k < 2 {
 		panic(fmt.Sprintf("unionfind: KUF arity %d < 2", k))
 	}
-	u := &KUF{k: k, n: n, sets: n}
-	cap0 := n + n/2 + 4
-	u.parent = make([]int32, n, cap0)
-	u.height = make([]int16, n, cap0)
-	u.firstChild = make([]int32, n, cap0)
-	u.nextSib = make([]int32, n, cap0)
-	u.prevSib = make([]int32, n, cap0)
-	u.childCount = make([]int32, n, cap0)
+	u := &KUF{k: k}
+	u.Reset(n)
+	return u
+}
+
+// Reset re-initializes the structure to n singleton leaves in place,
+// truncating any internal nodes and reusing the node arrays. A KUF built
+// with NewKUF re-derives the Theorem 3 arity for the new n; an explicit
+// NewKUFArity arity is kept.
+func (u *KUF) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("unionfind: negative size %d", n))
+	}
+	if u.autoK {
+		u.k = DefaultArity(n)
+	}
+	u.n = n
+	u.sets = n
+	u.steps = 0
+	// The node arrays grow independently in newNode, and Go's size-class
+	// rounding can leave them with different capacities (int16 vs int32
+	// element sizes round differently) — so every capacity is checked,
+	// not just parent's.
+	if cap(u.parent) < n || cap(u.height) < n || cap(u.firstChild) < n ||
+		cap(u.nextSib) < n || cap(u.prevSib) < n || cap(u.childCount) < n {
+		cap0 := n + n/2 + 4
+		u.parent = make([]int32, n, cap0)
+		u.height = make([]int16, n, cap0)
+		u.firstChild = make([]int32, n, cap0)
+		u.nextSib = make([]int32, n, cap0)
+		u.prevSib = make([]int32, n, cap0)
+		u.childCount = make([]int32, n, cap0)
+	} else {
+		u.parent = u.parent[:n]
+		u.height = u.height[:n]
+		u.firstChild = u.firstChild[:n]
+		u.nextSib = u.nextSib[:n]
+		u.prevSib = u.prevSib[:n]
+		u.childCount = u.childCount[:n]
+	}
 	for i := 0; i < n; i++ {
 		u.parent[i] = parentNone
+		u.height[i] = 0
 		u.firstChild[i] = -1
 		u.nextSib[i] = -1
 		u.prevSib[i] = -1
+		u.childCount[i] = 0
 	}
-	return u
 }
 
 // Arity returns the configured k.

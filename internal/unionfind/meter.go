@@ -1,16 +1,26 @@
 package unionfind
 
+import "math/bits"
+
 // Meter wraps a UnionFind and records per-operation cost statistics:
 // the quantity Theorem 3 is about is the *worst single operation*, which
 // cumulative counters cannot show. Costs are measured as Steps() deltas.
 type Meter struct {
 	inner UnionFind
+	// forest caches the concrete type of a forest-backed inner structure:
+	// Find/Union on the simulator's hot path then skip the interface
+	// dispatch (the accounting is unchanged).
+	forest *Forest
 
 	finds, unions int64
 	findSteps     int64
 	unionSteps    int64
 	maxFind       int64
 	maxUnion      int64
+	// histOff disables the cost histogram (DisableHistogram): callers
+	// that only consume Stats/MaxOpCost — the simulator's hot path —
+	// skip the per-operation bucketing.
+	histOff bool
 	// hist[b] counts operations whose cost c satisfies 2^b ≤ c < 2^(b+1),
 	// with bucket 0 holding c ≤ 1.
 	hist [32]int64
@@ -19,15 +29,43 @@ type Meter struct {
 var _ UnionFind = (*Meter)(nil)
 
 // NewMeter wraps inner.
-func NewMeter(inner UnionFind) *Meter { return &Meter{inner: inner} }
+func NewMeter(inner UnionFind) *Meter {
+	m := &Meter{inner: inner}
+	m.forest, _ = inner.(*Forest)
+	return m
+}
 
 // Unwrap returns the wrapped structure.
 func (m *Meter) Unwrap() UnionFind { return m.inner }
 
+// Reset re-initializes the wrapped structure to n singletons and clears
+// every recorded statistic.
+func (m *Meter) Reset(n int) {
+	m.inner.Reset(n)
+	m.ResetStats()
+}
+
+// ResetStats clears the recorded statistics without touching the wrapped
+// structure — for callers that re-initialize the inner structure
+// themselves (possibly several times) while accumulating one report.
+func (m *Meter) ResetStats() {
+	m.finds, m.unions = 0, 0
+	m.findSteps, m.unionSteps = 0, 0
+	m.maxFind, m.maxUnion = 0, 0
+	m.hist = [32]int64{}
+}
+
+// DisableHistogram turns off per-operation cost bucketing; Histogram
+// then reports empty. Stats and MaxOpCost are unaffected.
+func (m *Meter) DisableHistogram() { m.histOff = true }
+
 func (m *Meter) bucket(cost int64) {
+	if m.histOff {
+		return
+	}
 	b := 0
-	for c := cost; c > 1; c >>= 1 {
-		b++
+	if cost > 1 {
+		b = bits.Len64(uint64(cost)) - 1
 	}
 	if b >= len(m.hist) {
 		b = len(m.hist) - 1
@@ -37,30 +75,84 @@ func (m *Meter) bucket(cost int64) {
 
 // Find forwards to the wrapped structure, recording the operation cost.
 func (m *Meter) Find(x int) int {
-	before := m.inner.Steps()
-	r := m.inner.Find(x)
-	cost := m.inner.Steps() - before
+	r, _ := m.FindCost(x)
+	return r
+}
+
+// FindCost is Find returning the operation's charged cost as well, so
+// the simulator converts it into machine time without re-reading the
+// step counter around the call. The full-compression forest — the
+// default structure, behind nearly every find the simulator executes —
+// is inlined here to cut a call level off the hottest path; the loop is
+// the same as Forest.Find's CompressFull case and charges identically.
+func (m *Meter) FindCost(x int) (r int, cost int64) {
+	if f := m.forest; f != nil && f.comp == CompressFull {
+		root, steps := f.findFull(int32(x))
+		f.steps += steps
+		r, cost = int(root), steps
+	} else if f != nil {
+		before := f.steps
+		r = f.Find(x)
+		cost = f.steps - before
+	} else {
+		before := m.inner.Steps()
+		r = m.inner.Find(x)
+		cost = m.inner.Steps() - before
+	}
 	m.finds++
 	m.findSteps += cost
 	if cost > m.maxFind {
 		m.maxFind = cost
 	}
 	m.bucket(cost)
-	return r
+	return r, cost
 }
 
 // Union forwards to the wrapped structure, recording the operation cost.
 func (m *Meter) Union(x, y int) (root, a, b int, united bool) {
-	before := m.inner.Steps()
-	root, a, b, united = m.inner.Union(x, y)
-	cost := m.inner.Steps() - before
+	root, a, b, united, _ = m.UnionCost(x, y)
+	return root, a, b, united
+}
+
+// UnionCost is Union returning the operation's charged cost as well.
+// The weighted, fully-compressing forest — the default structure — is
+// handled inline like FindCost's fast path, with identical charges.
+func (m *Meter) UnionCost(x, y int) (root, a, b int, united bool, cost int64) {
+	if f := m.forest; f != nil && f.comp == CompressFull && f.link == LinkBySize {
+		ra, sa := f.findFull(int32(x))
+		rb, sb := f.findFull(int32(y))
+		cost = sa + sb
+		a, b = int(ra), int(rb)
+		if ra == rb {
+			root, united = a, false
+		} else {
+			winner, loser := ra, rb
+			if f.weight[winner] < f.weight[loser] {
+				winner, loser = loser, winner
+			}
+			f.weight[winner] += f.weight[loser]
+			f.parent[loser] = winner
+			cost++
+			f.sets--
+			root, united = int(winner), true
+		}
+		f.steps += cost
+	} else if f := m.forest; f != nil {
+		before := f.steps
+		root, a, b, united = f.Union(x, y)
+		cost = f.steps - before
+	} else {
+		before := m.inner.Steps()
+		root, a, b, united = m.inner.Union(x, y)
+		cost = m.inner.Steps() - before
+	}
 	m.unions++
 	m.unionSteps += cost
 	if cost > m.maxUnion {
 		m.maxUnion = cost
 	}
 	m.bucket(cost)
-	return root, a, b, united
+	return root, a, b, united, cost
 }
 
 // Len forwards to the wrapped structure.
@@ -73,7 +165,12 @@ func (m *Meter) CapBound() int { return m.inner.CapBound() }
 func (m *Meter) Sets() int { return m.inner.Sets() }
 
 // Steps forwards to the wrapped structure.
-func (m *Meter) Steps() int64 { return m.inner.Steps() }
+func (m *Meter) Steps() int64 {
+	if f := m.forest; f != nil {
+		return f.steps
+	}
+	return m.inner.Steps()
+}
 
 // Stats summarizes what the meter observed.
 type Stats struct {

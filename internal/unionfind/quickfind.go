@@ -7,30 +7,50 @@ import "fmt"
 // time for n-1 unions is O(n lg n); individual finds are O(1). It serves
 // as the conformance oracle in tests and as the simplest structure whose
 // behaviour is obviously correct.
+//
+// Member lists are intrusive singly-linked lists over three flat arrays
+// (head/tail per set id, next per element), so a Union splices the
+// absorbed list onto the survivor in O(1) pointer updates and never
+// allocates: the structure's whole footprint is fixed at Reset time.
 type QuickFind struct {
-	label   []int32   // element -> set id (the id is some member element)
-	members [][]int32 // set id -> member elements; nil for dead ids
-	sets    int
-	steps   int64
+	label []int32 // element -> set id (the id is some member element)
+	head  []int32 // set id -> first member, -1 for dead ids
+	tail  []int32 // set id -> last member
+	next  []int32 // element -> next member of its set, -1 at the end
+	size  []int32 // set id -> member count
+	sets  int
+	steps int64
 }
 
 var _ UnionFind = (*QuickFind)(nil)
 
 // NewQuickFind returns a QuickFind over n singleton sets.
 func NewQuickFind(n int) *QuickFind {
+	q := &QuickFind{}
+	q.Reset(n)
+	return q
+}
+
+// Reset re-initializes the structure to n singleton sets in place,
+// reusing the backing arrays when they are large enough.
+func (q *QuickFind) Reset(n int) {
 	if n < 0 {
 		panic(fmt.Sprintf("unionfind: negative size %d", n))
 	}
-	q := &QuickFind{
-		label:   make([]int32, n),
-		members: make([][]int32, n),
-		sets:    n,
-	}
-	for i := range q.label {
+	q.label = GrowInt32(q.label, n)
+	q.head = GrowInt32(q.head, n)
+	q.tail = GrowInt32(q.tail, n)
+	q.next = GrowInt32(q.next, n)
+	q.size = GrowInt32(q.size, n)
+	for i := 0; i < n; i++ {
 		q.label[i] = int32(i)
-		q.members[i] = []int32{int32(i)}
+		q.head[i] = int32(i)
+		q.tail[i] = int32(i)
+		q.next[i] = -1
+		q.size[i] = 1
 	}
-	return q
+	q.sets = n
+	q.steps = 0
 }
 
 // Find returns the set label of x in one step.
@@ -39,25 +59,28 @@ func (q *QuickFind) Find(x int) int {
 	return int(q.label[x])
 }
 
-// Union relabels the smaller of the two sets.
+// Union relabels the smaller of the two sets and splices its member list
+// onto the survivor's.
 func (q *QuickFind) Union(x, y int) (root, a, b int, united bool) {
 	a, b = int(q.label[x]), int(q.label[y])
 	q.steps += 2
 	if a == b {
 		return a, a, b, false
 	}
-	keep, absorb := a, b
-	if len(q.members[keep]) < len(q.members[absorb]) {
+	keep, absorb := int32(a), int32(b)
+	if q.size[keep] < q.size[absorb] {
 		keep, absorb = absorb, keep
 	}
-	for _, m := range q.members[absorb] {
-		q.label[m] = int32(keep)
+	for m := q.head[absorb]; m != -1; m = q.next[m] {
+		q.label[m] = keep
 		q.steps++
 	}
-	q.members[keep] = append(q.members[keep], q.members[absorb]...)
-	q.members[absorb] = nil
+	q.next[q.tail[keep]] = q.head[absorb]
+	q.tail[keep] = q.tail[absorb]
+	q.size[keep] += q.size[absorb]
+	q.head[absorb] = -1
 	q.sets--
-	return keep, a, b, true
+	return int(keep), a, b, true
 }
 
 // Len returns the number of elements.

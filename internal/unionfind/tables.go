@@ -1,0 +1,72 @@
+package unionfind
+
+import "sync/atomic"
+
+// Shared read-only initialization templates: identityTable(n)[i] == i,
+// onesTable(n)[i] == 1, NegTable(n)[i] == -1. Reset paths (here and in
+// the simulator core) block-copy from them instead of looping. Each
+// table grows monotonically and is swapped in atomically, so concurrent
+// readers always see a fully initialized snapshot.
+
+var (
+	identityTab atomic.Pointer[[]int32]
+	onesTab     atomic.Pointer[[]int32]
+	negTab      atomic.Pointer[[]int32]
+)
+
+// table returns a length-n prefix of the template held in tab, growing
+// it via fill when needed. The swap is a CompareAndSwap so concurrent
+// growers can only ever replace a table with a larger one.
+func table(tab *atomic.Pointer[[]int32], n int, fill func([]int32)) []int32 {
+	for {
+		p := tab.Load()
+		if p != nil && len(*p) >= n {
+			return (*p)[:n]
+		}
+		size := 1024
+		for size < n {
+			size *= 2
+		}
+		t := make([]int32, size)
+		fill(t)
+		if tab.CompareAndSwap(p, &t) {
+			return t[:n]
+		}
+	}
+}
+
+func identityTable(n int) []int32 {
+	return table(&identityTab, n, func(t []int32) {
+		for i := range t {
+			t[i] = int32(i)
+		}
+	})
+}
+
+func onesTable(n int) []int32 {
+	return table(&onesTab, n, func(t []int32) {
+		for i := range t {
+			t[i] = 1
+		}
+	})
+}
+
+// GrowInt32 returns a length-n slice backed by s's array when
+// cap(s) ≥ n, allocating otherwise — the reset-path idiom shared by the
+// structures here and the simulator core's arenas.
+func GrowInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// NegTable returns a read-only length-n slice of -1s (the paper's nil),
+// for block-filling satellite arrays. Callers must not write to it.
+func NegTable(n int) []int32 {
+	return table(&negTab, n, func(t []int32) {
+		for i := range t {
+			t[i] = -1
+		}
+	})
+}

@@ -28,6 +28,15 @@ package unionfind
 // elements; KUF may return ids of internal nodes (≥ Len()). Identifiers
 // are stable between unions touching the set.
 type UnionFind interface {
+	// Reset re-initializes the structure to n singleton sets in place,
+	// reusing previously allocated memory where the capacity allows. After
+	// Reset the structure is indistinguishable from a freshly constructed
+	// one of the same kind and size: identical identifiers, identical
+	// per-operation step charges, Steps() back at zero. This is what makes
+	// the structures reusable across simulation runs without a fresh
+	// allocation storm per call.
+	Reset(n int)
+
 	// Find returns the identifier of the set containing x.
 	Find(x int) int
 
@@ -82,6 +91,13 @@ func Kinds() []Kind {
 		KindQuickFind, KindTarjan, KindRank, KindHalving,
 		KindSplitting, KindNoCompress, KindNaiveLink, KindBlum,
 	}
+}
+
+// Valid reports whether kind names an implementation Make accepts.
+// (Derived from Make itself, so the two can never drift apart.)
+func Valid(kind Kind) bool {
+	_, ok := Make(kind, 0)
+	return ok
 }
 
 // Make constructs the named implementation for n elements. It returns

@@ -22,6 +22,25 @@
 // Labels are canonical: every component carries the least column-major
 // position (x·H + y) of its pixels; background pixels carry Background.
 //
+// # Labeling streams of images
+//
+// Label allocates almost nothing under steady load (it draws reusable
+// machinery from an internal pool), but a stream of frames is served
+// best by an explicit Labeler, which re-initializes its simulation
+// arenas — the machine, per-column union–find structures, satellite
+// arrays, and link buffers — in place on every call:
+//
+//	lab := slapcc.NewLabeler(slapcc.Options{})
+//	for _, frame := range frames {
+//		res, err := lab.Label(frame)
+//		// res is independent of lab and stays valid;
+//		// the next call reuses all working memory.
+//	}
+//
+// A Labeler is not safe for concurrent use (use one per goroutine).
+// Results and simulated metrics are bit-identical whether a Labeler is
+// fresh, reused, or pooled — only host-side speed differs.
+//
 // The full evaluation suite behind EXPERIMENTS.md lives in cmd/slapbench;
 // deeper control (union–find variants, bit-serial links, idle-time
 // compression) is available through Options.
@@ -88,6 +107,17 @@ const (
 	UFQuickFind  = unionfind.KindQuickFind  // label-array sets
 	UFNaiveLink  = unionfind.KindNaiveLink  // unbalanced linking (for ablations)
 )
+
+// Labeler runs Algorithm CC repeatedly without re-allocating its
+// simulation state; see NewLabeler.
+type Labeler = core.Labeler
+
+// NewLabeler returns a reusable labeler for a stream of images: every
+// Label or Aggregate call re-initializes the internal arenas in place,
+// so a warm Labeler labels frames with (almost) no allocation. Results
+// are independent of the Labeler and identical to the one-shot API's. A
+// Labeler is not safe for concurrent use.
+func NewLabeler(opt Options) *Labeler { return core.NewLabeler(opt) }
 
 // Label runs Algorithm CC on img under default options.
 func Label(img *Bitmap) (*Result, error) { return core.Label(img, Options{}) }

@@ -43,6 +43,44 @@ func TestPublicLabelWithOptions(t *testing.T) {
 	}
 }
 
+func TestPublicLabeler(t *testing.T) {
+	lab := NewLabeler(Options{})
+	var first *Result
+	for i := 0; i < 3; i++ {
+		img := RandomImage(32+8*i, 0.5, uint64(i))
+		res, err := lab.Label(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneshot, err := Label(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Labels.Equal(oneshot.Labels) {
+			t.Fatalf("frame %d: reused labeler disagrees with one-shot Label", i)
+		}
+		if res.Metrics.Time != oneshot.Metrics.Time || res.Metrics.Sends != oneshot.Metrics.Sends {
+			t.Fatalf("frame %d: reused labeler's metrics differ", i)
+		}
+		if i == 0 {
+			first = res
+		}
+	}
+	// Results stay valid after the labeler moved on to other frames.
+	if first.Labels.W() != 32 || first.Metrics.Time <= 0 {
+		t.Fatal("earlier result corrupted by labeler reuse")
+	}
+	// Aggregate runs on the same reusable arenas.
+	img := MustParseImage("###\n..#\n###")
+	agg, err := lab.Aggregate(img, OnesOf(img), SumOf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.PerPixel[0] != 7 {
+		t.Fatalf("labeler aggregate area: want 7, got %d", agg.PerPixel[0])
+	}
+}
+
 func TestPublicBitSerial(t *testing.T) {
 	img := RandomImage(16, 0.5, 7)
 	res, err := LabelWithOptions(img, Options{Cost: BitSerialCost(WordBits(16))})

@@ -200,6 +200,41 @@ func (b *Bitmap) Column(x int, dst []bool) []bool {
 	return dst
 }
 
+// ColumnWords extracts column x as a little-endian bitset: bit y%64 of
+// word y/64 of the result is pixel (x, y). dst is reused when its
+// capacity suffices (the simulator's arenas), and out-of-range columns
+// extract as all zeros, mirroring Column. Padding bits above H are
+// always zero, so word-wise popcounts and zero-skipping walks over the
+// result are exact. This is the packed shape the fused column pipeline
+// walks with bits.TrailingZeros64.
+func (b *Bitmap) ColumnWords(x int, dst []uint64) []uint64 {
+	n := (b.h + 63) >> 6
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	if x < 0 || x >= b.w {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	idx := x >> 6
+	sh := uint(x & 63)
+	var acc uint64
+	for y := 0; y < b.h; y++ {
+		acc |= (b.words[y*b.stride+idx] >> sh & 1) << (uint(y) & 63)
+		if y&63 == 63 {
+			dst[y>>6] = acc
+			acc = 0
+		}
+	}
+	if b.h&63 != 0 {
+		dst[b.h>>6] = acc
+	}
+	return dst
+}
+
 // Pos returns the column-major position x·H + y of a pixel, the initial
 // label assigned by the paper's Algorithm CC.
 func (b *Bitmap) Pos(x, y int) int { return x*b.h + y }

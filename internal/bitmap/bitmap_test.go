@@ -354,3 +354,43 @@ func TestBitmapShadowQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestColumnWords(t *testing.T) {
+	for _, dim := range [][2]int{{1, 1}, {3, 7}, {5, 64}, {9, 65}, {65, 130}, {70, 200}} {
+		w, h := dim[0], dim[1]
+		n := w
+		if h > n {
+			n = h
+		}
+		b := Random(n, 0.5, uint64(w*h)).SubImage(0, 0, w, h)
+		var dst []uint64
+		for x := -1; x <= w; x++ {
+			dst = b.ColumnWords(x, dst)
+			if len(dst) != (h+63)/64 {
+				t.Fatalf("%dx%d col %d: got %d words, want %d", w, h, x, len(dst), (h+63)/64)
+			}
+			for y := 0; y < h; y++ {
+				got := dst[y>>6]&(1<<(uint(y)&63)) != 0
+				if got != b.Get(x, y) {
+					t.Fatalf("%dx%d: ColumnWords(%d) bit %d = %v, Get = %v", w, h, x, y, got, b.Get(x, y))
+				}
+			}
+			// Padding above H must be zero so word-wise walks are exact.
+			if rem := h % 64; rem != 0 && len(dst) > 0 {
+				if hi := dst[len(dst)-1] >> uint(rem); hi != 0 {
+					t.Fatalf("%dx%d col %d: dirty padding bits %x", w, h, x, hi)
+				}
+			}
+		}
+		// Reuse must overwrite every word.
+		full := New(w, h)
+		full.Fill(true)
+		dst = full.ColumnWords(0, dst)
+		dst = b.ColumnWords(1%w, dst)
+		for y := 0; y < h; y++ {
+			if got := dst[y>>6]&(1<<(uint(y)&63)) != 0; got != b.Get(1%w, y) {
+				t.Fatalf("%dx%d: reused dst stale at row %d", w, h, y)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	mbits "math/bits"
 
 	"slapcc/internal/bitmap"
 	"slapcc/internal/slap"
@@ -98,8 +99,9 @@ func Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*Ag
 }
 
 // Aggregate is the Labeler's reusable-arena form of the package-level
-// Aggregate: the labeling runs entirely against the labeler's arenas;
-// only the aggregation satellites are allocated per call.
+// Aggregate: the labeling and the aggregation satellites all run
+// against the labeler's arenas; the only per-call allocation is the
+// returned result.
 func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*AggregateResult, error) {
 	w, h := img.W(), img.H()
 	if len(initial) != w*h {
@@ -122,31 +124,34 @@ func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*A
 		return &AggregateResult{PerPixel: out, Labels: labels, Metrics: lb.m.Metrics(), UF: lb.report}, nil
 	}
 
-	states := make([]*aggState, w)
+	states := lb.agg.ensure(w)
 
 	// Local fold per column, and left/right extension flags per component.
 	// Column bits come from the left-pass arena, which runCC left intact
-	// (witness reads the neighbor columns the same way the sweeps did).
+	// (witness probes the neighbor columns the same way the sweeps did).
 	passCols := lb.passCols[0]
 	lb.m.RunLocal("agg:local", func(pe *slap.PE) {
 		x := pe.Index
-		st := newAggState(op)
-		states[x] = st
-		col := passCols[x].col
-		for j := 0; j < h; j++ {
-			pe.Tick(1)
-			if !col[j] {
-				continue
-			}
-			c := st.compIndex(pe, labels.Get(x, j))
-			st.local[c] = op.Combine(st.local[c], initial[x*h+j])
-			if lb.witness(passCols, x, j, 1) != -1 {
-				st.extR[c] = true
-			}
-			if lb.witness(passCols, x, j, -1) != -1 {
-				st.extL[c] = true
+		st := &states[x]
+		st.prepare(int(passCols[x].onesCount))
+		cbits := passCols[x].bits
+		var ticks int64
+		for wi, word := range cbits {
+			for word != 0 {
+				j := wi<<6 + mbits.TrailingZeros64(word)
+				word &= word - 1
+				c := st.intern(labels.Get(x, j), op)
+				st.local[c] = op.Combine(st.local[c], initial[x*h+j])
+				if lb.witness(passCols, x, j, 1) != -1 {
+					st.extR[c] = true
+				}
+				if lb.witness(passCols, x, j, -1) != -1 {
+					st.extL[c] = true
+				}
+				ticks++ // one charged step per intern lookup, as before
 			}
 		}
+		pe.Tick(ticks + int64(h)) // the per-row scan charge, batched
 		pe.DeclareMemory(int64(6 * len(st.comps)))
 	})
 
@@ -159,16 +164,24 @@ func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*A
 	// Combine locally: left part (columns < x), own column, right part.
 	lb.m.RunLocal("agg:combine", func(pe *slap.PE) {
 		x := pe.Index
-		st := states[x]
-		totals := make([]int32, len(st.comps))
+		st := &states[x]
+		totals := lb.agg.totals[:0]
 		for c := range st.comps {
-			totals[c] = op.Combine(op.Combine(st.inL[c], st.local[c]), st.inR[c])
+			totals = append(totals, op.Combine(op.Combine(st.inL[c], st.local[c]), st.inR[c]))
 			pe.Tick(1)
 		}
-		for j := 0; j < h; j++ {
-			pe.Tick(1)
-			if img.Get(x, j) {
-				out[x*h+j] = totals[st.index[labels.Get(x, j)]]
+		lb.agg.totals = totals[:0]
+		cbits := passCols[x].bits
+		pe.Tick(int64(h))
+		for wi, word := range cbits {
+			for word != 0 {
+				j := wi<<6 + mbits.TrailingZeros64(word)
+				word &= word - 1
+				c, ok := st.lookup(labels.Get(x, j))
+				if !ok {
+					panic(fmt.Sprintf("core: PE %d row %d: pixel label %d never interned", x, j, labels.Get(x, j)))
+				}
+				out[x*h+j] = totals[c]
 			}
 		}
 	})
@@ -177,45 +190,87 @@ func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*A
 	return &AggregateResult{PerPixel: out, Labels: labels, Metrics: lb.m.Metrics(), UF: lb.report}, nil
 }
 
+// aggScratch is the labeler-owned arena behind Aggregate: one aggState
+// per column, plus the combine step's totals scratch. Everything is
+// re-initialized in place per run — a warm labeler aggregates with no
+// per-column allocation, like the labeling passes (the per-column
+// component maps this replaced were the last per-column allocation on
+// the hot path).
+type aggScratch struct {
+	states []aggState
+	totals []int32
+}
+
+// ensure sizes the per-column state arena for a w-column run.
+func (a *aggScratch) ensure(w int) []aggState {
+	if cap(a.states) < w {
+		grown := make([]aggState, w)
+		copy(grown, a.states)
+		a.states = grown
+	}
+	a.states = a.states[:w]
+	return a.states
+}
+
 // aggState is one PE's aggregation memory: the distinct component labels
-// of its column in first-appearance order, with per-component folds.
+// of its column in first-appearance order, per-component folds and
+// extension flags, and an epoch-marked interner mapping a component
+// label to its dense per-column index (the same table as the merge
+// scratch's, but per column, because every column's mapping must stay
+// live across the accumulation sweeps — lookups during the sweeps are
+// read-only, so concurrent sweep engines are safe).
 type aggState struct {
 	comps []int32 // component labels, first-appearance order
-	index map[int32]int
 	local []int32 // fold over this column's pixels
 	inL   []int32 // fold over columns < x (identity if none)
 	inR   []int32 // fold over columns > x
 	extL  []bool  // component continues into the previous column
 	extR  []bool  // component continues into the next column
-	op    Monoid
+	it    interner
 }
 
-func newAggState(op Monoid) *aggState {
-	return &aggState{index: make(map[int32]int), op: op}
+// prepare re-initializes the state for a column with onesCount 1-pixels
+// (a column of k 1-pixels has at most k distinct components).
+func (st *aggState) prepare(onesCount int) {
+	st.comps = st.comps[:0]
+	st.local = st.local[:0]
+	st.inL = st.inL[:0]
+	st.inR = st.inR[:0]
+	st.extL = st.extL[:0]
+	st.extR = st.extR[:0]
+	st.it.prepare(onesCount)
 }
 
-// compIndex interns a component label (one charged step per lookup).
-func (st *aggState) compIndex(pe *slap.PE, label int32) int {
-	pe.Tick(1)
-	if c, ok := st.index[label]; ok {
-		return c
+// intern returns the dense index of label, appending a fresh component
+// on first sight.
+func (st *aggState) intern(label int32, op Monoid) int {
+	i := st.it.slot(label)
+	if st.it.live(i) {
+		return int(st.it.val[i])
 	}
 	c := len(st.comps)
-	st.index[label] = c
+	st.it.set(i, label, int32(c))
 	st.comps = append(st.comps, label)
-	st.local = append(st.local, st.op.Identity)
-	st.inL = append(st.inL, st.op.Identity)
-	st.inR = append(st.inR, st.op.Identity)
+	st.local = append(st.local, op.Identity)
+	st.inL = append(st.inL, op.Identity)
+	st.inR = append(st.inR, op.Identity)
 	st.extL = append(st.extL, false)
 	st.extR = append(st.extR, false)
 	return c
+}
+
+// lookup returns the dense index of label, or ok=false if it was never
+// interned. Read-only: safe from concurrent sweep bodies.
+func (st *aggState) lookup(label int32) (int, bool) {
+	id, ok := st.it.lookup(label)
+	return int(id), ok
 }
 
 // aggSweep streams per-component accumulators across the array in one
 // direction: a component's value is forwarded once, either immediately
 // (components that do not extend backward) or upon receiving the single
 // incoming record for it.
-func (lb *Labeler) aggSweep(dir slap.Direction, states []*aggState, op Monoid) {
+func (lb *Labeler) aggSweep(dir slap.Direction, states []aggState, op Monoid) {
 	w := lb.w
 	lastCol := w - 1
 	if dir == slap.RightToLeft {
@@ -223,7 +278,7 @@ func (lb *Labeler) aggSweep(dir slap.Direction, states []*aggState, op Monoid) {
 	}
 	lb.m.RunSweep(passName(dir, "agg"), dir, func(pe *slap.PE) {
 		x := pe.Index
-		st := states[x]
+		st := &states[x]
 		extBack, extFwd := st.extL, st.extR
 		in := st.inL
 		if dir == slap.RightToLeft {
@@ -247,7 +302,7 @@ func (lb *Labeler) aggSweep(dir slap.Direction, states []*aggState, op Monoid) {
 				if msg.Kind == msgEOS {
 					break
 				}
-				c, ok := st.index[msg.A]
+				c, ok := st.lookup(msg.A)
 				pe.Tick(1)
 				if !ok {
 					panic(fmt.Sprintf("core: PE %d: aggregation record for unknown component %d", x, msg.A))

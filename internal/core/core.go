@@ -95,6 +95,20 @@ type Options struct {
 	// engine's (tests enforce bit-equality); only wall-clock time
 	// changes.
 	Parallel bool
+	// BatchSize and LinkDepth tune the parallel engine's batched links:
+	// records accumulated per published batch, and published batches in
+	// flight per link. Zero selects the GOMAXPROCS-aware defaults
+	// (slap.DefaultLinkTuning); negative values are rejected. Both are
+	// host-side wall-time knobs only — simulated metrics are identical
+	// at every setting.
+	BatchSize int
+	LinkDepth int
+
+	// noFuse runs the sweep phases through the per-phase reference
+	// executor instead of the fused column walk. The two are
+	// bit-equivalent (tests compare them exhaustively); the knob exists
+	// for those tests and for ablation, hence unexported.
+	noFuse bool
 }
 
 func (o Options) withDefaults() Options {
@@ -182,9 +196,12 @@ type Labeler struct {
 	spec   SpecStats
 	meters []*unionfind.Meter
 
-	// Arenas: per-pass column states and merge scratch.
+	// Arenas: per-pass column states, the fused-walk subphase specs,
+	// the merge scratch, and the aggregation states.
 	passCols [2][]colState
+	subs     []slap.SubPhase
 	mg       mergeScratch
+	agg      aggScratch
 }
 
 // NewLabeler returns a reusable labeler running Algorithm CC under opt.
@@ -252,8 +269,15 @@ func (lb *Labeler) runCC(img *bitmap.Bitmap) (*bitmap.LabelMap, error) {
 	if opt.Profile {
 		lb.m.EnableProfile()
 	}
+	if opt.BatchSize < 0 || opt.LinkDepth < 0 {
+		return nil, fmt.Errorf("core: negative link tuning (BatchSize %d, LinkDepth %d)", opt.BatchSize, opt.LinkDepth)
+	}
+	lb.m.SetLinkTuning(opt.BatchSize, opt.LinkDepth)
 	if opt.Parallel {
 		lb.m.EnableParallel()
+	}
+	if opt.noFuse {
+		lb.m.DisableFusion()
 	}
 
 	if !opt.SkipInput {
@@ -263,9 +287,16 @@ func (lb *Labeler) runCC(img *bitmap.Bitmap) (*bitmap.LabelMap, error) {
 		return bitmap.NewLabelMap(w, h), nil
 	}
 
-	left := lb.runPass(slap.LeftToRight)
-	right := lb.runPass(slap.RightToLeft)
-	return lb.merge(left, right), nil
+	lb.runPass(slap.LeftToRight, nil)
+	// Step 3 of Figure 2, the purely local merge, rides the right-pass
+	// walk as its trailing subphase: each column's two labelings are
+	// merged immediately after its right-pass assign, while the
+	// column's state is still cache-hot. Its phase metrics land after
+	// the right pass's, exactly as when it ran as its own walk.
+	labels := bitmap.NewLabelMap(w, h)
+	mergeSub := lb.mergeSub(labels)
+	lb.runPass(slap.RightToLeft, &mergeSub)
+	return labels, nil
 }
 
 // finishReport folds every pass meter into the aggregate report.

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/unionfind"
+)
+
+// mustLabelNoFuse runs Label through the per-phase reference executor.
+func mustLabelNoFuse(t *testing.T, img *bitmap.Bitmap, opt Options) *Result {
+	t.Helper()
+	opt.noFuse = true
+	res, err := Label(img, opt)
+	if err != nil {
+		t.Fatalf("Label (unfused): %v", err)
+	}
+	return res
+}
+
+// TestFusedWalkEquivalenceTable is the walker-conformance table the
+// fused hot path rests on: across every bitmap family, both
+// connectivities, and the option axes that change the passes' control
+// flow (§3 heuristics, unit-cost accounting, union–find kinds), the
+// fused column walk must produce LabelMaps, slap.Metrics (per-phase,
+// bit for bit), UF op costs, and speculation counters identical to the
+// per-phase reference executor. This is what lets the fused walk be
+// chosen purely on performance grounds.
+func TestFusedWalkEquivalenceTable(t *testing.T) {
+	opts := []Options{
+		{},
+		{IdleCompression: true},
+		{Speculate: true},
+		{Speculate: true, IdleCompression: true},
+		{UnitCostUF: true},
+		{UF: unionfind.KindBlum},
+		{UF: unionfind.KindQuickFind},
+		{UF: unionfind.KindHalving, IdleCompression: true},
+		{UF: unionfind.KindNoCompress, Speculate: true},
+	}
+	const n = 21
+	for _, conn := range []bitmap.Connectivity{bitmap.Conn4, bitmap.Conn8} {
+		for oi, base := range opts {
+			for _, fam := range bitmap.Families() {
+				img := fam.Generate(n)
+				opt := base
+				opt.Connectivity = conn
+				fused := mustLabel(t, img, opt)
+				ref := mustLabelNoFuse(t, img, opt)
+				if !fused.Labels.Equal(ref.Labels) {
+					t.Errorf("%s/conn%d/opt%d: fused walk changed the labeling", fam.Name, conn, oi)
+				}
+				if !metricsIdentical(t, ref, fused) {
+					t.Errorf("%s/conn%d/opt%d: fused walk changed the metrics:\nref   %+v\nfused %+v",
+						fam.Name, conn, oi, ref.Metrics, fused.Metrics)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedWalkEquivalenceFuzz drives random rectangles, densities, and
+// option draws through both executors. Any divergence in labels,
+// per-phase metrics, UF reports, or speculation counters fails.
+func TestFusedWalkEquivalenceFuzz(t *testing.T) {
+	kinds := unionfind.Kinds()
+	rng := rand.New(rand.NewSource(7))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for i := 0; i < iters; i++ {
+		w := 1 + rng.Intn(40)
+		h := 1 + rng.Intn(40)
+		side := w
+		if h > side {
+			side = h
+		}
+		img := bitmap.Random(side, 0.2+0.6*rng.Float64(), rng.Uint64()).SubImage(0, 0, w, h)
+		opt := Options{
+			UF:              kinds[rng.Intn(len(kinds))],
+			IdleCompression: rng.Intn(2) == 0,
+			Speculate:       rng.Intn(2) == 0,
+			UnitCostUF:      rng.Intn(4) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			opt.Connectivity = bitmap.Conn8
+		}
+		fused := mustLabel(t, img, opt)
+		ref := mustLabelNoFuse(t, img, opt)
+		if !fused.Labels.Equal(ref.Labels) || !metricsIdentical(t, ref, fused) {
+			t.Fatalf("iter %d (%dx%d, %+v): fused walk diverged from reference", i, w, h, opt)
+		}
+	}
+}
+
+// TestFusedAggregateEquivalence: the Corollary 4 extension (which runs
+// its local fold over the fused walk's arenas) agrees between executors
+// too.
+func TestFusedAggregateEquivalence(t *testing.T) {
+	img := bitmap.Random(27, 0.5, 4)
+	fused, err := Aggregate(img, Ones(img), Sum(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Aggregate(img, Ones(img), Sum(), Options{noFuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fused.PerPixel {
+		if fused.PerPixel[i] != ref.PerPixel[i] {
+			t.Fatalf("position %d: %d vs %d", i, fused.PerPixel[i], ref.PerPixel[i])
+		}
+	}
+	if fused.Metrics.Time != ref.Metrics.Time || fused.Metrics.Sends != ref.Metrics.Sends ||
+		fused.UF != ref.UF {
+		t.Fatalf("aggregate metrics diverged:\nref   %+v\nfused %+v", ref.Metrics, fused.Metrics)
+	}
+}

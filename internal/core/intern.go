@@ -1,0 +1,82 @@
+package core
+
+import "math"
+
+// interner is a small epoch-marked open-addressed table mapping int32
+// labels to dense ids: the allocation-free replacement for the
+// per-column label maps in the merge and aggregation steps. Compared to
+// a direct-index table over the whole label space, it stays a few
+// kilobytes — resident in L1/L2 while a column is processed — so the
+// probe per pixel is a cache hit instead of a miss into a
+// tens-of-megabytes array.
+//
+// Slot i holds label uint32(meta[i]) with dense id val[i], valid iff
+// meta[i]>>32 equals the current epoch; bumping the epoch invalidates
+// the table in O(1). The table is sized for load factor ≤ ½ against the
+// caller-declared entry bound, so linear probing stays O(1) expected
+// and no rehash is ever needed. Lookups are read-only and therefore
+// safe from concurrently executing PE bodies; prepare and inserts must
+// come from one goroutine (the simulator's local phases).
+type interner struct {
+	meta  []uint64
+	val   []int32
+	mask  uint32
+	epoch uint32
+}
+
+// prepare readies the table for at most maxEntries distinct labels,
+// invalidating previous contents.
+func (it *interner) prepare(maxEntries int) {
+	size := 4
+	for size < 2*maxEntries {
+		size *= 2
+	}
+	if len(it.meta) < size {
+		it.meta = make([]uint64, size)
+		it.val = make([]int32, size)
+		it.epoch = 0
+	}
+	// The mask always covers the allocated table (which may exceed this
+	// run's size), so stale larger-table entries stay addressable-but-
+	// invalid and the probe sequence always terminates.
+	it.mask = uint32(len(it.meta) - 1)
+	if it.epoch == math.MaxUint32 {
+		for i := range it.meta {
+			it.meta[i] = 0
+		}
+		it.epoch = 0
+	}
+	it.epoch++
+}
+
+// slot returns the index holding label, or the empty slot where it
+// belongs (Fibonacci hashing, linear probing).
+func (it *interner) slot(label int32) uint32 {
+	i := uint32(label) * 2654435761 & it.mask
+	for {
+		m := it.meta[i]
+		if uint32(m>>32) != it.epoch || uint32(m) == uint32(label) {
+			return i
+		}
+		i = (i + 1) & it.mask
+	}
+}
+
+// live reports whether slot i is occupied this epoch.
+func (it *interner) live(i uint32) bool { return uint32(it.meta[i]>>32) == it.epoch }
+
+// set occupies slot i with label → id.
+func (it *interner) set(i uint32, label, id int32) {
+	it.meta[i] = uint64(it.epoch)<<32 | uint64(uint32(label))
+	it.val[i] = id
+}
+
+// lookup returns the dense id of label, or ok=false if it was never
+// interned this epoch. Read-only.
+func (it *interner) lookup(label int32) (int32, bool) {
+	i := it.slot(label)
+	if !it.live(i) {
+		return 0, false
+	}
+	return it.val[i], true
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"slapcc/internal/bitmap"
 	"slapcc/internal/slap"
@@ -13,21 +14,29 @@ import (
 // data adjnext/adjprev (a witness row where the set touches the next /
 // previous column of the sweep; -1 is the paper's nil) and label.
 //
+// The column pixels are kept bit-packed (bit j%64 of word j/64 is row
+// j), extracted word-wise from the image by bitmap.ColumnWords: every
+// walk over the column skips zero words and pulls 1-rows out of the
+// packed words with bits.TrailingZeros64, and the witness tests against
+// neighbor columns are single-bit probes. The two passes share the bit
+// arrays (pixels don't depend on sweep direction).
+//
 // colStates live in the Labeler's per-pass arenas and are re-initialized
 // in place for every run, so a warm Labeler performs no per-column
 // allocation at all.
 type colState struct {
-	col    []bool
-	uf     *unionfind.Meter
-	kind   unionfind.Kind    // the kind uf wraps (arena revalidation)
-	forest *unionfind.Forest // non-nil when forest-backed (idle compression)
+	bits      []uint64 // packed column pixels; immutable for the run
+	onesCount int32    // popcount of bits
+	uf        *unionfind.Meter
+	kind      unionfind.Kind    // the kind uf wraps (arena revalidation)
+	forest    *unionfind.Forest // non-nil when forest-backed (idle compression)
 	// adj interleaves the two witness satellites — adj[2s] is the
 	// paper's adjnext[s], adj[2s+1] its adjprev[s] — so the hot paths
 	// touch one cache line per set instead of two.
 	adj   []int32
 	label []int32
-	ones  []int32 // rows of 1-pixels (idle-compression victims)
 	out   []int32 // final per-row pass labels (-1 on 0-pixels)
+	costs []int32 // label-pass batch-find cost scratch
 
 	// Per-PE speculation counters (kept here, not on the labeler, so
 	// parallel sweeps stay race-free; summed after the pass).
@@ -35,10 +44,39 @@ type colState struct {
 	specWasted int64
 }
 
-// passName labels the machine phases of one pass.
+// bitAt probes one pixel of a packed column.
+func bitAt(b []uint64, j int) bool { return b[j>>6]>>(uint(j)&63)&1 != 0 }
+
+// passName labels the machine phases of one pass. The names are static
+// so the hot path never builds a string (a concatenation here is an
+// allocation per phase per run).
 func passName(dir slap.Direction, step string) string {
 	if dir == slap.LeftToRight {
+		switch step {
+		case "unionfind":
+			return "left:unionfind"
+		case "findall":
+			return "left:findall"
+		case "labelpass":
+			return "left:labelpass"
+		case "assign":
+			return "left:assign"
+		case "agg":
+			return "left:agg"
+		}
 		return "left:" + step
+	}
+	switch step {
+	case "unionfind":
+		return "right:unionfind"
+	case "findall":
+		return "right:findall"
+	case "labelpass":
+		return "right:labelpass"
+	case "assign":
+		return "right:assign"
+	case "agg":
+		return "right:agg"
 	}
 	return "right:" + step
 }
@@ -52,11 +90,22 @@ func passIndex(dir slap.Direction) int {
 }
 
 // runPass computes one directional connected labeling (steps 1–4 of
-// Algorithm Left-Components, Figure 4) and returns the per-column state
-// arena. Left pass labels are column-major positions; right pass labels
-// are offset by w·h and use the mirrored column order, so the two label
-// spaces are disjoint and left labels always win the final minimum.
-func (lb *Labeler) runPass(dir slap.Direction) []colState {
+// Algorithm Left-Components, Figure 4). Left pass labels are
+// column-major positions; right pass labels are offset by w·h and use
+// the mirrored column order, so the two label spaces are disjoint and
+// left labels always win the final minimum.
+//
+// The four phases execute as one fused walk per column (slap.RunFused):
+// the sequential engine visits each column once, running make-set/union,
+// find-all, label, and assign back to back while the column's packed
+// bits, union–find arrays, and satellites are cache-hot, instead of
+// walking the whole array four times. Each phase keeps its own virtual
+// clocks, links, and metrics, so the simulated accounting is
+// bit-identical to the per-phase execution (which the parallel engine
+// and the equivalence tests still use). extra, when non-nil, is a
+// trailing subphase that rides the same walk — runCC attaches the merge
+// step to the right pass this way.
+func (lb *Labeler) runPass(dir slap.Direction, extra *slap.SubPhase) []colState {
 	w, h := lb.w, lb.h
 	dx := 1
 	base := int32(0)
@@ -66,41 +115,53 @@ func (lb *Labeler) runPass(dir slap.Direction) []colState {
 		base = int32(w * h)
 		lastCol = 0
 	}
-	posOf := func(x, j int) int32 {
+	// posOf(x, j), the pass label of pixel (x, j), is affine in j: the
+	// label pass hoists the per-column base and adds row indices.
+	colBase := func(x int) int32 {
 		if dir == slap.LeftToRight {
-			return int32(x*h + j)
+			return int32(x * h)
 		}
-		return base + int32((w-1-x)*h+j)
+		return base + int32((w-1-x)*h)
 	}
 
-	// Column states are re-initialized up front (they are the PEs'
-	// persistent local memories across phases); the sweeps themselves may
-	// then run PEs concurrently without sharing any mutable labeler state.
-	// The right pass reads the column bits and 1-row lists of the left
-	// pass's states instead of re-extracting them: both are immutable for
-	// the rest of the run, and the passes always execute left-first.
+	// The packed column bits are extracted (or adopted from the left
+	// pass: both are immutable for the rest of the run, and the passes
+	// always execute left-first) before the walk starts — the sweep
+	// bodies probe *neighbor* columns' bits ahead of the walk reaching
+	// them. The rest of the column state is re-initialized per column by
+	// the walk's prep hook, right before the column's phase bodies run
+	// over it.
 	p := passIndex(dir)
 	cols := lb.ensurePass(p)
-	for x := range cols {
-		var share *colState
-		if p == 1 {
-			share = &lb.passCols[0][x]
+	if p == 1 {
+		for x := range cols {
+			cols[x].bits = lb.passCols[0][x].bits
+			cols[x].onesCount = lb.passCols[0][x].onesCount
 		}
-		lb.resetColState(&cols[x], x, share)
+	} else {
+		for x := range cols {
+			st := &cols[x]
+			st.bits = lb.img.ColumnWords(x, st.bits)
+			n := 0
+			for _, wd := range st.bits {
+				n += bits.OnesCount64(wd)
+			}
+			st.onesCount = int32(n)
+		}
 	}
 
 	// Step 1 (Figure 5): the union–find pass.
-	lb.m.RunSweep(passName(dir, "unionfind"), dir, func(pe *slap.PE) {
+	ufBody := func(pe *slap.PE) {
 		x := pe.Index
 		st := &cols[x]
-		// The sweep-order neighbor columns, unpacked once: the witness
-		// tests on the hot path are then plain bool loads.
-		var nextCol, prevCol []bool
+		// The sweep-order neighbor columns' packed bits: the witness
+		// tests on the hot path are then single-bit probes.
+		var nextBits, prevBits []uint64
 		if nx := x + dx; nx >= 0 && nx < w {
-			nextCol = cols[nx].col
+			nextBits = cols[nx].bits
 		}
 		if px := x - dx; px >= 0 && px < w {
-			prevCol = cols[px].col
+			prevBits = cols[px].bits
 		}
 
 		// Make-Set(j) for every row, and initialize the adjacency
@@ -111,60 +172,87 @@ func (lb *Labeler) runPass(dir slap.Direction) []colState {
 		// except through this pixel, so consecutive neighbors are
 		// chained with bridge records the next column replays as unions.
 		if lb.opt.Connectivity == bitmap.Conn8 {
-			for j := 0; j < h; j++ {
-				pe.Tick(1)
-				if !st.col[j] {
-					continue
-				}
-				st.adj[2*j] = lb.witnessIn(nextCol, j)
-				st.adj[2*j+1] = lb.witnessIn(prevCol, j)
-				if x != lastCol {
-					prevNbr := int32(-1)
-					for _, r := range []int{j - 1, j, j + 1} {
-						if r < 0 || r >= h || !nextCol[r] {
-							continue
+			// Only 1-rows do work; the per-row tick of the row scan is
+			// charged in arrears before each, so the clock at every send
+			// is identical to ticking row by row.
+			lastRow := int32(-1)
+			for wi, word := range st.bits {
+				for word != 0 {
+					j := int32(wi<<6 + bits.TrailingZeros64(word))
+					word &= word - 1
+					pe.Tick(int64(j - lastRow))
+					lastRow = j
+					st.adj[2*j] = lb.witnessIn(nextBits, int(j))
+					st.adj[2*j+1] = lb.witnessIn(prevBits, int(j))
+					if x != lastCol {
+						prevNbr := int32(-1)
+						for r := int(j) - 1; r <= int(j)+1; r++ {
+							if r < 0 || r >= h || !bitAt(nextBits, r) {
+								continue
+							}
+							if prevNbr != -1 {
+								pe.Send(slap.Msg{Kind: msgUnion, A: prevNbr, B: int32(r), Words: 2})
+							}
+							prevNbr = int32(r)
 						}
-						if prevNbr != -1 {
-							pe.Send(slap.Msg{Kind: msgUnion, A: prevNbr, B: int32(r), Words: 2})
-						}
-						prevNbr = int32(r)
 					}
 				}
 			}
+			pe.Tick(int64(h-1) - int64(lastRow))
 		} else {
 			// Conn4 sends nothing here, so the per-row tick is charged in
 			// one batch and only 1-rows are visited: clocks are identical
-			// to the row-by-row loop above.
+			// to the row-by-row loop. The witness words are hoisted per
+			// 64-row block and the adj writes are branchless — at 50%
+			// density a taken/not-taken witness branch is a coin flip,
+			// the worst case for prediction.
 			pe.Tick(int64(h))
-			for _, j32 := range st.ones {
-				j := int(j32)
-				if nextCol != nil && nextCol[j] {
-					st.adj[2*j] = j32
-				} else {
-					st.adj[2*j] = -1
+			adj := st.adj
+			for wi, word := range st.bits {
+				var nextWord, prevWord uint64
+				if nextBits != nil {
+					nextWord = nextBits[wi]
 				}
-				if prevCol != nil && prevCol[j] {
-					st.adj[2*j+1] = j32
-				} else {
-					st.adj[2*j+1] = -1
+				if prevBits != nil {
+					prevWord = prevBits[wi]
+				}
+				for word != 0 {
+					t := bits.TrailingZeros64(word)
+					j := wi<<6 + t
+					word &= word - 1
+					// v = j when the witness bit is set, -1 otherwise.
+					nb := int32(nextWord >> uint(t) & 1)
+					pb := int32(prevWord >> uint(t) & 1)
+					adj[2*j] = int32(j)&(-nb) | (nb - 1)
+					adj[2*j+1] = int32(j)&(-pb) | (pb - 1)
 				}
 			}
 		}
 		// Phase one: union vertical runs within the column. Unions happen
-		// exactly at consecutive pairs of 1-rows, so only the ones list
-		// is walked; the per-row tick of the row scan is charged in
-		// arrears right before each union, keeping the clock at every
-		// union (and so at every send) identical to ticking row by row.
+		// exactly at consecutive pairs of 1-rows — bit j of
+		// word & (word<<1), with the previous word's top bit carried in,
+		// is set exactly when rows j-1 and j are both 1 — and the
+		// per-row tick of the row scan is charged in arrears right
+		// before each union, keeping the clock at every union (and so at
+		// every send) identical to ticking row by row.
+		// Ticks accumulate locally and flush right before each send (the
+		// only points where the clock is observable), charging totals
+		// identical to ticking per row and per operation.
 		lastRow := int32(0)
-		for i := 1; i < len(st.ones); i++ {
-			j := st.ones[i]
-			if st.ones[i-1]+1 == j {
-				pe.Tick(int64(j - lastRow))
+		var acc int64
+		var carry uint64
+		for wi, word := range st.bits {
+			pairs := word & (word<<1 | carry)
+			carry = word >> 63
+			for pairs != 0 {
+				j := int32(wi<<6 + bits.TrailingZeros64(pairs))
+				pairs &= pairs - 1
+				acc += int64(j - lastRow)
 				lastRow = j
-				_ = lb.apply(pe, st, j-1, j, x != lastCol, false)
+				_ = lb.apply(pe, st, j-1, j, x != lastCol, false, &acc)
 			}
 		}
-		pe.Tick(int64(h-1) - int64(lastRow))
+		pe.Tick(acc + int64(h-1) - int64(lastRow))
 		// Phase two: replay relevant unions arriving from the previous
 		// column until eos.
 		// Speculation throttle (stands in for the paper's quash
@@ -175,18 +263,31 @@ func (lb *Labeler) runPass(dir slap.Direction) []colState {
 		var specFired, specWasted int64
 		speculating := lb.opt.Speculate && x != lastCol
 		if pe.HasIn() {
-			if lb.opt.IdleCompression && st.forest != nil && len(st.ones) > 0 {
-				cursor := 0
-				f, ones := st.forest, st.ones
+			if lb.opt.IdleCompression && st.forest != nil && st.onesCount > 0 {
+				// Cycle compression victims through the column's 1-rows
+				// in ascending order, straight off the packed words.
+				f, cbits := st.forest, st.bits
+				wi, rem := 0, st.bits[0]
 				pe.OnIdle(func() {
-					f.CompressOne(int(ones[cursor]))
-					cursor++
-					if cursor == len(ones) {
-						cursor = 0
+					for rem == 0 {
+						wi++
+						if wi == len(cbits) {
+							wi = 0
+						}
+						rem = cbits[wi]
 					}
+					f.CompressOne(wi<<6 + bits.TrailingZeros64(rem))
+					rem &= rem - 1
 				})
 			}
+			var acc int64
 			for {
+				// The clock is observable inside RecvWait (its poll
+				// arithmetic), so pending charges flush first.
+				if acc != 0 {
+					pe.Tick(acc)
+					acc = 0
+				}
 				msg, ok := pe.RecvWait()
 				if !ok {
 					panic(fmt.Sprintf("core: PE %d: union stream ended without eos", x))
@@ -209,7 +310,7 @@ func (lb *Labeler) runPass(dir slap.Direction) []colState {
 					throttled := specWasted >= specWasteBudget && specWasted > specFired-specWasted
 					if !throttled {
 						pe.Tick(1)
-						wa, wb := lb.witnessIn(nextCol, int(msg.A)), lb.witnessIn(nextCol, int(msg.B))
+						wa, wb := lb.witnessIn(nextBits, int(msg.A)), lb.witnessIn(nextBits, int(msg.B))
 						if wa != -1 && wb != -1 {
 							pe.Send(slap.Msg{Kind: msgUnion, A: wa, B: wb, Words: 2})
 							st.specSends++
@@ -218,18 +319,20 @@ func (lb *Labeler) runPass(dir slap.Direction) []colState {
 						}
 					}
 				}
-				if !lb.apply(pe, st, msg.A, msg.B, x != lastCol, speculated) && speculated {
+				if !lb.apply(pe, st, msg.A, msg.B, x != lastCol, speculated, &acc) && speculated {
 					specWasted++
 					st.specWasted++
 				}
 			}
+			// acc is always zero here: the eos record's arrival flushed
+			// the last union's pending charges.
 		}
 		if x != lastCol {
 			pe.Send(slap.Msg{Kind: msgEOS})
 		}
 		// The PE's memory: column bits, union–find arrays, satellites.
 		pe.DeclareMemory(int64(h) + 2*int64(h) + 3*int64(len(st.adj)/2))
-	})
+	}
 
 	// Step 2: a find on every pixel (also primes path compression so
 	// every later find is cheap, as §3 notes). The phase is purely local,
@@ -237,47 +340,60 @@ func (lb *Labeler) runPass(dir slap.Direction) []colState {
 	// step costs — is accumulated and charged in one batch: the PE
 	// clocks are identical to ticking operation by operation.
 	unit := lb.opt.UnitCostUF
-	lb.m.RunLocal(passName(dir, "findall"), func(pe *slap.PE) {
+	findallBody := func(pe *slap.PE) {
 		st := &cols[pe.Index]
-		ticks := int64(h)
-		for _, j := range st.ones {
-			_, cost := st.uf.FindCost(int(j))
-			if unit {
-				ticks++
-			} else {
-				ticks += cost
-			}
+		ops, steps := st.uf.FindCostBitset(st.bits, nil)
+		if unit {
+			pe.Tick(int64(h) + ops)
+		} else {
+			pe.Tick(int64(h) + steps)
 		}
-		pe.Tick(ticks)
-	})
+	}
 
 	// Step 3 (Figure 6): the label pass, with the min rule (see below).
-	lb.m.RunSweep(passName(dir, "labelpass"), dir, func(pe *slap.PE) {
+	labelBody := func(pe *slap.PE) {
 		x := pe.Index
 		st := &cols[x]
 		// Sets with no previous-column adjacency label themselves with
 		// their first pixel's position and send the label onward once.
-		// Only 1-rows do work, so the ones list is walked and the row
-		// scan's per-row tick is charged in arrears before each find,
-		// exactly like the union–find pass's phase one.
+		// Only 1-rows do work, and the row scan's per-row tick is
+		// charged in arrears before each find, exactly like the
+		// union–find pass's phase one. The finds themselves run as one
+		// metered batch up front (they neither read nor affect anything
+		// the interleaved sends touch), recording per-row roots and
+		// costs; the loop then replays each row's charges against the
+		// clock, borrowing out as the root scratch (its 1-row slots are
+		// overwritten by assign, its 0-row slots never read before).
+		roots := st.out[:h]
+		st.uf.FindCostBitsetInto(st.bits, roots, st.costs)
+		pos := colBase(x)
 		lastRow := int32(-1)
-		for _, j := range st.ones {
-			pe.Tick(int64(j - lastRow))
-			lastRow = j
-			s, cost := st.uf.FindCost(int(j))
-			if unit {
-				pe.Tick(1)
-			} else {
-				pe.Tick(cost)
-			}
-			if st.adj[2*s+1] == -1 && st.label[s] == -1 {
-				st.label[s] = posOf(x, int(j))
-				if st.adj[2*s] != -1 {
-					pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adj[2*s], Words: 2})
+		var acc int64
+		for wi, word := range st.bits {
+			for word != 0 {
+				j := int32(wi<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				// The row-scan arrears and the find charge accumulate and
+				// flush right before each send, charging totals identical
+				// to ticking per row and per operation.
+				if unit {
+					acc += int64(j-lastRow) + 1
+				} else {
+					acc += int64(j-lastRow) + int64(st.costs[j])
+				}
+				lastRow = j
+				s := roots[j]
+				if st.adj[2*s+1] == -1 && st.label[s] == -1 {
+					st.label[s] = pos + j
+					if st.adj[2*s] != -1 {
+						pe.Tick(acc)
+						acc = 0
+						pe.Send(slap.Msg{Kind: msgLabel, A: st.label[s], B: st.adj[2*s], Words: 2})
+					}
 				}
 			}
 		}
-		pe.Tick(int64(h-1) - int64(lastRow))
+		pe.Tick(acc + int64(h-1) - int64(lastRow))
 		// Incoming labels. Figure 6 overwrites label[S] per arrival; when
 		// two sets of the previous column merge only through this column,
 		// overwriting is order-dependent, so we apply the paper's §2
@@ -316,27 +432,52 @@ func (lb *Labeler) runPass(dir slap.Direction) []colState {
 		if x != lastCol {
 			pe.Send(slap.Msg{Kind: msgEOS})
 		}
-	})
+	}
 
 	// Step 4: assign each pixel its set's label (purely local: charges
-	// are batched like findall's).
-	lb.m.RunLocal(passName(dir, "assign"), func(pe *slap.PE) {
+	// are batched like findall's). The batch find borrows the adj array
+	// as its per-row root scratch — the witness satellites are dead once
+	// the label pass is over, and adj is always at least h long.
+	assignBody := func(pe *slap.PE) {
 		st := &cols[pe.Index]
-		ticks := int64(h)
-		for _, j := range st.ones {
-			s, cost := st.uf.FindCost(int(j))
-			if unit {
-				ticks++
-			} else {
-				ticks += cost
-			}
-			if st.label[s] == -1 {
-				panic(fmt.Sprintf("core: PE %d row %d: set %d never received a label", pe.Index, j, s))
-			}
-			st.out[j] = st.label[s]
+		roots := st.adj[:h]
+		ops, steps := st.uf.FindCostBitset(st.bits, roots)
+		if unit {
+			pe.Tick(int64(h) + ops)
+		} else {
+			pe.Tick(int64(h) + steps)
 		}
-		pe.Tick(ticks)
-	})
+		for wi, word := range st.bits {
+			for word != 0 {
+				j := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				s := roots[j]
+				if st.label[s] == -1 {
+					panic(fmt.Sprintf("core: PE %d row %d: set %d never received a label", pe.Index, j, s))
+				}
+				st.out[j] = st.label[s]
+			}
+		}
+	}
+
+	subs := append(lb.subs[:0],
+		slap.SubPhase{Name: passName(dir, "unionfind"), Body: ufBody},
+		slap.SubPhase{Name: passName(dir, "findall"), Local: true, Body: findallBody},
+		slap.SubPhase{Name: passName(dir, "labelpass"), Body: labelBody},
+		slap.SubPhase{Name: passName(dir, "assign"), Local: true, Body: assignBody},
+	)
+	if extra != nil {
+		subs = append(subs, *extra)
+	}
+	lb.m.RunFused(dir, func(x int) { lb.resetColState(&cols[x]) }, subs)
+	// Park the (possibly grown) arena for the next run, clearing the
+	// closure slots: the merge subphase captures the run's result
+	// LabelMap, which a retained closure would pin long after the
+	// caller released it.
+	for i := range subs {
+		subs[i] = slap.SubPhase{}
+	}
+	lb.subs = subs[:0]
 
 	// Fold the per-PE speculation counters (kept PE-local so concurrent
 	// sweeps never touch shared labeler state).
@@ -359,19 +500,14 @@ func (lb *Labeler) ensurePass(p int) []colState {
 	return lb.passCols[p]
 }
 
-// resetColState re-initializes the per-column pass state for column x of
-// the current image, reusing every backing array of a previous run. A
-// reset state is indistinguishable from a freshly built one. When share
-// is non-nil its column bits and 1-row list are adopted by reference
-// (they depend only on the image, not the sweep direction, and stay
-// immutable for the rest of the run).
-func (lb *Labeler) resetColState(st *colState, x int, share *colState) {
+// resetColState re-initializes the per-column pass state (union–find
+// structure and satellite arrays; the packed bits were set up by
+// runPass) for the current image, reusing every backing array of a
+// previous run. A reset state is indistinguishable from a freshly built
+// one. In the fused walk it runs as the per-column prep hook, so the
+// arrays it fills are still cache-hot when the phase bodies read them.
+func (lb *Labeler) resetColState(st *colState) {
 	h := lb.h
-	if share != nil {
-		st.col = share.col
-	} else {
-		st.col = lb.img.Column(x, growBools(st.col, h))[:h]
-	}
 	if st.uf == nil || st.kind != lb.opt.UF {
 		inner, _ := unionfind.Make(lb.opt.UF, h)
 		st.uf = unionfind.NewMeter(inner)
@@ -386,27 +522,17 @@ func (lb *Labeler) resetColState(st *colState, x int, share *colState) {
 		st.forest = f
 	}
 	cb := st.uf.CapBound()
-	// adj needs no -1 pre-fill: every slot the passes read is written
-	// first (witnesses for 1-rows in the make-set loop, merged roots in
-	// apply's satellite fold — and 0-rows are never unioned, so stale
-	// slots are unreachable). label is different: "label[s] == -1" is
-	// the not-yet-labeled sentinel the label pass tests before any
-	// write. out is re-filled too, purely to keep the merge's "missing
-	// pass label" sanity panic meaningful (a block copy; the cost is
-	// noise).
+	// adj and out need no -1 pre-fill: every slot the passes read is
+	// written first (witnesses for 1-rows in the make-set loop, merged
+	// roots in apply's satellite fold — 0-rows are never unioned, so
+	// stale slots are unreachable; out's 1-row slots are all written by
+	// assign, and only 1-row slots are ever read). label is different:
+	// "label[s] == -1" is the not-yet-labeled sentinel the label pass
+	// tests before any write.
 	st.adj = unionfind.GrowInt32(st.adj, 2*cb)
 	st.label = fillNeg(unionfind.GrowInt32(st.label, cb))
-	st.out = fillNeg(unionfind.GrowInt32(st.out, h))
-	if share != nil {
-		st.ones = share.ones
-	} else {
-		st.ones = st.ones[:0]
-		for j := 0; j < h; j++ {
-			if st.col[j] {
-				st.ones = append(st.ones, int32(j))
-			}
-		}
-	}
+	st.out = unionfind.GrowInt32(st.out, h)
+	st.costs = unionfind.GrowInt32(st.costs, h)
 	st.specSends, st.specWasted = 0, 0
 	lb.meters = append(lb.meters, st.uf)
 }
@@ -417,26 +543,33 @@ func (lb *Labeler) resetColState(st *colState, x int, share *colState) {
 // already forwarded speculatively, the normal forward is suppressed
 // (both messages would union the same two downstream sets). It reports
 // whether the two rows were in distinct sets.
-func (lb *Labeler) apply(pe *slap.PE, st *colState, top, bot int32, hasOut, speculated bool) bool {
-	if !st.col[top] || !st.col[bot] {
+//
+// acc is the caller's pending-tick accumulator: the union's charge
+// joins it, and the whole balance flushes to the clock right before a
+// send (the only point inside apply where the clock is observable) —
+// charging totals identical to ticking per operation.
+func (lb *Labeler) apply(pe *slap.PE, st *colState, top, bot int32, hasOut, speculated bool, acc *int64) bool {
+	if !bitAt(st.bits, int(top)) || !bitAt(st.bits, int(bot)) {
 		panic(fmt.Sprintf("core: PE %d: union witness rows (%d,%d) include a 0-pixel", pe.Index, top, bot))
 	}
 	root, a, b, united, cost := st.uf.UnionCost(int(top), int(bot))
 	if lb.opt.UnitCostUF {
-		pe.Tick(1)
-	} else {
-		pe.Tick(cost)
+		cost = 1
 	}
+	t := *acc + cost
 	if !united {
+		*acc = t
 		return false
 	}
 	// Forward the relevant union before folding satellites: the witness
 	// rows must be the pre-union ones (Figure 5 enqueues before Union).
 	adj := st.adj
 	if !speculated && adj[2*a] != -1 && adj[2*b] != -1 && hasOut {
+		pe.Tick(t)
+		t = 0
 		pe.Send(slap.Msg{Kind: msgUnion, A: adj[2*a], B: adj[2*b], Words: 2})
 	}
-	pe.Tick(1)
+	*acc = t + 1 // the satellite-fold step
 	adj[2*root] = firstWitness(adj[2*a], adj[2*b])
 	adj[2*root+1] = firstWitness(adj[2*a+1], adj[2*b+1])
 	return true
@@ -453,32 +586,30 @@ func firstWitness(a, b int32) int32 {
 // witness returns a row of column x+dir holding a 1-pixel adjacent to
 // pixel (x, j) under the configured connectivity, or -1 (the paper's
 // nil). Constant work; the returned row identifies where the neighboring
-// column should replay information concerning (x, j)'s set. It reads the
-// neighbor's column bits from the pass arena (every column is unpacked
-// before the sweeps start), which is cheaper than re-extracting bits
-// from the image on the simulator's hottest path.
+// column should replay information concerning (x, j)'s set. It probes
+// the neighbor's packed bits from the pass arena.
 func (lb *Labeler) witness(cols []colState, x, j, dir int) int32 {
 	nx := x + dir
 	if nx < 0 || nx >= lb.w {
 		return -1
 	}
-	return lb.witnessIn(cols[nx].col, j)
+	return lb.witnessIn(cols[nx].bits, j)
 }
 
-// witnessIn is witness against an already-resolved neighbor column
-// (nil when the neighbor is off the edge of the image).
-func (lb *Labeler) witnessIn(ncol []bool, j int) int32 {
-	if ncol == nil {
+// witnessIn is witness against an already-resolved neighbor column's
+// packed bits (nil when the neighbor is off the edge of the image).
+func (lb *Labeler) witnessIn(nbits []uint64, j int) int32 {
+	if nbits == nil {
 		return -1
 	}
-	if ncol[j] {
+	if bitAt(nbits, j) {
 		return int32(j)
 	}
 	if lb.opt.Connectivity == bitmap.Conn8 {
-		if j > 0 && ncol[j-1] {
+		if j > 0 && bitAt(nbits, j-1) {
 			return int32(j - 1)
 		}
-		if j+1 < len(ncol) && ncol[j+1] {
+		if j+1 < lb.h && bitAt(nbits, j+1) {
 			return int32(j + 1)
 		}
 	}
@@ -491,12 +622,4 @@ func (lb *Labeler) witnessIn(ncol []bool, j int) int32 {
 func fillNeg(s []int32) []int32 {
 	copy(s, unionfind.NegTable(len(s)))
 	return s
-}
-
-// growBools returns a length-n slice backed by s's array when possible.
-func growBools(s []bool, n int) []bool {
-	if cap(s) < n {
-		return make([]bool, n)
-	}
-	return s[:n]
 }

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+)
+
+// TestLinkTuningEquivalence: BatchSize/LinkDepth are wall-time knobs
+// only — the concurrent engine must produce bit-identical metrics at
+// extreme settings, including batch=1 (a channel operation per record).
+func TestLinkTuningEquivalence(t *testing.T) {
+	slap.ForceConcurrentEngines(true)
+	defer slap.ForceConcurrentEngines(false)
+	img := bitmap.Random(23, 0.5, 5)
+	base := mustLabel(t, img, Options{Parallel: true})
+	for _, tc := range [][2]int{{1, 1}, {3, 2}, {64, 1}, {4096, 64}} {
+		got := mustLabel(t, img, Options{Parallel: true, BatchSize: tc[0], LinkDepth: tc[1]})
+		if !got.Labels.Equal(base.Labels) || !metricsIdentical(t, base, got) {
+			t.Errorf("tuning %v changed results", tc)
+		}
+	}
+}
+
+// TestLinkTuningValidation: negative knobs are configuration errors.
+func TestLinkTuningValidation(t *testing.T) {
+	img := bitmap.Random(4, 0.5, 1)
+	if _, err := Label(img, Options{BatchSize: -1}); err == nil {
+		t.Error("negative BatchSize accepted")
+	}
+	if _, err := Label(img, Options{LinkDepth: -2}); err == nil {
+		t.Error("negative LinkDepth accepted")
+	}
+}

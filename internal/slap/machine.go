@@ -74,12 +74,13 @@ type PE struct {
 
 	// Batched link endpoints of the concurrent engine (see parallel.go);
 	// nil in sequential mode.
-	inCh   chan []timedMsg
-	outCh  chan []timedMsg
-	inBuf  []timedMsg
-	inPos  int
-	outBuf []timedMsg
-	pool   chan []timedMsg
+	inCh     chan []timedMsg
+	outCh    chan []timedMsg
+	inBuf    []timedMsg
+	inPos    int
+	outBuf   []timedMsg
+	pool     chan []timedMsg
+	batchCap int
 
 	// Streaming peak-backlog tracker (consumer side, concurrent engine):
 	// consume times of not-yet-retired records, a sliding window.
@@ -292,11 +293,19 @@ type Machine struct {
 	// alwaysConcurrent forces the concurrent sweep engine even when the
 	// host has no parallelism (tests exercise the engine with it).
 	alwaysConcurrent bool
+	// fuseOff makes RunFused run its subphases as separate per-phase
+	// walks (the reference executor; see fused.go).
+	fuseOff bool
+	// batchSize/linkDepth tune the concurrent engine's batched links
+	// (see parallel.go); Reset restores the GOMAXPROCS-aware defaults.
+	batchSize int
+	linkDepth int
 
 	// Arenas reused across phases and runs.
 	scratchPE PE
 	freeLinks []*link
 	pendBuf   []int64 // backlog-tracker buffer handed to the scratch PE
+	fusedSubs []fusedSub
 }
 
 // EnableProfile turns on per-PE completion-time recording (PhaseMetrics.
@@ -325,7 +334,24 @@ func (mc *Machine) Reset(n int, cost CostModel) {
 	mc.cost = cost
 	mc.profile = false
 	mc.parallel = false
+	mc.fuseOff = false
+	mc.batchSize, mc.linkDepth = DefaultLinkTuning()
 	mc.metrics = Metrics{N: n, Phases: mc.metrics.Phases[:0]}
+}
+
+// SetLinkTuning overrides the concurrent engine's batched-link
+// parameters for subsequently executed phases: batch is the number of
+// records a producer accumulates before publishing, depth the number of
+// published batches in flight per link. Zero (or negative) keeps the
+// current value. Both affect only host-side wall time and memory; the
+// simulated metrics are identical at every setting (tests enforce it).
+func (mc *Machine) SetLinkTuning(batch, depth int) {
+	if batch > 0 {
+		mc.batchSize = batch
+	}
+	if depth > 0 {
+		mc.linkDepth = depth
+	}
 }
 
 // N returns the number of PEs.

@@ -35,15 +35,31 @@ import (
 //   - Phase bodies must not share mutable state across PEs (the engine
 //     cannot check this; the race detector can).
 
-const (
-	// batchSize is the number of records a producer accumulates before
-	// publishing a batch to its consumer.
-	batchSize = 256
-	// linkDepth bounds the published batches in flight per link;
-	// producers block when a consumer falls this far behind, throttling
-	// only wall time.
-	linkDepth = 8
-)
+// DefaultLinkTuning returns the GOMAXPROCS-aware defaults for the
+// batched links: batch is the number of records a producer accumulates
+// before publishing, depth the number of published batches in flight
+// per link (producers block when a consumer falls that far behind,
+// throttling only wall time). With more cores, more PEs genuinely run
+// at once, so deeper links pay off (the pipeline absorbs longer
+// producer/consumer rate mismatches) and somewhat smaller batches cut
+// the latency before a downstream PE can start; on few cores the
+// larger batch amortizes synchronization that can't overlap anyway.
+// Machine.SetLinkTuning (surfaced as Options.BatchSize/LinkDepth)
+// overrides both without recompiling.
+func DefaultLinkTuning() (batch, depth int) {
+	p := runtime.GOMAXPROCS(0)
+	batch, depth = 256, 8
+	if p >= 32 {
+		batch = 128
+	}
+	if p > 8 {
+		depth = p
+		if depth > 32 {
+			depth = 32
+		}
+	}
+	return batch, depth
+}
 
 // EnableParallel switches RunSweep to the concurrent engine for
 // subsequently executed phases.
@@ -84,10 +100,10 @@ func (mc *Machine) runSweepConcurrent(name string, dir Direction, body func(pe *
 		if dir == RightToLeft {
 			idx = mc.n - 1 - pos
 		}
-		pe := &PE{Index: idx, cost: mc.cost, inCh: prev, pool: pool, noPoll: true}
+		pe := &PE{Index: idx, cost: mc.cost, inCh: prev, pool: pool, noPoll: true, batchCap: mc.batchSize}
 		if pos < mc.n-1 {
-			pe.outCh = make(chan []timedMsg, linkDepth)
-			pe.outBuf = make([]timedMsg, 0, batchSize)
+			pe.outCh = make(chan []timedMsg, mc.linkDepth)
+			pe.outBuf = make([]timedMsg, 0, mc.batchSize)
 			prev = pe.outCh
 		}
 		pes[pos] = pe
@@ -137,7 +153,7 @@ func (pe *PE) getBatch() []timedMsg {
 	case b := <-pe.pool:
 		return b[:0]
 	default:
-		return make([]timedMsg, 0, batchSize)
+		return make([]timedMsg, 0, pe.batchCap)
 	}
 }
 
@@ -167,7 +183,7 @@ func (pe *PE) sendCh(m Msg) {
 	pe.sends++
 	pe.words += w
 	pe.outBuf = append(pe.outBuf, timedMsg{msg: m, ready: pe.clock, consumeAt: -1})
-	if len(pe.outBuf) == batchSize {
+	if len(pe.outBuf) >= pe.batchCap {
 		pe.flushOut()
 	}
 }

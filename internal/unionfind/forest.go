@@ -1,6 +1,9 @@
 package unionfind
 
-import "fmt"
+import (
+	"fmt"
+	mbits "math/bits"
+)
 
 // LinkRule selects how Forest.Union chooses the surviving root.
 type LinkRule uint8
@@ -64,18 +67,36 @@ func (c CompressRule) String() string {
 	return fmt.Sprintf("CompressRule(%d)", uint8(c))
 }
 
+// narrowLimit is the largest element count served by the compact int16
+// arrays (identifiers and sizes both fit int16 up to it).
+const narrowLimit = 32767
+
 // Forest is the classic disjoint-set forest with parent pointers,
 // parameterized by link and compression rules. With LinkBySize or
 // LinkByRank no find ever costs more than O(lg n) steps, which is what
 // bounds Algorithm CC at O(n lg n) overall; with compression the
 // amortized cost is O(α(n)).
+//
+// The parent and weight arrays exist at two widths: compact int16
+// arrays serve n ≤ 32767 (halving the cache traffic of find chains —
+// the simulator's dominant memory load, where every PE's structure
+// spans one image column), and int32 arrays serve larger n. The width
+// is selected at Reset; behavior, identifiers, and step charges are
+// identical at both widths.
 type Forest struct {
-	parent []int32
-	weight []int32 // size (LinkBySize) or rank (LinkByRank); unused for LinkNaive
-	link   LinkRule
-	comp   CompressRule
-	sets   int
-	steps  int64
+	parent   []int32
+	weight   []int32 // size (LinkBySize) or rank (LinkByRank); unused for LinkNaive
+	parent16 []int16
+	weight16 []int16
+	small    bool // compact arrays active
+	// forceWide pins the int32 arrays regardless of n, so tests can
+	// compare the two widths op for op.
+	forceWide bool
+	link      LinkRule
+	comp      CompressRule
+	n         int
+	sets      int
+	steps     int64
 }
 
 var _ UnionFind = (*Forest)(nil)
@@ -89,22 +110,40 @@ func NewForest(n int, link LinkRule, comp CompressRule) *Forest {
 
 // Reset re-initializes the forest to n singletons in place, keeping the
 // link and compression rules and reusing the parent/weight arrays when
-// they are large enough. The initial values are block-copied from shared
+// they are large enough. The array width (int16 vs int32) is selected
+// here from n. The initial values are block-copied from shared
 // templates: simulations reset thousands of forests per run, and a
 // memmove beats an element-by-element loop.
 func (f *Forest) Reset(n int) {
 	if n < 0 {
 		panic(fmt.Sprintf("unionfind: negative size %d", n))
 	}
-	f.parent = GrowInt32(f.parent, n)
-	copy(f.parent, identityTable(n))
-	if f.link != LinkNaive {
-		f.weight = GrowInt32(f.weight, n)
-		if f.link == LinkBySize {
-			copy(f.weight, onesTable(n))
-		} else {
-			for i := range f.weight {
-				f.weight[i] = 0 // ranks start at 0
+	f.n = n
+	f.small = n <= narrowLimit && !f.forceWide
+	if f.small {
+		f.parent16 = Grow(f.parent16, n)
+		copy(f.parent16, identityTable16(n))
+		if f.link != LinkNaive {
+			f.weight16 = Grow(f.weight16, n)
+			if f.link == LinkBySize {
+				copy(f.weight16, onesTable16(n))
+			} else {
+				for i := range f.weight16 {
+					f.weight16[i] = 0 // ranks start at 0
+				}
+			}
+		}
+	} else {
+		f.parent = Grow(f.parent, n)
+		copy(f.parent, identityTable(n))
+		if f.link != LinkNaive {
+			f.weight = Grow(f.weight, n)
+			if f.link == LinkBySize {
+				copy(f.weight, onesTable(n))
+			} else {
+				for i := range f.weight {
+					f.weight[i] = 0 // ranks start at 0
+				}
 			}
 		}
 	}
@@ -112,20 +151,16 @@ func (f *Forest) Reset(n int) {
 	f.steps = 0
 }
 
-// Find returns the root of x's tree, applying the configured compression.
-// Every parent-pointer traversal and every re-pointing charges one step
-// (steps are counted locally and folded into the cumulative counter once,
-// which keeps the hot loops in registers; the charged totals are
-// identical to counting per traversal).
-func (f *Forest) Find(x int) int {
-	parent := f.parent
-	switch f.comp {
+// findG returns the root of x's tree under the given compression rule
+// and the steps to charge (one per traversal and re-pointing, plus the
+// initial pointer inspection) without touching any cumulative counter,
+// so callers on the simulator's hot path fold the cost exactly once.
+func findG[T cell](parent []T, comp CompressRule, x T) (T, int64) {
+	switch comp {
 	case CompressFull:
-		root, steps := f.findFull(int32(x))
-		f.steps += steps
-		return int(root)
+		return findFullG(parent, x)
 	case CompressHalve:
-		cur := int32(x)
+		cur := x
 		steps := int64(1)
 		for parent[cur] != cur {
 			p := parent[cur]
@@ -134,10 +169,9 @@ func (f *Forest) Find(x int) int {
 			cur = g
 			steps++
 		}
-		f.steps += steps
-		return int(cur)
+		return cur, steps
 	case CompressSplit:
-		cur := int32(x)
+		cur := x
 		steps := int64(1)
 		for parent[cur] != cur {
 			p := parent[cur]
@@ -146,26 +180,24 @@ func (f *Forest) Find(x int) int {
 			cur = p
 			steps++
 		}
-		f.steps += steps
-		return int(cur)
+		return cur, steps
 	default: // CompressNone
-		cur := int32(x)
+		cur := x
 		steps := int64(1)
 		for parent[cur] != cur {
 			cur = parent[cur]
 			steps++
 		}
-		f.steps += steps
-		return int(cur)
+		return cur, steps
 	}
 }
 
-// findFull is the CompressFull find: it returns the root and the steps
-// to charge (one per traversal and re-pointing, plus the initial pointer
-// inspection) without touching the cumulative counter, so callers on the
-// simulator's hot path fold the cost exactly once.
-func (f *Forest) findFull(x int32) (int32, int64) {
-	parent := f.parent
+// findFullG is the CompressFull find at either array width: root chase,
+// then re-point every traversed node at the root. (Kept lean enough to
+// inline into the Meter entries and batch loops — a depth-specialized
+// fast path was tried and lost more to the blown inlining budget than
+// it saved in loads.)
+func findFullG[T cell](parent []T, x T) (T, int64) {
 	root := x
 	steps := int64(1) // inspecting x's pointer
 	for parent[root] != root {
@@ -181,41 +213,200 @@ func (f *Forest) findFull(x int32) (int32, int64) {
 	return root, steps
 }
 
-// Union links the roots of x's and y's trees per the link rule.
-func (f *Forest) Union(x, y int) (root, a, b int, united bool) {
-	ra := int32(f.Find(x))
-	rb := int32(f.Find(y))
+// findBitsetG / findSeqG / findRangeG are the batch-find loops behind
+// Meter's batch entries: full-compression finds over a set of elements
+// with locally accumulated stats. Traversals and compression writes are
+// exactly those of per-element findFullG calls in the same order.
+func findBitsetG[T cell](parent []T, bits []uint64, roots []int32) (ops, steps, max int64) {
+	for wi, word := range bits {
+		for word != 0 {
+			j := wi<<6 + mbits.TrailingZeros64(word)
+			word &= word - 1
+			root, s := findFullG(parent, T(j))
+			if roots != nil {
+				roots[j] = int32(root)
+			}
+			ops++
+			steps += s
+			if s > max {
+				max = s
+			}
+		}
+	}
+	return ops, steps, max
+}
+
+func findBitsetIntoG[T cell](parent []T, bits []uint64, roots, costs []int32) (ops, steps, max int64) {
+	for wi, word := range bits {
+		for word != 0 {
+			j := wi<<6 + mbits.TrailingZeros64(word)
+			word &= word - 1
+			root, s := findFullG(parent, T(j))
+			roots[j] = int32(root)
+			costs[j] = int32(s)
+			ops++
+			steps += s
+			if s > max {
+				max = s
+			}
+		}
+	}
+	return ops, steps, max
+}
+
+func findSeqG[T cell](parent []T, ids, roots []int32) (ops, steps, max int64) {
+	for k, id := range ids {
+		root, s := findFullG(parent, T(id))
+		if roots != nil {
+			roots[k] = int32(root)
+		}
+		steps += s
+		if s > max {
+			max = s
+		}
+	}
+	return int64(len(ids)), steps, max
+}
+
+func findRangeG[T cell](parent []T, n int, roots []int32) (ops, steps, max int64) {
+	for k := 0; k < n; k++ {
+		root, s := findFullG(parent, T(k))
+		if roots != nil {
+			roots[k] = int32(root)
+		}
+		steps += s
+		if s > max {
+			max = s
+		}
+	}
+	return int64(n), steps, max
+}
+
+// unionPairsG is the batch-union loop behind Meter.UnionCostPairs:
+// default-rule unions over a pair list with locally accumulated stats.
+func unionPairsG[T cell](parent, weight []T, pairs []Pair) (steps, max, united int64) {
+	for _, p := range pairs {
+		_, _, _, u, s := unionFullSizeG(parent, weight, T(p.X), T(p.Y))
+		steps += s
+		if s > max {
+			max = s
+		}
+		if u {
+			united++
+		}
+	}
+	return steps, max, united
+}
+
+// unionFullSizeG is unionG specialized to the package default rules
+// (weighted union, full compression): the Meter's hottest entry calls
+// it directly, skipping the per-operation rule dispatch. Charges are
+// identical to the general path's.
+func unionFullSizeG[T cell](parent, weight []T, x, y T) (root, a, b int, united bool, cost int64) {
+	ra, sa := findFullG(parent, x)
+	rb, sb := findFullG(parent, y)
+	cost = sa + sb
 	a, b = int(ra), int(rb)
 	if ra == rb {
-		return a, a, b, false
+		return a, a, b, false, cost
 	}
 	winner, loser := ra, rb
-	switch f.link {
+	if weight[winner] < weight[loser] {
+		winner, loser = loser, winner
+	}
+	weight[winner] += weight[loser]
+	parent[loser] = winner
+	cost++
+	return int(winner), a, b, true, cost
+}
+
+// unionG links the roots of x's and y's trees per the link rule,
+// returning the pre-union identifiers and the total steps to charge
+// (two finds plus one link update when the sets were distinct).
+func unionG[T cell](parent, weight []T, link LinkRule, comp CompressRule, x, y T) (root, a, b int, united bool, steps int64) {
+	ra, sa := findG(parent, comp, x)
+	rb, sb := findG(parent, comp, y)
+	steps = sa + sb
+	a, b = int(ra), int(rb)
+	if ra == rb {
+		return a, a, b, false, steps
+	}
+	winner, loser := ra, rb
+	switch link {
 	case LinkBySize:
-		if f.weight[winner] < f.weight[loser] {
+		if weight[winner] < weight[loser] {
 			winner, loser = loser, winner
 		}
-		f.weight[winner] += f.weight[loser]
+		weight[winner] += weight[loser]
 	case LinkByRank:
-		if f.weight[winner] < f.weight[loser] {
+		if weight[winner] < weight[loser] {
 			winner, loser = loser, winner
-		} else if f.weight[winner] == f.weight[loser] {
-			f.weight[winner]++
+		} else if weight[winner] == weight[loser] {
+			weight[winner]++
 		}
 	case LinkNaive:
 		// winner stays ra.
 	}
-	f.parent[loser] = winner
-	f.steps++
-	f.sets--
-	return int(winner), a, b, true
+	parent[loser] = winner
+	steps++
+	return int(winner), a, b, true, steps
+}
+
+// findCost returns the root of x's set and the charged cost, folding
+// the cost into the cumulative counter once. This is the hot entry the
+// Meter wrapper uses.
+func (f *Forest) findCost(x int) (int, int64) {
+	var root int
+	var steps int64
+	if f.small {
+		var r int16
+		r, steps = findG(f.parent16, f.comp, int16(x))
+		root = int(r)
+	} else {
+		var r int32
+		r, steps = findG(f.parent, f.comp, int32(x))
+		root = int(r)
+	}
+	f.steps += steps
+	return root, steps
+}
+
+// unionCost is Union returning the charged cost as well; the Meter
+// wrapper's hot entry.
+func (f *Forest) unionCost(x, y int) (root, a, b int, united bool, cost int64) {
+	if f.small {
+		root, a, b, united, cost = unionG(f.parent16, f.weight16, f.link, f.comp, int16(x), int16(y))
+	} else {
+		root, a, b, united, cost = unionG(f.parent, f.weight, f.link, f.comp, int32(x), int32(y))
+	}
+	f.steps += cost
+	if united {
+		f.sets--
+	}
+	return root, a, b, united, cost
+}
+
+// Find returns the root of x's tree, applying the configured compression.
+// Every parent-pointer traversal and every re-pointing charges one step
+// (steps are counted locally and folded into the cumulative counter once,
+// which keeps the hot loops in registers; the charged totals are
+// identical to counting per traversal).
+func (f *Forest) Find(x int) int {
+	root, _ := f.findCost(x)
+	return root
+}
+
+// Union links the roots of x's and y's trees per the link rule.
+func (f *Forest) Union(x, y int) (root, a, b int, united bool) {
+	root, a, b, united, _ = f.unionCost(x, y)
+	return root, a, b, united
 }
 
 // Len returns the number of elements.
-func (f *Forest) Len() int { return len(f.parent) }
+func (f *Forest) Len() int { return f.n }
 
 // CapBound returns Len: roots are always elements.
-func (f *Forest) CapBound() int { return len(f.parent) }
+func (f *Forest) CapBound() int { return f.n }
 
 // Sets returns the number of remaining disjoint sets.
 func (f *Forest) Sets() int { return f.sets }
@@ -227,8 +418,15 @@ func (f *Forest) Steps() int64 { return f.steps }
 // charging steps or compressing: a white-box helper for invariant tests
 // and for the idle-compression heuristic's victim selection.
 func (f *Forest) Depth(x int) int {
+	if f.small {
+		return depthG(f.parent16, int16(x))
+	}
+	return depthG(f.parent, int32(x))
+}
+
+func depthG[T cell](parent []T, x T) int {
 	d := 0
-	for cur := int32(x); f.parent[cur] != cur; cur = f.parent[cur] {
+	for cur := x; parent[cur] != cur; cur = parent[cur] {
 		d++
 	}
 	return d
@@ -238,12 +436,24 @@ func (f *Forest) Depth(x int) int {
 // it re-points x at its grandparent and reports whether anything changed.
 // The SLAP idle-compression heuristic (§3) calls this once per idle cycle.
 func (f *Forest) CompressOne(x int) bool {
-	p := f.parent[x]
-	g := f.parent[p]
+	var changed bool
+	if f.small {
+		changed = compressOneG(f.parent16, int16(x))
+	} else {
+		changed = compressOneG(f.parent, int32(x))
+	}
+	if changed {
+		f.steps++
+	}
+	return changed
+}
+
+func compressOneG[T cell](parent []T, x T) bool {
+	p := parent[x]
+	g := parent[p]
 	if g == p {
 		return false
 	}
-	f.parent[x] = g
-	f.steps++
+	parent[x] = g
 	return true
 }

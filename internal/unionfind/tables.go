@@ -6,20 +6,33 @@ import "sync/atomic"
 // onesTable(n)[i] == 1, NegTable(n)[i] == -1. Reset paths (here and in
 // the simulator core) block-copy from them instead of looping. Each
 // table grows monotonically and is swapped in atomically, so concurrent
-// readers always see a fully initialized snapshot.
+// readers always see a fully initialized snapshot. Templates exist at
+// both element widths the forests use (int32, and int16 for the compact
+// arrays selected when n ≤ MaxInt16 elements).
+
+// cell is the element width of a forest's parent/weight arrays.
+type cell interface {
+	~int16 | ~int32
+}
+
+type tableCache[T cell] struct {
+	p atomic.Pointer[[]T]
+}
 
 var (
-	identityTab atomic.Pointer[[]int32]
-	onesTab     atomic.Pointer[[]int32]
-	negTab      atomic.Pointer[[]int32]
+	identityTab   tableCache[int32]
+	onesTab       tableCache[int32]
+	negTab        tableCache[int32]
+	identityTab16 tableCache[int16]
+	onesTab16     tableCache[int16]
 )
 
-// table returns a length-n prefix of the template held in tab, growing
-// it via fill when needed. The swap is a CompareAndSwap so concurrent
-// growers can only ever replace a table with a larger one.
-func table(tab *atomic.Pointer[[]int32], n int, fill func([]int32)) []int32 {
+// get returns a length-n prefix of the cached template, growing it via
+// fill when needed. The swap is a CompareAndSwap so concurrent growers
+// can only ever replace a table with a larger one.
+func (tab *tableCache[T]) get(n int, fill func([]T)) []T {
 	for {
-		p := tab.Load()
+		p := tab.p.Load()
 		if p != nil && len(*p) >= n {
 			return (*p)[:n]
 		}
@@ -27,44 +40,49 @@ func table(tab *atomic.Pointer[[]int32], n int, fill func([]int32)) []int32 {
 		for size < n {
 			size *= 2
 		}
-		t := make([]int32, size)
+		t := make([]T, size)
 		fill(t)
-		if tab.CompareAndSwap(p, &t) {
+		if tab.p.CompareAndSwap(p, &t) {
 			return t[:n]
 		}
 	}
 }
 
-func identityTable(n int) []int32 {
-	return table(&identityTab, n, func(t []int32) {
-		for i := range t {
-			t[i] = int32(i)
-		}
-	})
+func fillIdentity[T cell](t []T) {
+	for i := range t {
+		t[i] = T(i)
+	}
 }
 
-func onesTable(n int) []int32 {
-	return table(&onesTab, n, func(t []int32) {
-		for i := range t {
-			t[i] = 1
-		}
-	})
+func fillOnes[T cell](t []T) {
+	for i := range t {
+		t[i] = 1
+	}
 }
 
-// GrowInt32 returns a length-n slice backed by s's array when
-// cap(s) ≥ n, allocating otherwise — the reset-path idiom shared by the
-// structures here and the simulator core's arenas.
-func GrowInt32(s []int32, n int) []int32 {
+func identityTable(n int) []int32   { return identityTab.get(n, fillIdentity[int32]) }
+func onesTable(n int) []int32       { return onesTab.get(n, fillOnes[int32]) }
+func identityTable16(n int) []int16 { return identityTab16.get(n, fillIdentity[int16]) }
+func onesTable16(n int) []int16     { return onesTab16.get(n, fillOnes[int16]) }
+
+// Grow returns a length-n slice backed by s's array when cap(s) ≥ n,
+// allocating otherwise — the reset-path idiom shared by the structures
+// here and the simulator core's arenas.
+func Grow[T cell](s []T, n int) []T {
 	if cap(s) < n {
-		return make([]int32, n)
+		return make([]T, n)
 	}
 	return s[:n]
 }
 
+// GrowInt32 is Grow at the satellite arrays' width, kept as a named
+// helper for the simulator core's arenas.
+func GrowInt32(s []int32, n int) []int32 { return Grow(s, n) }
+
 // NegTable returns a read-only length-n slice of -1s (the paper's nil),
 // for block-filling satellite arrays. Callers must not write to it.
 func NegTable(n int) []int32 {
-	return table(&negTab, n, func(t []int32) {
+	return negTab.get(n, func(t []int32) {
 		for i := range t {
 			t[i] = -1
 		}

@@ -1,0 +1,102 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestForestWidthEquivalence drives the compact int16 arrays and the
+// wide int32 arrays through an identical operation stream and demands
+// identical identifiers, united flags, set counts, and per-operation
+// step charges: the array width is a pure layout choice, invisible to
+// the simulator's accounting.
+func TestForestWidthEquivalence(t *testing.T) {
+	for _, link := range []LinkRule{LinkBySize, LinkByRank, LinkNaive} {
+		for _, comp := range []CompressRule{CompressFull, CompressHalve, CompressSplit, CompressNone} {
+			const n = 1000
+			narrow := NewForest(n, link, comp)
+			wide := &Forest{link: link, comp: comp, forceWide: true}
+			wide.Reset(n)
+			if !narrow.small || wide.small {
+				t.Fatalf("%v/%v: width selection broken (narrow.small=%v wide.small=%v)",
+					link, comp, narrow.small, wide.small)
+			}
+			rng := rand.New(rand.NewSource(int64(uint8(link))<<8 | int64(uint8(comp))))
+			for op := 0; op < 5000; op++ {
+				if rng.Intn(3) == 0 {
+					x := rng.Intn(n)
+					rn, cn := narrow.findCost(x)
+					rw, cw := wide.findCost(x)
+					if rn != rw || cn != cw {
+						t.Fatalf("%v/%v op %d: Find(%d) diverged: narrow (%d, %d) wide (%d, %d)",
+							link, comp, op, x, rn, cn, rw, cw)
+					}
+				} else {
+					x, y := rng.Intn(n), rng.Intn(n)
+					rn, an, bn, un, cn := narrow.unionCost(x, y)
+					rw, aw, bw, uw, cw := wide.unionCost(x, y)
+					if rn != rw || an != aw || bn != bw || un != uw || cn != cw {
+						t.Fatalf("%v/%v op %d: Union(%d,%d) diverged: narrow (%d,%d,%d,%v,%d) wide (%d,%d,%d,%v,%d)",
+							link, comp, op, x, y, rn, an, bn, un, cn, rw, aw, bw, uw, cw)
+					}
+				}
+			}
+			if narrow.Steps() != wide.Steps() || narrow.Sets() != wide.Sets() {
+				t.Fatalf("%v/%v: cumulative state diverged: steps %d/%d sets %d/%d",
+					link, comp, narrow.Steps(), wide.Steps(), narrow.Sets(), wide.Sets())
+			}
+		}
+	}
+}
+
+// TestForestWidthSwitchOnReset crosses the narrowLimit boundary in both
+// directions on one structure: Reset must always leave a correct
+// forest of the newly selected width.
+func TestForestWidthSwitchOnReset(t *testing.T) {
+	f := NewForest(100, LinkBySize, CompressFull)
+	if !f.small {
+		t.Fatal("n=100 should select the compact arrays")
+	}
+	check := func(n int) {
+		t.Helper()
+		for i := 0; i+1 < n; i += 2 {
+			if _, _, _, united := f.Union(i, i+1); !united {
+				t.Fatalf("n=%d: Union(%d,%d) not united after reset", n, i, i+1)
+			}
+		}
+		if want := n - n/2; f.Sets() != want {
+			t.Fatalf("n=%d: %d sets, want %d", n, f.Sets(), want)
+		}
+		if f.Find(0) != f.Find(1) {
+			t.Fatalf("n=%d: 0 and 1 not joined", n)
+		}
+	}
+	for _, n := range []int{100, narrowLimit, narrowLimit + 1, 70000, 8, narrowLimit + 1, 100} {
+		f.Reset(n)
+		wantSmall := n <= narrowLimit
+		if f.small != wantSmall {
+			t.Fatalf("Reset(%d): small=%v, want %v", n, f.small, wantSmall)
+		}
+		check(n)
+	}
+}
+
+// TestMeterForestWidths runs the Meter fast paths over both widths.
+func TestMeterForestWidths(t *testing.T) {
+	for _, n := range []int{500, narrowLimit + 100} {
+		m := NewMeter(NewForest(n, LinkBySize, CompressFull))
+		for i := 0; i+1 < n; i += 2 {
+			m.Union(i, i+1)
+		}
+		for i := 0; i < n; i++ {
+			m.Find(i)
+		}
+		st := m.Stats()
+		if st.Finds != int64(n) || st.Unions != int64(n/2) {
+			t.Fatalf("n=%d: stats %+v", n, st)
+		}
+		if m.Steps() == 0 || m.MaxOpCost() == 0 {
+			t.Fatalf("n=%d: no costs recorded", n)
+		}
+	}
+}

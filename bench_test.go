@@ -306,3 +306,32 @@ func BenchmarkLabelerReuse(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkLabelLarge measures the strip-mined path end to end: a
+// 1024×1024 frame labeled on a 128-wide array (8 strips + seam merge),
+// sequentially on one warm arena set and fanned across worker labelers.
+// "whole" is the same frame on a whole-image array for reference: the
+// tiler's host-side overhead over it is the price of the fixed PE count.
+func BenchmarkLabelLarge(b *testing.B) {
+	const n, aw = 1024, 128
+	img := bitmap.Random(n, 0.5, 1)
+	for _, mode := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"whole", core.Options{}},
+		{"strips-seq", core.Options{ArrayWidth: aw}},
+		{"strips-pool", core.Options{ArrayWidth: aw, StripWorkers: 8}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(n * n))
+			lab := core.NewLabeler(mode.opt)
+			for i := 0; i < b.N; i++ {
+				if _, err := lab.LabelLarge(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

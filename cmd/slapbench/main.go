@@ -1,4 +1,4 @@
-// Command slapbench runs the reproduction experiment suite (E1–E10, see
+// Command slapbench runs the reproduction experiment suite (E1–E12, see
 // DESIGN.md §5) and prints the result tables; EXPERIMENTS.md is generated
 // from its output.
 //
@@ -30,7 +30,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("slapbench", flag.ContinueOnError)
 	var (
-		id    = fs.String("id", "", "run only this experiment (E1..E10)")
+		id    = fs.String("id", "", "run only this experiment (E1..E12)")
 		sizes = fs.String("sizes", "", "comma-separated image sizes (default 32,64,128,256,512)")
 		quick = fs.Bool("quick", false, "use the quick size sweep (16,32,64)")
 		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")

@@ -38,6 +38,8 @@ func run(args []string) error {
 	var (
 		genName   = fs.String("gen", "", "generate this workload family (see -list)")
 		n         = fs.Int("n", 32, "image size for -gen")
+		array     = fs.Int("array", 0, "physical PE count; images wider than this are strip-mined (0 = array as wide as the image)")
+		stripWk   = fs.Int("stripworkers", 0, "fan strips of a strip-mined run across this many worker labelers (host wall time only)")
 		inPath    = fs.String("in", "", "read a PBM (P1) image from this file ('-' = stdin)")
 		ufKind    = fs.String("uf", string(unionfind.KindTarjan), "union-find kind: "+kindList())
 		idle      = fs.Bool("idle", false, "enable idle-time path compression (§3 heuristic)")
@@ -76,12 +78,17 @@ func run(args []string) error {
 		Profile:         *profile,
 		Parallel:        *parallel,
 		Speculate:       *speculate,
+		ArrayWidth:      *array,
+		StripWorkers:    *stripWk,
 	}
 	if *bitserial {
-		opt.Cost = slap.BitSerial(slap.WordBitsFor(maxDim(img)))
+		// Labels are column-major positions offset by w·h, so the word
+		// width depends on the pixel count, not on max(w, h): a square
+		// formula over-charges non-square images.
+		opt.Cost = slap.BitSerial(slap.WordBitsForDims(img.W(), img.H()))
 	}
 
-	res, err := core.Label(img, opt)
+	res, err := core.LabelLarge(img, opt)
 	if err != nil {
 		return err
 	}
@@ -94,9 +101,16 @@ func run(args []string) error {
 	st := seqcc.Summarize(res.Labels)
 	fmt.Printf("image: %dx%d, %d foreground pixels (density %.2f)\n",
 		img.W(), img.H(), img.CountOnes(), img.Density())
+	if *array > 0 && *array < img.W() {
+		strips := (img.W() + *array - 1) / *array
+		fmt.Printf("array: %d PEs, %d strips (sequential schedule; seam-merge appended)\n",
+			*array, strips)
+	}
 	fmt.Printf("components: %d (largest %d pixels)\n", st.Components, st.Largest)
+	// Metrics.N is the physical array width: the image width on plain
+	// runs, ArrayWidth on strip-mined ones.
 	fmt.Printf("simulated time: %d steps (%.2f steps/PE), uf=%s maxOp=%d\n",
-		res.Metrics.Time, float64(res.Metrics.Time)/float64(maxInt(1, img.W())),
+		res.Metrics.Time, float64(res.Metrics.Time)/float64(maxInt(1, res.Metrics.N)),
 		res.UF.Kind, res.UF.MaxOpCost)
 
 	if *show {
@@ -250,8 +264,6 @@ func kindList() string {
 	}
 	return strings.Join(names, ", ")
 }
-
-func maxDim(img *bitmap.Bitmap) int { return maxInt(img.W(), img.H()) }
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -8,6 +9,8 @@ import (
 	"testing"
 
 	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/slap"
 )
 
 // capture redirects os.Stdout around fn and returns what it printed.
@@ -131,5 +134,82 @@ func TestRunBitSerialAndVariants(t *testing.T) {
 	}
 	if !strings.Contains(out, "uf=blum") {
 		t.Fatalf("expected blum UF in output:\n%s", out)
+	}
+}
+
+// TestRunArrayStripMined: -array strip-mines wide images; the built-in
+// -verify cross-check against the sequential reference runs on the
+// stitched global labeling, and the seam-merge phase shows in -metrics.
+func TestRunArrayStripMined(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "64", "-array", "16", "-metrics"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"array: 16 PEs, 4 strips", "seam-merge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Strip workers are a host-side knob only; the run must agree.
+	out2, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "64", "-array", "16", "-stripworkers", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := func(s string) string {
+		for _, ln := range strings.Split(s, "\n") {
+			if strings.HasPrefix(ln, "simulated time:") {
+				return ln
+			}
+		}
+		return ""
+	}
+	if line(out) == "" || line(out) != line(out2) {
+		t.Errorf("strip workers changed the simulated time:\n%q\nvs\n%q", line(out), line(out2))
+	}
+}
+
+// TestRunBitSerialNonSquare: -bitserial sizes words from the pixel count
+// (WordBitsForDims), not from max(w, h)²: a 32×4 image is charged 8-bit
+// words (⌈lg 2·32·4⌉), where the old maxDim sizing billed 11-bit words.
+func TestRunBitSerialNonSquare(t *testing.T) {
+	img := bitmap.RandomRect(32, 4, 0.5, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rect.pbm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.WritePBM(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	want, err := core.Label(img, core.Options{Cost: slap.BitSerial(slap.WordBitsForDims(32, 4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overCharged, err := core.Label(img, core.Options{Cost: slap.BitSerial(slap.WordBitsFor(32))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Metrics.Time == overCharged.Metrics.Time {
+		t.Fatal("test image cannot discriminate word widths (no link traffic?)")
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"-in", path, "-bitserial"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("simulated time: %d steps", want.Metrics.Time); !strings.Contains(out, want) {
+		t.Errorf("output missing %q (dims-based word sizing):\n%s", want, out)
+	}
+	if bad := fmt.Sprintf("simulated time: %d steps", overCharged.Metrics.Time); strings.Contains(out, bad) {
+		t.Errorf("CLI still charges maxDim-based words:\n%s", out)
 	}
 }

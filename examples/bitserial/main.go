@@ -32,7 +32,10 @@ func main() {
 			log.Fatal(err)
 		}
 		bits, err := slapcc.LabelWithOptions(img, slapcc.Options{
-			Cost: slapcc.BitSerialCost(slapcc.WordBits(n)),
+			// Word width from the pixel count (equal to WordBits(n) on
+			// square images; WordBits(max dim) would over-charge
+			// non-square ones).
+			Cost: slapcc.BitSerialCost(slapcc.WordBitsDims(img.W(), img.H())),
 		})
 		if err != nil {
 			log.Fatal(err)

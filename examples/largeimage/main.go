@@ -1,0 +1,56 @@
+// Largeimage: strip-mined labeling of an image far wider than the
+// physical array. A real SLAP has a fixed PE count; slapcc.LabelLarge
+// partitions the image into vertical strips of at most
+// Options.ArrayWidth columns, labels each strip with Algorithm CC on the
+// fixed-width machine, and stitches the strip boundaries with a
+// host-side union–find pass ("seam-merge" in the composed metrics).
+//
+// The labeling is bit-identical to a whole-image run at every array
+// width; what changes is the composed schedule — this example sweeps the
+// array width down and prints how the composed time and the seam-merge
+// share move (the seam work is O(h·strips + rewritten pixels), a
+// lower-order term until strips get very narrow).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slapcc"
+)
+
+func main() {
+	const n = 1024
+	img, ok := slapcc.GenerateFamily("random50", n)
+	if !ok {
+		log.Fatal("random50 family missing")
+	}
+
+	whole, err := slapcc.Label(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image %dx%d, %d components; whole-image array: %d PEs, T = %d steps\n\n",
+		n, n, whole.Labels.ComponentCount(), n, whole.Metrics.Time)
+
+	fmt.Printf("%6s  %7s  %12s  %9s  %7s\n", "array", "strips", "T composed", "vs whole", "seam %")
+	for _, aw := range []int{512, 256, 128, 64, 32} {
+		res, err := slapcc.LabelLarge(img, slapcc.Options{ArrayWidth: aw})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Labels.Equal(whole.Labels) {
+			log.Fatalf("array %d: strip-mined labeling diverged", aw)
+		}
+		seam, _ := res.Metrics.Phase("seam-merge")
+		strips := (n + aw - 1) / aw
+		fmt.Printf("%6d  %7d  %12d  %9.3f  %7.2f\n",
+			aw, strips, res.Metrics.Time,
+			float64(res.Metrics.Time)/float64(whole.Metrics.Time),
+			100*float64(seam.Makespan)/float64(res.Metrics.Time))
+	}
+
+	fmt.Println("\nLabels are bit-identical at every width (checked above); StripWorkers")
+	fmt.Println("fans strips across worker labelers for host wall time without changing")
+	fmt.Println("the composed metrics — the schedule model is sequential either way.")
+}

@@ -394,3 +394,65 @@ func TestColumnWords(t *testing.T) {
 		}
 	}
 }
+
+// TestParseCRLF: art with Windows line endings must parse identically to
+// its LF form — the trailing '\r' is stripped per line, never treated as
+// a pixel, and never inflates the computed width.
+func TestParseCRLF(t *testing.T) {
+	crlf, err := Parse("##.\r\n.#.\r\n..#")
+	if err != nil {
+		t.Fatalf("CRLF art rejected: %v", err)
+	}
+	lf := MustParse("##.\n.#.\n..#")
+	if !crlf.Equal(lf) {
+		t.Fatalf("CRLF parse diverged from LF parse:\n%s\nvs\n%s", crlf, lf)
+	}
+	if crlf.W() != 3 || crlf.H() != 3 {
+		t.Fatalf("CRLF parse got %dx%d, want 3x3 (stray \\r inflated the width?)", crlf.W(), crlf.H())
+	}
+	// A lone trailing CRLF line is a blank line, same as LF.
+	b, err := Parse("#\r\n\r\n")
+	if err != nil || b.W() != 1 || b.H() != 1 {
+		t.Fatalf("trailing CRLF blank line: got %v, %dx%d", err, b.W(), b.H())
+	}
+}
+
+// TestParseAlphabet pins the full accepted pixel alphabet, one rune per
+// case: '#', '1', 'X', 'x' are 1-pixels; '.', '0', ' ', '_' are
+// 0-pixels; everything else is rejected with a position.
+func TestParseAlphabet(t *testing.T) {
+	cases := []struct {
+		rune byte
+		want bool // foreground?
+		ok   bool
+	}{
+		{'#', true, true},
+		{'1', true, true},
+		{'X', true, true},
+		{'x', true, true},
+		{'.', false, true},
+		{'0', false, true},
+		{' ', false, true},
+		{'_', false, true},
+		{'?', false, false},
+		{'2', false, false},
+		{'\t', false, false},
+	}
+	for _, tc := range cases {
+		// Anchor with a known foreground pixel so width is stable.
+		b, err := Parse("#" + string(tc.rune))
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("rune %q accepted, want rejection", tc.rune)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("rune %q rejected: %v", tc.rune, err)
+			continue
+		}
+		if got := b.Get(1, 0); got != tc.want {
+			t.Errorf("rune %q parsed as %v, want %v", tc.rune, got, tc.want)
+		}
+	}
+}

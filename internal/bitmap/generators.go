@@ -64,6 +64,22 @@ func Random(n int, density float64, seed uint64) *Bitmap {
 	return b
 }
 
+// RandomRect is Random over an arbitrary w×h rectangle, for the
+// non-square sweeps (the strip tiler makes w ≠ h first-class: the last
+// strip of a tiled run is usually narrower than the array).
+func RandomRect(w, h int, density float64, seed uint64) *Bitmap {
+	b := New(w, h)
+	rng := NewRNG(seed)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if rng.Float64() < density {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}
+
 // Checker returns the checkerboard image: every 1-pixel is isolated under
 // 4-connectivity, so the image has ⌈n²/2⌉ components — the maximum
 // possible. This maximizes label traffic and set counts.

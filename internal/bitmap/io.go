@@ -8,11 +8,17 @@ import (
 )
 
 // Parse builds a bitmap from ASCII art: one row per line, with '#', '1',
-// 'X' and 'x' read as 1-pixels and '.', '0', ' ' as 0-pixels. Lines may
-// have differing lengths; the image width is the longest line and short
-// lines are padded with 0s. Leading/trailing blank lines are ignored.
+// 'X' and 'x' read as 1-pixels and '.', '0', ' ' and '_' as 0-pixels.
+// Lines may end with "\r\n" (the trailing '\r' is stripped, so art
+// pasted from CRLF files parses and the '\r' never inflates the computed
+// width). Lines may have differing lengths; the image width is the
+// longest line and short lines are padded with 0s. Leading/trailing
+// blank lines are ignored.
 func Parse(art string) (*Bitmap, error) {
 	lines := strings.Split(art, "\n")
+	for i, ln := range lines {
+		lines[i] = strings.TrimSuffix(ln, "\r")
+	}
 	for len(lines) > 0 && strings.TrimSpace(lines[0]) == "" {
 		lines = lines[1:]
 	}

@@ -107,6 +107,9 @@ func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*A
 	if len(initial) != w*h {
 		return nil, fmt.Errorf("core: initial labels have length %d, want %d", len(initial), w*h)
 	}
+	if aw := lb.userOpt.ArrayWidth; aw > 0 && aw < w {
+		return nil, fmt.Errorf("core: Aggregate does not support strip-mining (ArrayWidth %d < image width %d); use ArrayWidth 0", aw, w)
+	}
 	if op.Combine == nil {
 		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)
 	}

@@ -104,6 +104,23 @@ type Options struct {
 	BatchSize int
 	LinkDepth int
 
+	// ArrayWidth is the physical PE count of the simulated machine. Zero
+	// (the default) sizes the array to the image, as always; a positive
+	// width narrower than the image strip-mines the run: the image is
+	// partitioned into vertical strips of at most ArrayWidth columns,
+	// each strip is labeled by Algorithm CC on the fixed-width array, and
+	// the strip-boundary seams are stitched by a host-side union–find
+	// pass (see LabelLarge and the tiler's schedule model). Labels are
+	// identical to the whole-image run's; negative values are rejected.
+	ArrayWidth int
+	// StripWorkers fans the strips of a strip-mined run across a
+	// LabelerPool of up to this many workers (strips are independent
+	// until the seam stitch). Zero or one labels strips sequentially on
+	// one warm arena set. Labels and composed metrics are bit-identical
+	// at every setting — the schedule model stays sequential; only host
+	// wall time changes. Negative values are rejected.
+	StripWorkers int
+
 	// noFuse runs the sweep phases through the per-phase reference
 	// executor instead of the fused column walk. The two are
 	// bit-equivalent (tests compare them exhaustively); the knob exists
@@ -189,8 +206,9 @@ type Labeler struct {
 
 	m *slap.Machine
 
-	// Per-run state.
-	img    *bitmap.Bitmap
+	// Per-run state. img is an Image, not a *Bitmap: the strip tiler
+	// labels zero-copy bitmap.Strip views through the same arenas.
+	img    bitmap.Image
 	w, h   int
 	report UFReport
 	spec   SpecStats
@@ -202,6 +220,13 @@ type Labeler struct {
 	subs     []slap.SubPhase
 	mg       mergeScratch
 	agg      aggScratch
+
+	// Strip-mining arenas (see tiler.go): the seam-stitch scratch, and
+	// the cached worker pool of the StripWorkers fan-out with the
+	// options it was built for.
+	seam         seamScratch
+	stripPool    *LabelerPool
+	stripPoolOpt Options
 }
 
 // NewLabeler returns a reusable labeler running Algorithm CC under opt.
@@ -211,8 +236,20 @@ func NewLabeler(opt Options) *Labeler {
 	return &Labeler{userOpt: opt}
 }
 
-// Label runs Algorithm CC on img, reusing the labeler's arenas.
+// Label runs Algorithm CC on img, reusing the labeler's arenas. When
+// Options.ArrayWidth names an array narrower than the image, the run is
+// strip-mined (see LabelLarge); the labeling is identical either way.
 func (lb *Labeler) Label(img *bitmap.Bitmap) (*Result, error) {
+	if aw := lb.userOpt.ArrayWidth; aw > 0 && aw < img.W() {
+		return lb.labelLarge(img)
+	}
+	return lb.labelImage(img)
+}
+
+// labelImage is Label over the Image interface, always on a whole-image
+// array: the shared path under Label, LabelLarge's per-strip runs, and
+// Aggregate's labeling step.
+func (lb *Labeler) labelImage(img bitmap.Image) (*Result, error) {
 	labels, err := lb.runCC(img)
 	lb.img = nil // don't keep the caller's image alive between runs
 	if err != nil {
@@ -241,7 +278,7 @@ func Label(img *bitmap.Bitmap, opt Options) (*Result, error) {
 // runCC executes the full Algorithm CC against the labeler's arenas and
 // returns the finished labeling; the machine keeps accumulating phases,
 // for extensions like Aggregate.
-func (lb *Labeler) runCC(img *bitmap.Bitmap) (*bitmap.LabelMap, error) {
+func (lb *Labeler) runCC(img bitmap.Image) (*bitmap.LabelMap, error) {
 	opt := lb.userOpt.withDefaults()
 	if err := opt.Cost.Validate(); err != nil {
 		return nil, err
@@ -271,6 +308,9 @@ func (lb *Labeler) runCC(img *bitmap.Bitmap) (*bitmap.LabelMap, error) {
 	}
 	if opt.BatchSize < 0 || opt.LinkDepth < 0 {
 		return nil, fmt.Errorf("core: negative link tuning (BatchSize %d, LinkDepth %d)", opt.BatchSize, opt.LinkDepth)
+	}
+	if opt.ArrayWidth < 0 || opt.StripWorkers < 0 {
+		return nil, fmt.Errorf("core: negative tiling options (ArrayWidth %d, StripWorkers %d)", opt.ArrayWidth, opt.StripWorkers)
 	}
 	lb.m.SetLinkTuning(opt.BatchSize, opt.LinkDepth)
 	if opt.Parallel {

@@ -45,13 +45,34 @@ func NewLabelerPool(opt Options, workers int) *LabelerPool {
 // Workers returns the pool size.
 func (p *LabelerPool) Workers() int { return p.workers }
 
+// withWorker checks out a worker, runs fn on it, and returns the worker
+// via defer so a panicking labeler cannot shrink the pool: the panic
+// propagates, but the slot is refilled with a fresh labeler (the
+// panicked one's arenas may be mid-run corrupt).
+func (p *LabelerPool) withWorker(fn func(*Labeler) (*Result, error)) (*Result, error) {
+	lb := <-p.free
+	done := false
+	defer func() {
+		if !done {
+			lb = NewLabeler(p.opt)
+		}
+		p.free <- lb
+	}()
+	res, err := fn(lb)
+	done = true
+	return res, err
+}
+
 // Label runs Algorithm CC on img on any free worker, blocking while all
 // workers are busy. Safe for concurrent use.
 func (p *LabelerPool) Label(img *bitmap.Bitmap) (*Result, error) {
-	lb := <-p.free
-	res, err := lb.Label(img)
-	p.free <- lb
-	return res, err
+	return p.withWorker(func(lb *Labeler) (*Result, error) { return lb.Label(img) })
+}
+
+// labelImage is Label over the Image interface on a whole-image array —
+// the tiler's fan-out path labels strip views through it.
+func (p *LabelerPool) labelImage(img bitmap.Image) (*Result, error) {
+	return p.withWorker(func(lb *Labeler) (*Result, error) { return lb.labelImage(img) })
 }
 
 // StreamResult is one frame's outcome, delivered to the stream's sink

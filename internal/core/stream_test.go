@@ -183,3 +183,50 @@ func ExampleLabelStream() {
 	// frame 0: 1 components
 	// frame 1: 2 components
 }
+
+// TestLabelerPoolPanicKeepsCapacity: a panicking labeler must not shrink
+// the pool. The panic propagates to the caller, but the worker slot is
+// refilled (with a fresh labeler, since the panicked one's arenas may be
+// mid-run corrupt): afterwards the pool still holds Workers() usable
+// frames of capacity, every one of them able to label.
+func TestLabelerPoolPanicKeepsCapacity(t *testing.T) {
+	const workers = 3
+	p := NewLabelerPool(Options{}, workers)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Label(nil) did not panic")
+			}
+		}()
+		p.Label(nil) // nil image: panics inside the worker's Label
+	}()
+
+	// Every slot must still be present and usable: check out all
+	// Workers() labelers without blocking, exercise each, return them.
+	img := bitmap.Random(12, 0.5, 9)
+	want := mustLabel(t, img, Options{})
+	var held []*Labeler
+	for i := 0; i < workers; i++ {
+		select {
+		case lb := <-p.free:
+			held = append(held, lb)
+		default:
+			t.Fatalf("pool lost a worker: only %d of %d free after the panic", i, workers)
+		}
+	}
+	for i, lb := range held {
+		res, err := lb.Label(img)
+		if err != nil {
+			t.Fatalf("worker %d unusable after panic recovery: %v", i, err)
+		}
+		if !res.Labels.Equal(want.Labels) {
+			t.Fatalf("worker %d mislabels after panic recovery", i)
+		}
+	}
+	for _, lb := range held {
+		p.free <- lb
+	}
+	if got, err := p.Label(img); err != nil || !got.Labels.Equal(want.Labels) {
+		t.Fatalf("pool unusable after refill: %v", err)
+	}
+}

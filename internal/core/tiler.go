@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// The strip-mined tiler: a real SLAP has a fixed PE count, but the images
+// worth labeling do not. LabelLarge partitions a w×h image into vertical
+// strips of at most Options.ArrayWidth columns, runs Algorithm CC per
+// strip on the fixed-width machine (zero-copy bitmap.Strip views over
+// one warm arena set, or fanned across a LabelerPool), and stitches the
+// strip-boundary seams with a host-side union–find pass, relabeling to
+// the global canonical least-column-major labels. The labeling is
+// bit-identical to a whole-image run's.
+//
+// # Schedule model
+//
+// Composed metrics follow an explicitly sequential schedule — the strips
+// execute back to back on the one physical array — so every number stays
+// deterministic and meaningful (see slap.Metrics.MergeSequential):
+// per-phase makespans and traffic sum across strips, queue peaks and
+// per-PE memory max, N is the physical array width (the last strip is
+// usually narrower; its surplus PEs idle and charge nothing), and per-PE
+// profiles are dropped. StripWorkers only changes host wall time, never
+// the composed metrics.
+//
+// The stitch itself is appended as a "seam-merge" phase charged under
+// the run's cost model as a sequential host pass:
+//
+//   - offload: each seam's two boundary label columns cross one link,
+//     2h one-word records per seam (WordSteps each, counted in
+//     Sends/Words);
+//   - scan: one LocalStep per seam row to inspect the left boundary
+//     pixel, plus one per adjacency probe into the right column (1 probe
+//     under Conn4, up to 3 clipped probes under Conn8) for each left
+//     1-pixel;
+//   - stitch: one LocalStep per recorded seam edge (label interning),
+//     the metered union–find steps of the unions and the per-label finds
+//     (operation counts instead when UnitCostUF), and one LocalStep per
+//     distinct boundary label for the class-minimum fold;
+//   - relabel: one LocalStep per pixel whose label the merge rewrote.
+//
+// Seam-merge cost is O(h·strips + rewritten pixels): lower-order next to
+// the Θ(w·h) labeling work unless strips are extremely narrow.
+//
+// LabelLarge runs Algorithm CC on img under opt, strip-mining onto a
+// fixed-width array when 0 < opt.ArrayWidth < img.W() (otherwise it is
+// exactly Label). The labeling always equals the whole-image run's.
+func LabelLarge(img *bitmap.Bitmap, opt Options) (*Result, error) {
+	return Label(img, opt)
+}
+
+// LabelLarge is the Labeler's reusable form of the package-level
+// LabelLarge; it is exactly Label (which strip-mines whenever
+// Options.ArrayWidth names an array narrower than the image).
+func (lb *Labeler) LabelLarge(img *bitmap.Bitmap) (*Result, error) {
+	return lb.Label(img)
+}
+
+// labelLarge executes the strip-mined run. Callers guarantee
+// 0 < ArrayWidth < img.W().
+func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
+	opt := lb.userOpt.withDefaults()
+	w, h := img.W(), img.H()
+	if 2*int64(w)*int64(h) > math.MaxInt32 {
+		return nil, fmt.Errorf("core: image %dx%d exceeds the int32 label space", w, h)
+	}
+	if opt.StripWorkers < 0 {
+		return nil, fmt.Errorf("core: negative tiling options (ArrayWidth %d, StripWorkers %d)", opt.ArrayWidth, opt.StripWorkers)
+	}
+	aw := opt.ArrayWidth
+	strips := (w + aw - 1) / aw
+
+	// Strip runs are plain whole-image runs over strip views.
+	stripOpt := opt
+	stripOpt.ArrayWidth = 0
+	stripOpt.StripWorkers = 0
+
+	results := make([]*Result, strips)
+	if opt.StripWorkers > 1 && strips > 1 {
+		// Fan the independent strips across a pool of worker labelers;
+		// results land in strip order, so everything downstream is
+		// identical to the sequential path. The pool is cached on the
+		// labeler, so a warm labeler's workers keep their arenas across
+		// frames instead of rebuilding the pool per call.
+		workers := opt.StripWorkers
+		if workers > strips {
+			workers = strips
+		}
+		pool := lb.stripPool
+		if pool == nil || lb.stripPoolOpt != stripOpt || pool.Workers() != workers {
+			pool = NewLabelerPool(stripOpt, workers)
+			lb.stripPool = pool
+			lb.stripPoolOpt = stripOpt
+		}
+		errs := make([]error, strips)
+		var wg sync.WaitGroup
+		for s := 0; s < strips; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				x0 := s * aw
+				sw := aw
+				if w-x0 < sw {
+					sw = w - x0
+				}
+				results[s], errs[s] = pool.labelImage(img.StripView(x0, sw))
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// One warm arena set labels every strip in turn: the machine and
+		// column arenas reset in place per strip, as across frames.
+		saved := lb.userOpt
+		lb.userOpt = stripOpt
+		defer func() { lb.userOpt = saved }()
+		for s := 0; s < strips; s++ {
+			x0 := s * aw
+			sw := aw
+			if w-x0 < sw {
+				sw = w - x0
+			}
+			res, err := lb.labelImage(img.StripView(x0, sw))
+			if err != nil {
+				return nil, err
+			}
+			results[s] = res
+		}
+	}
+
+	// Translate strip-local labels to global positions: a strip at column
+	// x0 labels with least strip-local positions sx·h + y, and the global
+	// position of (x0+sx, y) is (x0+sx)·h + y — a constant x0·h offset.
+	global := bitmap.NewLabelMap(w, h)
+	for s, res := range results {
+		x0 := s * aw
+		off := int32(x0 * h)
+		for c := 0; c < res.Labels.W(); c++ {
+			src := res.Labels.ColumnSlice(c)
+			dst := global.ColumnSlice(x0 + c)
+			for y, l := range src {
+				if l != bitmap.Background {
+					dst[y] = l + off
+				}
+			}
+		}
+	}
+
+	seamPhase, seamStats := lb.stitchSeams(img, global, aw, opt)
+
+	// Compose the whole-run report under the sequential schedule model.
+	comp := slap.Metrics{N: aw}
+	rep := UFReport{Kind: opt.UF}
+	var spec SpecStats
+	var steps, ops int64
+	for _, res := range results {
+		comp.MergeSequential(res.Metrics)
+		rep.Finds += res.UF.Finds
+		rep.Unions += res.UF.Unions
+		steps += res.UF.TotalSteps
+		ops += res.UF.Finds + res.UF.Unions
+		if res.UF.MaxOpCost > rep.MaxOpCost {
+			rep.MaxOpCost = res.UF.MaxOpCost
+		}
+		spec.Sends += res.Speculation.Sends
+		spec.Wasted += res.Speculation.Wasted
+	}
+	comp.AppendPhase(seamPhase)
+	rep.Finds += seamStats.finds
+	rep.Unions += seamStats.unions
+	steps += seamStats.steps
+	ops += seamStats.finds + seamStats.unions
+	if seamStats.maxOp > rep.MaxOpCost {
+		rep.MaxOpCost = seamStats.maxOp
+	}
+	rep.TotalSteps = steps
+	if ops > 0 {
+		rep.MeanOpCost = float64(steps) / float64(ops)
+	}
+	return &Result{Labels: global, Metrics: comp, UF: rep, Speculation: spec}, nil
+}
+
+// seamUFStats summarizes the stitch's union–find work for the composed
+// UF report.
+type seamUFStats struct {
+	finds, unions int64
+	steps         int64
+	maxOp         int64
+}
+
+// seamScratch is the labeler-owned arena for the seam stitch: the
+// epoch-marked interner over boundary labels (the same structure the
+// merge and aggregation steps use instead of per-call maps), the dense
+// label/edge/root/minimum arrays, and one reusable metered forest. A
+// warm labeler stitches seams with no per-call allocation beyond what
+// the label count forces on first growth.
+type seamScratch struct {
+	it       interner
+	vals     []int32
+	edges    []unionfind.Pair
+	roots    []int32
+	classMin []int32
+	forest   *unionfind.Forest
+	meter    *unionfind.Meter
+}
+
+// stitchSeams merges the components split across strip boundaries: a
+// host-side union–find over the global labels of adjacent boundary
+// columns, then a relabel of every affected pixel to its class's least
+// label (which is the component's global least column-major position,
+// since each class member is already the least position within its
+// strip). It rewrites global in place and returns the charged
+// "seam-merge" phase (see the schedule model above) plus the union–find
+// stats to fold into the run report.
+func (lb *Labeler) stitchSeams(img *bitmap.Bitmap, global *bitmap.LabelMap, aw int, opt Options) (slap.PhaseMetrics, seamUFStats) {
+	w, h := img.W(), img.H()
+	sc := &lb.seam
+	// Size the interner from the actual boundary population: distinct
+	// boundary labels cannot exceed the boundary 1-pixel count (the
+	// loose 2h·seams bound would balloon the table on sparse images at
+	// narrow widths). Host-side sizing work only; nothing is charged.
+	bound := 0
+	for xL := aw - 1; xL+1 < w; xL += aw {
+		for y := 0; y < h; y++ {
+			if img.Get(xL, y) {
+				bound++
+			}
+			if img.Get(xL+1, y) {
+				bound++
+			}
+		}
+	}
+	sc.it.prepare(bound)
+	sc.vals = sc.vals[:0]
+	sc.edges = sc.edges[:0]
+	var scanSteps int64
+	intern := func(l int32) int32 {
+		i := sc.it.slot(l)
+		if sc.it.live(i) {
+			return sc.it.val[i]
+		}
+		id := int32(len(sc.vals))
+		sc.it.set(i, l, id)
+		sc.vals = append(sc.vals, l)
+		return id
+	}
+	loDy, hiDy := 0, 0
+	if opt.Connectivity == bitmap.Conn8 {
+		loDy, hiDy = -1, 1
+	}
+	seams := 0
+	for xL := aw - 1; xL+1 < w; xL += aw {
+		seams++
+		xR := xL + 1
+		for y := 0; y < h; y++ {
+			scanSteps++ // read the left boundary pixel
+			if !img.Get(xL, y) {
+				continue
+			}
+			var a int32
+			aSet := false
+			for dy := loDy; dy <= hiDy; dy++ {
+				ny := y + dy
+				if ny < 0 || ny >= h {
+					continue
+				}
+				scanSteps++ // one adjacency probe into the right column
+				if !img.Get(xR, ny) {
+					continue
+				}
+				if !aSet {
+					a = intern(global.Get(xL, y))
+					aSet = true
+				}
+				sc.edges = append(sc.edges, unionfind.Pair{X: a, Y: intern(global.Get(xR, ny))})
+			}
+		}
+	}
+
+	cost := opt.Cost
+	phase := slap.PhaseMetrics{Name: "seam-merge"}
+	// Offload: each seam's two boundary label columns cross one link as
+	// 2h one-word records.
+	offload := int64(2*h) * int64(seams)
+	phase.Sends = offload
+	phase.Words = offload
+
+	var ufCharge, foldSteps, rewrites int64
+	var stats seamUFStats
+	if len(sc.edges) > 0 {
+		if sc.forest == nil {
+			sc.forest = unionfind.NewForest(0, unionfind.LinkBySize, unionfind.CompressFull)
+			sc.meter = unionfind.NewMeter(sc.forest)
+			sc.meter.DisableHistogram()
+		}
+		sc.forest.Reset(len(sc.vals))
+		sc.meter.ResetStats()
+		for _, e := range sc.edges {
+			sc.meter.Union(int(e.X), int(e.Y))
+		}
+		roots := unionfind.GrowInt32(sc.roots, len(sc.vals))
+		sc.roots = roots
+		sc.meter.FindCostRange(len(sc.vals), roots)
+		st := sc.meter.Stats()
+		stats = seamUFStats{
+			finds:  st.Finds,
+			unions: st.Unions,
+			steps:  st.FindSteps + st.UnionSteps,
+			maxOp:  sc.meter.MaxOpCost(),
+		}
+		if opt.UnitCostUF {
+			ufCharge = st.Finds + st.Unions
+		} else {
+			ufCharge = stats.steps
+		}
+
+		// Least label per class; then rewrite the labels the merge
+		// changed. Each class member label is the least global position
+		// of its component's pixels within one strip, so the class
+		// minimum is the component's global least position.
+		classMin := fillNeg(unionfind.GrowInt32(sc.classMin, len(sc.vals)))
+		sc.classMin = classMin
+		changed := false
+		for id, v := range sc.vals {
+			foldSteps++
+			if r := roots[id]; classMin[r] == -1 || v < classMin[r] {
+				classMin[r] = v
+			}
+		}
+		for id, v := range sc.vals {
+			if classMin[roots[id]] != v {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			for x := 0; x < w; x++ {
+				col := global.ColumnSlice(x)
+				for y, l := range col {
+					if l == bitmap.Background {
+						continue
+					}
+					if id, ok := sc.it.lookup(l); ok {
+						if m := classMin[roots[id]]; m != l {
+							col[y] = m
+							rewrites++
+						}
+					}
+				}
+			}
+		}
+	}
+	edgeSteps := int64(len(sc.edges))
+	phase.Makespan = cost.WordSteps*offload +
+		cost.LocalStep*(scanSteps+edgeSteps+ufCharge+foldSteps+rewrites)
+	phase.Busy = phase.Makespan
+	return phase, stats
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/seqcc"
+)
+
+// mustLabelLarge is mustLabel through the strip-mined entry point.
+func mustLabelLarge(t *testing.T, img *bitmap.Bitmap, opt Options) *Result {
+	t.Helper()
+	res, err := LabelLarge(img, opt)
+	if err != nil {
+		t.Fatalf("LabelLarge: %v", err)
+	}
+	return res
+}
+
+// TestLabelLargeMatchesGroundTruth sweeps families × array widths ×
+// connectivities: the strip-mined labeling must be bit-identical to both
+// the whole-image run and the sequential ground truth. ArrayWidth 1 is
+// the stress extreme — every column boundary is a seam.
+func TestLabelLargeMatchesGroundTruth(t *testing.T) {
+	const n = 48
+	for _, conn := range []bitmap.Connectivity{bitmap.Conn4, bitmap.Conn8} {
+		for _, fam := range bitmap.Families() {
+			img := fam.Generate(n)
+			whole := mustLabel(t, img, Options{Connectivity: conn})
+			if err := seqcc.CheckConn(img, whole.Labels, conn); err != nil {
+				t.Fatalf("%s/conn%d: whole-image run wrong: %v", fam.Name, conn, err)
+			}
+			for _, aw := range []int{1, 7, 16, 48, 64} {
+				res := mustLabelLarge(t, img, Options{Connectivity: conn, ArrayWidth: aw})
+				if !res.Labels.Equal(whole.Labels) {
+					t.Errorf("%s/conn%d/aw%d: strip-mined labeling diverged from whole-image run",
+						fam.Name, conn, aw)
+				}
+			}
+		}
+	}
+}
+
+// TestLabelLargeNonSquareFuzz labels fuzzed non-square images through
+// the tiler at several array widths and checks against the ground truth:
+// the last strip is narrower than the array almost everywhere here.
+func TestLabelLargeNonSquareFuzz(t *testing.T) {
+	rng := bitmap.NewRNG(0xA11CE)
+	for trial := 0; trial < 60; trial++ {
+		w := 1 + rng.Intn(97)
+		h := 1 + rng.Intn(53)
+		density := 0.15 + 0.7*rng.Float64()
+		img := bitmap.RandomRect(w, h, density, rng.Uint64())
+		aw := 1 + rng.Intn(w)
+		conn := bitmap.Conn4
+		if trial%2 == 1 {
+			conn = bitmap.Conn8
+		}
+		res := mustLabelLarge(t, img, Options{Connectivity: conn, ArrayWidth: aw})
+		if err := seqcc.CheckConn(img, res.Labels, conn); err != nil {
+			t.Fatalf("trial %d (%dx%d aw=%d conn%d): %v", trial, w, h, aw, conn, err)
+		}
+	}
+}
+
+// TestLabelLargeHuge is the production-scale check: every built-in
+// family at 2048×2048 on a 256-wide array, bit-identical to the
+// sequential ground truth. Conn8 rides along for two families.
+func TestLabelLargeHuge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048×2048 family sweep skipped in -short mode")
+	}
+	const n, aw = 2048, 256
+	lab := NewLabeler(Options{ArrayWidth: aw})
+	for _, fam := range bitmap.Families() {
+		img := fam.Generate(n)
+		res, err := lab.LabelLarge(img)
+		if err != nil {
+			t.Fatalf("%s: %v", fam.Name, err)
+		}
+		if err := seqcc.CheckConn(img, res.Labels, bitmap.Conn4); err != nil {
+			t.Fatalf("%s: %v", fam.Name, err)
+		}
+	}
+	for _, name := range []string{"random50", "hserpentine"} {
+		fam, ok := bitmap.FamilyByName(name)
+		if !ok {
+			t.Fatalf("family %s missing", name)
+		}
+		img := fam.Generate(n)
+		res, err := LabelLarge(img, Options{ArrayWidth: aw, Connectivity: bitmap.Conn8})
+		if err != nil {
+			t.Fatalf("%s/conn8: %v", name, err)
+		}
+		if err := seqcc.CheckConn(img, res.Labels, bitmap.Conn8); err != nil {
+			t.Fatalf("%s/conn8: %v", name, err)
+		}
+	}
+}
+
+// TestLabelLargeSchedule pins the composed schedule model: per-phase
+// makespans of the composed report equal the sum of the per-strip
+// phases, N is the array width, and the seam-merge phase is last.
+func TestLabelLargeSchedule(t *testing.T) {
+	img := bitmap.Random(40, 0.5, 99)
+	const aw = 16 // strips of 16, 16, 8
+	res := mustLabelLarge(t, img, Options{ArrayWidth: aw})
+	if res.Metrics.N != aw {
+		t.Errorf("composed N = %d, want the array width %d", res.Metrics.N, aw)
+	}
+	last := res.Metrics.Phases[len(res.Metrics.Phases)-1]
+	if last.Name != "seam-merge" {
+		t.Fatalf("last composed phase is %q, want seam-merge", last.Name)
+	}
+	if last.Makespan <= 0 || last.Sends != int64(2*img.H()*2) {
+		t.Errorf("seam-merge phase %+v: want positive makespan and 2h sends per seam (2 seams)", last)
+	}
+
+	// Strip runs are plain runs over the views; their phase makespans
+	// must sum to the composed ones.
+	var sum int64
+	for _, x0 := range []int{0, 16, 32} {
+		sw := 16
+		if x0 == 32 {
+			sw = 8
+		}
+		sub := img.SubImage(x0, 0, sw, img.H())
+		r := mustLabel(t, sub, Options{})
+		sum += r.Metrics.Time
+	}
+	if got := res.Metrics.Time - last.Makespan; got != sum {
+		t.Errorf("composed strip time %d, want Σ strip makespans %d", got, sum)
+	}
+}
+
+// TestLabelLargeDeterministicAcrossModes: repeated runs, warm-labeler
+// runs, and pool-fanned runs must agree bit for bit — labels, composed
+// metrics, UF report, speculation. The strip schedule model is
+// sequential no matter how the host executes it.
+func TestLabelLargeDeterministicAcrossModes(t *testing.T) {
+	img := bitmap.RandomRect(90, 37, 0.5, 4242)
+	base := Options{ArrayWidth: 13, Connectivity: bitmap.Conn8, Speculate: true}
+	first := mustLabelLarge(t, img, base)
+	if err := seqcc.CheckConn(img, first.Labels, bitmap.Conn8); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewLabeler(base)
+	warm.Label(bitmap.Random(21, 0.4, 5)) // dirty the arenas first
+	cases := map[string]func() (*Result, error){
+		"repeat": func() (*Result, error) { return LabelLarge(img, base) },
+		"warm":   func() (*Result, error) { return warm.LabelLarge(img) },
+		"pool3": func() (*Result, error) {
+			opt := base
+			opt.StripWorkers = 3
+			return LabelLarge(img, opt)
+		},
+		"pool16": func() (*Result, error) {
+			opt := base
+			opt.StripWorkers = 16
+			return LabelLarge(img, opt)
+		},
+	}
+	for name, run := range cases {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Labels.Equal(first.Labels) {
+			t.Errorf("%s: labels diverged", name)
+		}
+		if !metricsIdentical(t, first, res) {
+			t.Errorf("%s: composed metrics diverged:\nfirst %+v\ngot   %+v", name, first.Metrics, res.Metrics)
+		}
+	}
+}
+
+// TestLabelLargeArrayWidthZeroIsLabel: ArrayWidth 0 (and any width at
+// least the image's) must stay bit-identical to the plain path —
+// the whole-image array of every run before strip-mining existed.
+func TestLabelLargeArrayWidthZeroIsLabel(t *testing.T) {
+	img := bitmap.Random(33, 0.5, 7)
+	plain := mustLabel(t, img, Options{})
+	for _, aw := range []int{0, 33, 100} {
+		res := mustLabelLarge(t, img, Options{ArrayWidth: aw})
+		if !res.Labels.Equal(plain.Labels) || !metricsIdentical(t, plain, res) {
+			t.Errorf("aw=%d: diverged from the plain whole-image run", aw)
+		}
+	}
+}
+
+// TestLabelLargeRejectsBadOptions: negative tiling options are
+// configuration errors, and Aggregate has no strip-mined form yet.
+func TestLabelLargeRejectsBadOptions(t *testing.T) {
+	img := bitmap.Random(16, 0.5, 1)
+	if _, err := Label(img, Options{ArrayWidth: -1}); err == nil {
+		t.Error("negative ArrayWidth accepted")
+	}
+	if _, err := Label(img, Options{StripWorkers: -2}); err == nil {
+		t.Error("negative StripWorkers accepted")
+	}
+	if _, err := LabelLarge(img, Options{ArrayWidth: 4, StripWorkers: -1}); err == nil {
+		t.Error("negative StripWorkers accepted on the strip path")
+	}
+	if _, err := Aggregate(img, Ones(img), Sum(), Options{ArrayWidth: 4}); err == nil {
+		t.Error("Aggregate accepted a strip-mined ArrayWidth")
+	}
+}
+
+// TestGoldenLargeStepCounts pins the composed accounting of the
+// strip-mined path for two family/ArrayWidth pairs, exactly as
+// TestGoldenStepCounts pins the whole-image accounting. Update
+// deliberately when the schedule model or the cost accounting changes.
+func TestGoldenLargeStepCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		img  *bitmap.Bitmap
+		opt  Options
+		want int64
+	}{
+		{"checker64-aw16", bitmap.Checker(64), Options{ArrayWidth: 16}, goldenLargeChecker64AW16},
+		{"serp64-aw32", bitmap.HSerpentine(64), Options{ArrayWidth: 32}, goldenLargeSerp64AW32},
+	}
+	for _, tc := range cases {
+		res, err := LabelLarge(tc.img, tc.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Metrics.Time != tc.want {
+			t.Errorf("%s: composed simulated time changed: got %d, golden %d — if intentional, update tiler_test.go",
+				tc.name, res.Metrics.Time, tc.want)
+		}
+	}
+}
+
+// Golden values; see TestGoldenLargeStepCounts.
+const (
+	goldenLargeChecker64AW16 = 6024
+	goldenLargeSerp64AW32    = 7457
+)

@@ -496,3 +496,48 @@ func sizeCols(sizes []int) []string {
 	}
 	return out
 }
+
+// e12: strip-mined labeling — an image wider than the physical array is
+// labeled in vertical strips plus a host-side seam merge (the tiler's
+// sequential schedule model; not a paper claim but the fixed-PE-count
+// deployment of Algorithm CC).
+func e12() Experiment {
+	return Experiment{
+		ID:    "E12",
+		Title: "strip-mined labeling on a fixed-width array",
+		Claim: "labeling composes across strips: total time stays near the whole-array run and the seam-merge phase is a lower-order term until strips get very narrow",
+		Run: func(cfg Config) ([]Table, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			n := cfg.maxSize()
+			t := Table{ID: "E12", Title: fmt.Sprintf("composed time by array width (n=%d)", n),
+				Claim:   "T composed / T whole stays near 1; seam share grows as strips narrow",
+				Columns: []string{"family", "array", "strips", "T composed", "vs whole", "seam %"}}
+			for _, name := range []string{"random50", "checker", "hserpentine"} {
+				img := familyOrDie(name).Generate(n)
+				whole, err := labelChecked(img, core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(name, fi(int64(n)), "1", fi(whole.Metrics.Time), ff(1), ff(0))
+				for div := 2; div <= 16; div *= 2 {
+					aw := n / div
+					if aw < 1 {
+						break
+					}
+					res, err := labelChecked(img, core.Options{ArrayWidth: aw})
+					if err != nil {
+						return nil, fmt.Errorf("%s aw=%d: %w", name, aw, err)
+					}
+					strips := (n + aw - 1) / aw
+					seam, _ := res.Metrics.Phase("seam-merge")
+					t.AddRow(name, fi(int64(aw)), fi(int64(strips)), fi(res.Metrics.Time),
+						ff(float64(res.Metrics.Time)/float64(whole.Metrics.Time)),
+						ff(100*float64(seam.Makespan)/float64(res.Metrics.Time)))
+				}
+			}
+			return []Table{t}, nil
+		},
+	}
+}

@@ -1,4 +1,4 @@
-// Package harness defines the reproduction experiments E1–E10: one per
+// Package harness defines the reproduction experiments E1–E12: one per
 // figure or quantitative claim of the paper (see DESIGN.md §5 for the
 // index). Each experiment sweeps image families over a range of sizes on
 // the simulated SLAP and renders tables whose *shape* — growth exponents,
@@ -157,7 +157,7 @@ type Experiment struct {
 // All returns the experiment suite in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(),
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(),
 	}
 }
 

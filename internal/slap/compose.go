@@ -1,0 +1,66 @@
+package slap
+
+// Metrics composition for strip-mined runs: a fixed-width array labels an
+// oversized image as a sequence of independent strip runs plus a host-side
+// seam merge. The schedule model is explicitly sequential — the strips
+// execute back to back on the one physical array — so composed numbers
+// stay as meaningful and deterministic as single-run numbers:
+//
+//   - phase makespans, busy/idle time, and traffic ADD (phases are folded
+//     by name, so "left:unionfind" of the composed report is the total
+//     over every strip's left union–find phase);
+//   - peak queue depths and per-PE memory MAX (the array is reused, not
+//     replicated);
+//   - N stays the physical array width (strips narrower than the array
+//     leave the surplus PEs idle and charge nothing for them);
+//   - per-PE profiles are dropped (they do not compose across runs of
+//     differing strip widths).
+//
+// The seam merge itself is appended as its own phase (AppendPhase) so the
+// report shows exactly what the stitching cost.
+
+// MergeSequential folds s into m under the sequential strip schedule:
+// phase metrics fold by name in s's order (appending unseen phases),
+// makespans and traffic sum, queue peaks and PE memory max. m keeps its
+// N. Typical use starts from Metrics{N: arrayWidth} and merges each
+// strip's metrics in strip order.
+func (m *Metrics) MergeSequential(s Metrics) {
+	for _, p := range s.Phases {
+		p.PerPE = nil
+		i := -1
+		for j := range m.Phases {
+			if m.Phases[j].Name == p.Name {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			m.Phases = append(m.Phases, p)
+			continue
+		}
+		q := &m.Phases[i]
+		q.Makespan += p.Makespan
+		q.Busy += p.Busy
+		q.Idle += p.Idle
+		q.Sends += p.Sends
+		q.Words += p.Words
+		q.NilRecvs += p.NilRecvs
+		if p.MaxQueue > q.MaxQueue {
+			q.MaxQueue = p.MaxQueue
+		}
+		q.PerPE = nil
+	}
+	m.Time += s.Time
+	m.Sends += s.Sends
+	m.Words += s.Words
+	if s.MaxQueue > m.MaxQueue {
+		m.MaxQueue = s.MaxQueue
+	}
+	if s.PEMemory > m.PEMemory {
+		m.PEMemory = s.PEMemory
+	}
+}
+
+// AppendPhase records p as a new phase of m, folding it into the totals
+// exactly as a phase executed on the machine would be.
+func (m *Metrics) AppendPhase(p PhaseMetrics) { m.add(p) }

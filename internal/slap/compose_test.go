@@ -1,0 +1,95 @@
+package slap
+
+import "testing"
+
+// TestWordBitsForDims: the word width for a w×h image is ⌈lg max(2,
+// 2·w·h)⌉ — independent of the aspect ratio, and equal to WordBitsFor on
+// the square diagonal. The 1024×16 row is the motivating over-charge:
+// maxDim-based sizing billed it 21-bit words where 15 suffice.
+func TestWordBitsForDims(t *testing.T) {
+	cases := []struct {
+		w, h, want int
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{1, 1, 1},
+		{1, 2, 2},
+		{2, 2, 3},
+		{1024, 16, 15}, // 2·w·h = 32768 = 2^15
+		{16, 1024, 15},
+		{1024, 1024, 21},
+		{3, 1000, 13}, // 6000 ≤ 2^13
+	}
+	for _, tc := range cases {
+		if got := WordBitsForDims(tc.w, tc.h); got != tc.want {
+			t.Errorf("WordBitsForDims(%d, %d): want %d, got %d", tc.w, tc.h, tc.want, got)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 7, 64, 1000, 4096} {
+		if WordBitsFor(n) != WordBitsForDims(n, n) {
+			t.Errorf("WordBitsFor(%d) != WordBitsForDims(%d, %d)", n, n, n)
+		}
+	}
+}
+
+// TestMergeSequential pins the strip schedule model's fold: phases merge
+// by name (makespans/traffic sum, queue peaks max), totals follow, N and
+// PEMemory behave as documented, and AppendPhase accounts like an
+// executed phase.
+func TestMergeSequential(t *testing.T) {
+	strip := func(span, sends, words int64, q int, mem int64) Metrics {
+		m := Metrics{N: 8, PEMemory: mem}
+		m.add(PhaseMetrics{Name: "input", Makespan: span, Busy: span * 8})
+		m.add(PhaseMetrics{Name: "left:unionfind", Makespan: 2 * span, Sends: sends, Words: words, MaxQueue: q,
+			PerPE: []int64{1, 2}})
+		return m
+	}
+	a, b := strip(10, 5, 9, 3, 100), strip(7, 2, 4, 5, 80)
+
+	comp := Metrics{N: 8}
+	comp.MergeSequential(a)
+	comp.MergeSequential(b)
+
+	if comp.N != 8 {
+		t.Errorf("N = %d, want 8", comp.N)
+	}
+	if len(comp.Phases) != 2 {
+		t.Fatalf("composed %d phases, want 2 (folded by name)", len(comp.Phases))
+	}
+	in, uf := comp.Phases[0], comp.Phases[1]
+	if in.Name != "input" || in.Makespan != 17 || in.Busy != 17*8 {
+		t.Errorf("input phase folded wrong: %+v", in)
+	}
+	if uf.Makespan != 34 || uf.Sends != 7 || uf.Words != 13 || uf.MaxQueue != 5 || uf.PerPE != nil {
+		t.Errorf("unionfind phase folded wrong: %+v", uf)
+	}
+	if comp.Time != a.Time+b.Time || comp.Sends != 7 || comp.Words != 13 ||
+		comp.MaxQueue != 5 || comp.PEMemory != 100 {
+		t.Errorf("totals folded wrong: %+v", comp)
+	}
+
+	before := comp.Time
+	comp.AppendPhase(PhaseMetrics{Name: "seam-merge", Makespan: 11, Busy: 11, Sends: 4, Words: 4})
+	if comp.Time != before+11 || comp.Sends != 11 || comp.Phases[len(comp.Phases)-1].Name != "seam-merge" {
+		t.Errorf("AppendPhase did not account like an executed phase: %+v", comp)
+	}
+}
+
+// TestMergeSequentialAppendsUnseenPhases: a later run with a phase the
+// accumulator has not seen appends it, preserving order.
+func TestMergeSequentialAppendsUnseenPhases(t *testing.T) {
+	var comp Metrics
+	var a Metrics
+	a.add(PhaseMetrics{Name: "p1", Makespan: 3})
+	comp.MergeSequential(a)
+	var b Metrics
+	b.add(PhaseMetrics{Name: "p1", Makespan: 4})
+	b.add(PhaseMetrics{Name: "p2", Makespan: 5})
+	comp.MergeSequential(b)
+	if len(comp.Phases) != 2 || comp.Phases[0].Makespan != 7 || comp.Phases[1].Makespan != 5 {
+		t.Errorf("unseen phase handling wrong: %+v", comp.Phases)
+	}
+	if comp.Time != 12 {
+		t.Errorf("Time = %d, want 12", comp.Time)
+	}
+}

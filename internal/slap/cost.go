@@ -68,13 +68,20 @@ func (c CostModel) Validate() error {
 	return nil
 }
 
-// WordBitsFor returns the word width ⌈lg max(2, n²)⌉ the machine needs so
-// a single word can carry any pixel label of an n×n image (labels are
+// WordBitsFor returns the word width ⌈lg max(2, 2n²)⌉ the machine needs
+// so a single word can carry any pixel label of an n×n image (labels are
 // column-major positions, possibly offset by n² for the right pass).
-func WordBitsFor(n int) int {
+func WordBitsFor(n int) int { return WordBitsForDims(n, n) }
+
+// WordBitsForDims is WordBitsFor for an arbitrary w×h image: labels are
+// column-major positions in [0, w·h), offset by w·h for the right pass,
+// so a word needs ⌈lg max(2, 2·w·h)⌉ bits — not ⌈lg 2·max(w,h)²⌉, which
+// over-charges non-square images (a 1024×16 image needs 15-bit words,
+// not 21-bit).
+func WordBitsForDims(w, h int) int {
 	need := uint64(2)
-	if n > 0 {
-		need = 2 * uint64(n) * uint64(n)
+	if w > 0 && h > 0 {
+		need = 2 * uint64(w) * uint64(h)
 	}
 	bitsN := 1
 	for v := need - 1; v > 1; v >>= 1 {

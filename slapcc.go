@@ -155,6 +155,20 @@ func Label(img *Bitmap) (*Result, error) { return core.Label(img, Options{}) }
 // LabelWithOptions runs Algorithm CC on img with explicit options.
 func LabelWithOptions(img *Bitmap, opt Options) (*Result, error) { return core.Label(img, opt) }
 
+// LabelLarge labels an image wider than the physical array by
+// strip-mining: with 0 < opt.ArrayWidth < img.W(), the image is
+// partitioned into vertical strips of at most ArrayWidth columns, each
+// strip runs Algorithm CC on the fixed-width machine (zero-copy views
+// over one warm arena set, or fanned across opt.StripWorkers worker
+// labelers), and the strip-boundary seams are stitched by a host-side
+// union–find pass that relabels to the global canonical least
+// column-major labels. The labeling is bit-identical to a whole-image
+// run's; the composed metrics follow a documented sequential schedule
+// model (strips execute back to back on the one array; the stitch is
+// charged as a "seam-merge" phase). With ArrayWidth 0 it is exactly
+// Label: the array is as wide as the image.
+func LabelLarge(img *Bitmap, opt Options) (*Result, error) { return core.LabelLarge(img, opt) }
+
 // Aggregate labels every component of img with the op-fold of the
 // initial per-pixel labels over the whole component (the paper's
 // Corollary 4 extension). initial is indexed by column-major position.
@@ -188,6 +202,12 @@ func BitSerialCost(wordBits int) CostModel { return slap.BitSerial(wordBits) }
 
 // WordBits returns the word width needed to carry labels of an n×n image.
 func WordBits(n int) int { return slap.WordBitsFor(n) }
+
+// WordBitsDims returns the word width needed to carry labels of a w×h
+// image: ⌈lg max(2, 2·w·h)⌉, since labels are column-major positions
+// offset by w·h for the right pass. Use this instead of WordBits(max(w,
+// h)) for non-square images, which the square form over-charges.
+func WordBitsDims(w, h int) int { return slap.WordBitsForDims(w, h) }
 
 // NewImage returns an all-zero w×h image.
 func NewImage(w, h int) *Bitmap { return bitmap.New(w, h) }

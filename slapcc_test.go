@@ -176,3 +176,41 @@ func ExampleLabel() {
 	// ...b
 	// cc.b
 }
+
+func TestPublicLabelLarge(t *testing.T) {
+	img := RandomImage(96, 0.5, 11)
+	whole, err := Label(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LabelLarge(img, Options{ArrayWidth: 24, StripWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Labels.Equal(whole.Labels) {
+		t.Fatal("strip-mined labeling differs from the whole-image run")
+	}
+	if res.Metrics.N != 24 {
+		t.Fatalf("composed metrics N = %d, want the array width 24", res.Metrics.N)
+	}
+	if p, ok := res.Metrics.Phase("seam-merge"); !ok || p.Makespan <= 0 {
+		t.Fatalf("seam-merge phase missing or empty: %+v ok=%v", p, ok)
+	}
+	// ArrayWidth 0 stays the whole-image path, bit for bit.
+	zero, err := LabelLarge(img, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zero.Labels.Equal(whole.Labels) || zero.Metrics.Time != whole.Metrics.Time {
+		t.Fatal("ArrayWidth 0 diverged from Label")
+	}
+}
+
+func TestPublicWordBitsDims(t *testing.T) {
+	if got := WordBitsDims(1024, 16); got != 15 {
+		t.Fatalf("WordBitsDims(1024, 16) = %d, want 15", got)
+	}
+	if WordBitsDims(64, 64) != WordBits(64) {
+		t.Fatal("WordBitsDims must agree with WordBits on squares")
+	}
+}

@@ -1,0 +1,218 @@
+// Package api defines the wire types and request parameters of the
+// slapd labeling service. It is the shared vocabulary of
+// internal/server (which serves it) and client (which consumes it), so
+// the two cannot drift; it depends on nothing but the standard library
+// and is safe to import from any program that talks to a slapd.
+//
+// # Endpoints
+//
+//	POST /v1/label        one image in the body → LabelResponse
+//	POST /v1/aggregate    one image in the body → AggregateResponse
+//	POST /v1/label/batch  multipart/form-data, one image per part →
+//	                      BatchResponse (results in part order)
+//	GET  /healthz         200 "ok" while serving, 503 while draining
+//	GET  /metrics         Prometheus text format counters
+//
+// Image bodies may be PNG, plain PBM (P1), ASCII art, or the SLR1
+// packed-bitset format; the format is sniffed from the content unless
+// pinned by the "format" query parameter or the part/request
+// Content-Type. Labeling options ride query parameters (see Params).
+// When the service's admission queue is full it answers 429 with a
+// Retry-After header (whole seconds); everything else non-2xx carries a
+// JSON ErrorResponse.
+package api
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+)
+
+// Endpoint paths.
+const (
+	PathLabel     = "/v1/label"
+	PathAggregate = "/v1/aggregate"
+	PathBatch     = "/v1/label/batch"
+	PathHealthz   = "/healthz"
+	PathMetrics   = "/metrics"
+)
+
+// Params are the per-request labeling options, carried as query
+// parameters on every POST endpoint. Zero values select the service's
+// defaults (the paper's: 4-connectivity, Tarjan union–find, unit-cost
+// links, array as wide as the image).
+type Params struct {
+	// Format pins the body codec: "png", "pbm", "art", "raw", or
+	// "auto"/"" to sniff. Batch parts may override it per part via their
+	// Content-Type.
+	Format string
+	// Connectivity is 4 or 8 (0 = the paper's 4).
+	Connectivity int
+	// UF names the union–find implementation (e.g. "tarjan", "blum").
+	UF string
+	// Cost is "unit" (default) or "bitserial" (the Theorem 5 machine,
+	// word width derived from the image's dimensions).
+	Cost string
+	// ArrayWidth strip-mines the run on an array of this many PEs when
+	// the image is wider (0 = array as wide as the image).
+	ArrayWidth int
+	// WantLabels asks for the full per-pixel labeling in the response
+	// (column-major, Background = -1). Off by default: a megapixel label
+	// map is megabytes of JSON.
+	WantLabels bool
+	// Op is the aggregation monoid for /v1/aggregate: "min", "max",
+	// "sum", or "or".
+	Op string
+	// Initial selects the initial per-pixel values for /v1/aggregate:
+	// "ones" (Sum gives component areas) or "positions" (column-major
+	// index; Min gives canonical labels). Default "ones".
+	Initial string
+}
+
+// Query encodes p as URL query parameters, omitting zero values.
+func (p Params) Query() url.Values {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("format", p.Format)
+	if p.Connectivity != 0 {
+		q.Set("conn", strconv.Itoa(p.Connectivity))
+	}
+	set("uf", p.UF)
+	set("cost", p.Cost)
+	if p.ArrayWidth != 0 {
+		q.Set("array", strconv.Itoa(p.ArrayWidth))
+	}
+	if p.WantLabels {
+		q.Set("labels", "1")
+	}
+	set("op", p.Op)
+	set("initial", p.Initial)
+	return q
+}
+
+// ParamsFromQuery parses q into Params; it is the inverse of Query and
+// rejects malformed numeric fields.
+func ParamsFromQuery(q url.Values) (Params, error) {
+	p := Params{
+		Format:  q.Get("format"),
+		UF:      q.Get("uf"),
+		Cost:    q.Get("cost"),
+		Op:      q.Get("op"),
+		Initial: q.Get("initial"),
+	}
+	var err error
+	if p.Connectivity, err = intParam(q, "conn"); err != nil {
+		return p, err
+	}
+	if p.ArrayWidth, err = intParam(q, "array"); err != nil {
+		return p, err
+	}
+	switch q.Get("labels") {
+	case "", "0", "false":
+	case "1", "true":
+		p.WantLabels = true
+	default:
+		return p, fmt.Errorf("api: bad labels parameter %q (want 0 or 1)", q.Get("labels"))
+	}
+	return p, nil
+}
+
+func intParam(q url.Values, key string) (int, error) {
+	s := q.Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("api: bad %s parameter %q: not an integer", key, s)
+	}
+	return v, nil
+}
+
+// PhaseMetrics is one simulated machine phase.
+type PhaseMetrics struct {
+	Name     string `json:"name"`
+	Makespan int64  `json:"makespan"`
+	Sends    int64  `json:"sends"`
+	Words    int64  `json:"words"`
+	Idle     int64  `json:"idle"`
+	MaxQueue int    `json:"max_queue"`
+}
+
+// Metrics is the simulated machine accounting of a run.
+type Metrics struct {
+	// ArrayWidth is the physical PE count the run was charged on.
+	ArrayWidth int `json:"array_width"`
+	// TimeSteps is the total simulated makespan.
+	TimeSteps int64 `json:"time_steps"`
+	Sends     int64 `json:"sends"`
+	Words     int64 `json:"words"`
+	MaxQueue  int   `json:"max_queue"`
+	PEMemory  int64 `json:"pe_memory_words"`
+	// Phases is the per-phase breakdown, in execution order.
+	Phases []PhaseMetrics `json:"phases,omitempty"`
+}
+
+// UFReport is the union–find accounting of a run.
+type UFReport struct {
+	Kind       string  `json:"kind"`
+	Finds      int64   `json:"finds"`
+	Unions     int64   `json:"unions"`
+	TotalSteps int64   `json:"total_steps"`
+	MaxOpCost  int64   `json:"max_op_cost"`
+	MeanOpCost float64 `json:"mean_op_cost"`
+}
+
+// LabelResponse is one labeled frame.
+type LabelResponse struct {
+	Width      int `json:"width"`
+	Height     int `json:"height"`
+	Foreground int `json:"foreground"`
+	Components int `json:"components"`
+	// Largest is the pixel count of the largest component.
+	Largest int      `json:"largest"`
+	Metrics Metrics  `json:"metrics"`
+	UF      UFReport `json:"uf"`
+	// Labels is the per-pixel labeling in column-major order (index
+	// x·Height + y; background −1), present only when requested with
+	// labels=1.
+	Labels []int32 `json:"labels,omitempty"`
+}
+
+// AggregateResponse is one aggregated frame.
+type AggregateResponse struct {
+	LabelResponse
+	// Op echoes the monoid applied.
+	Op string `json:"op"`
+	// PerPixel is the per-pixel component fold in column-major order
+	// (identity on background), present only when requested with
+	// labels=1.
+	PerPixel []int32 `json:"per_pixel,omitempty"`
+}
+
+// BatchItem is one frame's outcome within a batch.
+type BatchItem struct {
+	// Index is the zero-based multipart part index; results are
+	// returned in part order.
+	Index int `json:"index"`
+	// Error is the per-frame failure, empty on success.
+	Error string `json:"error,omitempty"`
+	// Result is nil when Error is set.
+	Result *LabelResponse `json:"result,omitempty"`
+}
+
+// BatchResponse is the outcome of /v1/label/batch.
+type BatchResponse struct {
+	Frames  int         `json:"frames"`
+	Errors  int         `json:"errors"`
+	Results []BatchItem `json:"results"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx, non-429 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,288 @@
+// Package client is the Go client for the slapd labeling service: a
+// thin, connection-reusing wrapper over the api wire contract with
+// typed results and automatic retry on 429 backpressure.
+//
+//	c := client.New("http://localhost:8117")
+//	resp, err := c.Label(ctx, img, api.Params{})
+//	// resp.Components, resp.Metrics.TimeSteps, …
+//
+// One Client is safe for concurrent use and keeps connections alive
+// across requests (the load generator drives thousands of frames per
+// connection through it). When slapd sheds load with 429, the client
+// honors the Retry-After hint up to a configurable attempt budget
+// before surfacing the error as a *StatusError.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"strconv"
+	"strings"
+	"time"
+
+	"slapcc"
+	"slapcc/api"
+	"slapcc/internal/imageio"
+)
+
+// Client talks to one slapd instance. Construct with New.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int           // extra attempts after a 429
+	maxWait    time.Duration // cap on a single Retry-After wait
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport tuning, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries sets how many times a 429 is retried before giving up
+// (default 4; 0 disables retrying).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithMaxRetryWait caps a single Retry-After wait (default 5s).
+func WithMaxRetryWait(d time.Duration) Option { return func(c *Client) { c.maxWait = d } }
+
+// New returns a client for the slapd at baseURL (e.g.
+// "http://localhost:8117").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		maxRetries: 4,
+		maxWait:    5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64 // the whole point is connection reuse under load
+		c.hc = &http.Client{Transport: tr}
+	}
+	return c
+}
+
+// StatusError is a non-2xx response, carrying the server's error text.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("slapd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+// IsRetryable reports whether the error is the backpressure signal.
+func (e *StatusError) IsRetryable() bool { return e.Code == http.StatusTooManyRequests }
+
+// EncodeImage serializes img for transport. format is one of "png",
+// "pbm", "art", "raw", or "" (raw, the densest). The returned content
+// type is ready for the request header.
+func EncodeImage(img *slapcc.Bitmap, format string) (data []byte, contentType string, err error) {
+	f, err := imageio.ParseFormat(format)
+	if err != nil {
+		return nil, "", err
+	}
+	if f == imageio.FormatAuto {
+		f = imageio.FormatRaw
+	}
+	data, err = imageio.EncodeBytes(img, f)
+	if err != nil {
+		return nil, "", err
+	}
+	return data, f.ContentType(), nil
+}
+
+// Label labels img under p, encoding it as p.Format ("" = raw).
+func (c *Client) Label(ctx context.Context, img *slapcc.Bitmap, p api.Params) (*api.LabelResponse, error) {
+	data, ct, err := EncodeImage(img, p.Format)
+	if err != nil {
+		return nil, err
+	}
+	return c.LabelData(ctx, data, ct, p)
+}
+
+// LabelData labels an already-encoded image body (contentType may be
+// empty; the server sniffs or uses p.Format).
+func (c *Client) LabelData(ctx context.Context, data []byte, contentType string, p api.Params) (*api.LabelResponse, error) {
+	var out api.LabelResponse
+	if err := c.post(ctx, api.PathLabel, p, data, contentType, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Aggregate folds each component of img under p.Op (see api.Params).
+func (c *Client) Aggregate(ctx context.Context, img *slapcc.Bitmap, p api.Params) (*api.AggregateResponse, error) {
+	data, ct, err := EncodeImage(img, p.Format)
+	if err != nil {
+		return nil, err
+	}
+	var out api.AggregateResponse
+	if err := c.post(ctx, api.PathAggregate, p, data, ct, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Frame is one pre-encoded batch member.
+type Frame struct {
+	// Data is the encoded image body.
+	Data []byte
+	// ContentType pins the part's codec; empty falls back to the
+	// batch-level p.Format (or sniffing).
+	ContentType string
+}
+
+// EncodeFrame serializes img as a batch Frame in format ("" = raw).
+func EncodeFrame(img *slapcc.Bitmap, format string) (Frame, error) {
+	data, ct, err := EncodeImage(img, format)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Data: data, ContentType: ct}, nil
+}
+
+// LabelBatch labels frames in one request; results come back in frame
+// order (api.BatchResponse.Results[i] is frames[i]).
+func (c *Client) LabelBatch(ctx context.Context, frames []Frame, p api.Params) (*api.BatchResponse, error) {
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i, f := range frames {
+		hdr := textproto.MIMEHeader{}
+		hdr.Set("Content-Disposition", fmt.Sprintf(`form-data; name="frame%d"; filename="frame%d"`, i, i))
+		if f.ContentType != "" {
+			hdr.Set("Content-Type", f.ContentType)
+		}
+		pw, err := mw.CreatePart(hdr)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := pw.Write(f.Data); err != nil {
+			return nil, err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return nil, err
+	}
+	var out api.BatchResponse
+	if err := c.post(ctx, api.PathBatch, p, body.Bytes(), mw.FormDataContentType(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reports nil while the server is healthy.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.PathHealthz, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return nil
+}
+
+// Metrics fetches the Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.PathMetrics, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return "", statusError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// post sends one POST with 429-retry and decodes the JSON response.
+// The body is a byte slice precisely so each retry can replay it.
+func (c *Client) post(ctx context.Context, path string, p api.Params, body []byte, contentType string, out any) error {
+	url := c.base + path
+	if q := p.Query().Encode(); q != "" {
+		url += "?" + q
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries {
+			wait := retryAfter(resp)
+			drain(resp)
+			if wait > c.maxWait {
+				wait = c.maxWait
+			}
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer drain(resp)
+			return statusError(resp)
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		drain(resp)
+		return err
+	}
+}
+
+// retryAfter parses the server's whole-seconds hint, defaulting to a
+// short pause so a missing header cannot spin-loop.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 100 * time.Millisecond
+}
+
+// statusError builds a *StatusError from a non-2xx response, preferring
+// the JSON error body.
+func statusError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er api.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return &StatusError{Code: resp.StatusCode, Msg: er.Error}
+	}
+	return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+}
+
+// drain discards the rest of the body so the connection is reusable.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -9,18 +9,23 @@
 //	slapcc -gen hserpentine -n 64 -bitserial -metrics
 //	slapcc -gen random50 -n 32 -agg sum -show
 //
-// Input is either a generated family member (-gen, -n) or a plain PBM
-// (P1) file (-in; "-" reads stdin).
+// Input is either a generated family member (-gen, -n) or a file (-in;
+// "-" reads stdin) in any format internal/imageio understands — PNG,
+// plain PBM (P1), ASCII art, or the SLR1 raw wire format — selected
+// with -format (default auto-sniffs), the same codecs the slapd
+// service ingests.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"slapcc/internal/bitmap"
 	"slapcc/internal/core"
+	"slapcc/internal/imageio"
 	"slapcc/internal/seqcc"
 	"slapcc/internal/slap"
 	"slapcc/internal/unionfind"
@@ -40,7 +45,8 @@ func run(args []string) error {
 		n         = fs.Int("n", 32, "image size for -gen")
 		array     = fs.Int("array", 0, "physical PE count; images wider than this are strip-mined (0 = array as wide as the image)")
 		stripWk   = fs.Int("stripworkers", 0, "fan strips of a strip-mined run across this many worker labelers (host wall time only)")
-		inPath    = fs.String("in", "", "read a PBM (P1) image from this file ('-' = stdin)")
+		inPath    = fs.String("in", "", "read an image from this file ('-' = stdin)")
+		format    = fs.String("format", "auto", "input format for -in: png, pbm, art, raw, or auto (sniff)")
 		ufKind    = fs.String("uf", string(unionfind.KindTarjan), "union-find kind: "+kindList())
 		idle      = fs.Bool("idle", false, "enable idle-time path compression (§3 heuristic)")
 		bitserial = fs.Bool("bitserial", false, "use 1-bit links (Theorem 5 machine)")
@@ -65,7 +71,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	img, err := loadImage(*genName, *inPath, *n)
+	img, err := loadImage(*genName, *inPath, *format, *n)
 	if err != nil {
 		return err
 	}
@@ -160,7 +166,7 @@ func run(args []string) error {
 	return nil
 }
 
-func loadImage(genName, inPath string, n int) (*bitmap.Bitmap, error) {
+func loadImage(genName, inPath, format string, n int) (*bitmap.Bitmap, error) {
 	switch {
 	case genName != "" && inPath != "":
 		return nil, fmt.Errorf("use either -gen or -in, not both")
@@ -173,15 +179,23 @@ func loadImage(genName, inPath string, n int) (*bitmap.Bitmap, error) {
 			return nil, fmt.Errorf("invalid size %d", n)
 		}
 		return f.Generate(n), nil
-	case inPath == "-":
-		return bitmap.ReadPBM(os.Stdin)
 	case inPath != "":
-		f, err := os.Open(inPath)
+		fm, err := imageio.ParseFormat(format)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return bitmap.ReadPBM(f)
+		r := io.Reader(os.Stdin)
+		if inPath != "-" {
+			f, err := os.Open(inPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		// The CLI trusts its operator: only the codecs' own sanity
+		// bounds apply, not the service's admission limits.
+		return imageio.Decode(r, fm, imageio.Unlimited())
 	default:
 		return nil, fmt.Errorf("need -gen FAMILY or -in FILE (try -list)")
 	}

@@ -10,6 +10,7 @@ import (
 
 	"slapcc/internal/bitmap"
 	"slapcc/internal/core"
+	"slapcc/internal/imageio"
 	"slapcc/internal/slap"
 )
 
@@ -211,5 +212,66 @@ func TestRunBitSerialNonSquare(t *testing.T) {
 	}
 	if bad := fmt.Sprintf("simulated time: %d steps", overCharged.Metrics.Time); strings.Contains(out, bad) {
 		t.Errorf("CLI still charges maxDim-based words:\n%s", out)
+	}
+}
+
+// TestRunFormatInputs: -in reads every imageio codec, pinned (-format)
+// and sniffed (auto); the labeling agrees across formats.
+func TestRunFormatInputs(t *testing.T) {
+	img := bitmap.Checker(6) // 18 components
+	dir := t.TempDir()
+	for _, f := range imageio.Formats() {
+		data, err := imageio.EncodeBytes(img, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "img."+string(f))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, args := range [][]string{
+			{"-in", path, "-format", string(f)},
+			{"-in", path}, // auto-sniff
+		} {
+			out, err := capture(t, func() error { return run(args) })
+			if err != nil {
+				t.Fatalf("%v: %v", args, err)
+			}
+			if !strings.Contains(out, "components: 18") {
+				t.Errorf("%v: wrong labeling:\n%s", args, out)
+			}
+		}
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-in", filepath.Join(dir, "img.png"), "-format", "jpeg"})
+	}); err == nil || !strings.Contains(err.Error(), "jpeg") {
+		t.Fatalf("bad -format: %v", err)
+	}
+}
+
+// TestRunAggregateStripMinedError pins the CLI-level error for an
+// aggregate on a strip-mined run: Aggregate has no seam stitch
+// (ROADMAP open item), and the message must say what to do instead.
+func TestRunAggregateStripMinedError(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "32", "-array", "8", "-agg", "sum"})
+	})
+	if err == nil {
+		t.Fatal("strip-mined -agg did not error")
+	}
+	for _, want := range []string{"cannot strip-mine", "ArrayWidth 0", "ROADMAP"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error not actionable, missing %q: %v", want, err)
+		}
+	}
+	// The labeling itself (no -agg) remains fine on the same array.
+	out, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "32", "-array", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "array: 8 PEs") {
+		t.Fatalf("strip-mined labeling broken:\n%s", out)
 	}
 }

@@ -1,0 +1,111 @@
+// Command slapd serves connected-component labeling over HTTP: the
+// production front end for the SLAP simulator's allocation-free core.
+// Images (PNG, plain PBM, ASCII art, or the SLR1 raw wire format) are
+// decoded under size limits, admitted through a bounded queue with 429
+// backpressure, and labeled on a pool of warm arena-reusing labelers.
+//
+// Usage:
+//
+//	slapd -addr :8117 -workers 4 -queue 16
+//	curl -s --data-binary @frame.png localhost:8117/v1/label | jq .components
+//	curl -s localhost:8117/metrics
+//
+// SIGINT/SIGTERM drain gracefully: /healthz flips to 503 so load
+// balancers stop routing, in-flight requests finish, then the process
+// exits. See the api package for the wire contract and cmd/slapload for
+// the matching load generator.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slapcc/internal/imageio"
+	"slapcc/internal/server"
+)
+
+func main() {
+	signals := make(chan os.Signal, 1)
+	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, signals, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "slapd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives, then drains.
+// ready (optional) receives the bound address once the listener is up —
+// the test hook, and handy for scripts using -addr :0.
+func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr string)) error {
+	fs := flag.NewFlagSet("slapd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8117", "listen address (host:port; :0 picks a free port)")
+		workers   = fs.Int("workers", 0, "labeler pool size (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "admitted requests allowed to wait beyond the workers (0 = 2x workers)")
+		maxW      = fs.Int("maxwidth", 0, "max image width (0 = default)")
+		maxH      = fs.Int("maxheight", 0, "max image height (0 = default)")
+		maxPix    = fs.Int64("maxpixels", 0, "max image pixels (0 = default)")
+		maxBody   = fs.Int64("maxbody", 0, "max request body bytes (0 = 64 MiB)")
+		maxBatch  = fs.Int("maxbatch", 0, "max frames per batch request (0 = 64)")
+		retry     = fs.Duration("retryafter", time.Second, "Retry-After hint on 429 responses")
+		verify    = fs.Bool("verify", false, "cross-check every labeling against the sequential reference (conformance mode)")
+		drainWait = fs.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Limits:         imageio.Limits{MaxWidth: *maxW, MaxHeight: *maxH, MaxPixels: *maxPix},
+		MaxBodyBytes:   *maxBody,
+		MaxBatchFrames: *maxBatch,
+		RetryAfter:     *retry,
+		Verify:         *verify,
+	}
+	srv := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(out, "slapd: listening on %s (workers %d, admission %d)\n",
+		ln.Addr(), srv.Workers(), srv.AdmissionCapacity())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-signals:
+	}
+
+	fmt.Fprintln(out, "slapd: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(out, "slapd: drained, bye")
+	return nil
+}

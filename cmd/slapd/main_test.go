@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"slapcc"
+	"slapcc/api"
+	"slapcc/client"
+)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, labels a
+// PNG through the real client, then delivers the shutdown signal and
+// watches it drain cleanly — the whole service loop in one test.
+func TestDaemonLifecycle(t *testing.T) {
+	signals := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-verify"},
+			&out, signals, func(addr string) { ready <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	img := slapcc.RandomImage(32, 0.5, 42)
+	want, err := slapcc.Label(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Label(ctx, img, api.Params{Format: "png", WantLabels: true})
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	if resp.Components != want.Labels.ComponentCount() || resp.Metrics.TimeSteps != want.Metrics.Time {
+		t.Fatalf("PNG labeling diverged: %+v", resp)
+	}
+
+	signals <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("no drain log:\n%s", out.String())
+	}
+}
+
+// TestBadFlags: flag errors surface instead of starting a daemon.
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-addr"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("dangling -addr accepted")
+	}
+	if err := run([]string{"-addr", "definitely:not:an:addr"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -1,0 +1,490 @@
+// Command slapload is the closed-loop load generator for slapd: it
+// drives a mixed corpus of frames (sizes × formats, PNG/PBM/art/raw)
+// through the service from a fixed set of concurrent clients, verifies
+// responses bit-for-bit against the in-process labeler, and reports
+// service-level numbers — p50/p95/p99 latency, frames/s, MB/s — as both
+// a human summary and a BENCH_*.json-style artifact.
+//
+// Usage:
+//
+//	slapd -addr :8117 &
+//	slapload -url http://localhost:8117 -frames 1000 -concurrency 4 \
+//	         -sizes 64,128,256 -formats png,pbm,raw -out BENCH_pr4.json
+//
+// Phases:
+//
+//  1. warmup (a few frames, uncounted);
+//  2. the closed loop: -frames single-frame requests over -concurrency
+//     workers, retrying on 429 through the client's backoff, verifying
+//     labels and simulated metrics when -verify is on (every 4th
+//     request strip-mines on a -array-wide machine when given, pinning
+//     the service against in-process LabelLarge);
+//  3. -batches multipart batches of -batchsize frames, checked for
+//     in-order, bit-identical results;
+//  4. an optional -overload burst fired without retry to observe the
+//     admission queue shedding with 429.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slapcc"
+	"slapcc/api"
+	"slapcc/client"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "slapload:", err)
+		os.Exit(1)
+	}
+}
+
+// spec is one pre-encoded request the loop can fire repeatedly.
+type spec struct {
+	name       string
+	data       []byte
+	ctype      string
+	params     api.Params
+	pixels     int64
+	wantLabels []int32 // nil when verification is off
+	wantTime   int64   // expected simulated makespan under params
+	w, h       int
+}
+
+// report is the JSON artifact.
+type report struct {
+	Target      string   `json:"target"`
+	Frames      int      `json:"frames"`
+	Concurrency int      `json:"concurrency"`
+	Sizes       []int    `json:"sizes"`
+	Formats     []string `json:"formats"`
+	ArrayWidth  int      `json:"array_width,omitempty"`
+	DurationS   float64  `json:"duration_s"`
+	FramesPerS  float64  `json:"frames_per_s"`
+	MBPerS      float64  `json:"mb_per_s"`
+	PixelMBPerS float64  `json:"pixel_mb_per_s"`
+	BytesSent   int64    `json:"bytes_sent"`
+	LatencyMS   struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+		Max  float64 `json:"max"`
+	} `json:"latency_ms"`
+	Errors     int   `json:"errors"`
+	Retried429 int64 `json:"retried_429"`
+	Verify     struct {
+		Enabled    bool `json:"enabled"`
+		Frames     int  `json:"frames"`
+		Mismatches int  `json:"mismatches"`
+	} `json:"verify"`
+	Batch struct {
+		Batches    int `json:"batches"`
+		Frames     int `json:"frames"`
+		Errors     int `json:"errors"`
+		Mismatches int `json:"mismatches"`
+	} `json:"batch"`
+	Overload struct {
+		Requests    int `json:"requests"`
+		OK          int `json:"ok"`
+		Rejected429 int `json:"rejected_429"`
+		Errors      int `json:"errors"`
+	} `json:"overload"`
+}
+
+// counting429 counts 429 responses passing through the transport, so
+// the report shows how often the admission queue pushed back even when
+// retries eventually succeeded.
+type counting429 struct {
+	rt http.RoundTripper
+	n  atomic.Int64
+}
+
+func (c *counting429) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.rt.RoundTrip(req)
+	if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+		c.n.Add(1)
+	}
+	return resp, err
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("slapload", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "", "slapd base URL (required), e.g. http://localhost:8117")
+		frames   = fs.Int("frames", 1000, "single-frame requests in the closed loop")
+		conc     = fs.Int("concurrency", 4, "concurrent closed-loop clients")
+		sizes    = fs.String("sizes", "64,128,256", "comma-separated square frame sizes")
+		formats  = fs.String("formats", "png,pbm,raw", "comma-separated wire formats to mix")
+		density  = fs.Float64("density", 0.5, "foreground density of generated frames")
+		corpus   = fs.Int("corpus", 4, "distinct frames generated per size")
+		verify   = fs.Bool("verify", true, "verify every response bit-for-bit against the in-process labeler")
+		array    = fs.Int("array", 0, "strip-mine every 4th request on an array this wide (0 = never)")
+		batches  = fs.Int("batches", 8, "multipart batch requests after the loop (0 = skip)")
+		batchSz  = fs.Int("batchsize", 8, "frames per batch request")
+		overload = fs.Int("overload", 0, "fire this many concurrent no-retry requests to observe 429s (0 = skip)")
+		outPath  = fs.String("out", "", "write the JSON report here as well as stdout")
+		timeout  = fs.Duration("timeout", 120*time.Second, "per-request timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("need -url (start one with: slapd -addr :8117)")
+	}
+	sizeList, err := parseInts(*sizes)
+	if err != nil {
+		return fmt.Errorf("bad -sizes: %w", err)
+	}
+	formatList := strings.Split(*formats, ",")
+
+	specs, err := buildCorpus(sizeList, formatList, *density, *corpus, *verify, *array)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "corpus: %d specs (%d sizes x %d formats x %d frames)\n",
+		len(specs), len(sizeList), len(formatList), *corpus)
+
+	counter := &counting429{rt: http.DefaultTransport.(*http.Transport).Clone()}
+	hc := &http.Client{Transport: counter, Timeout: *timeout}
+	c := client.New(*url, client.WithHTTPClient(hc), client.WithMaxRetries(8), client.WithMaxRetryWait(2*time.Second))
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		return fmt.Errorf("target not healthy: %w", err)
+	}
+
+	rep := &report{
+		Target: *url, Frames: *frames, Concurrency: *conc,
+		Sizes: sizeList, Formats: formatList, ArrayWidth: *array,
+	}
+	rep.Verify.Enabled = *verify
+
+	// Warmup, uncounted: fill connection pools and the server's arenas.
+	for i := 0; i < min(*conc, len(specs)); i++ {
+		if _, err := c.LabelData(ctx, specs[i].data, specs[i].ctype, specs[i].params); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	// Phase 2: the closed loop.
+	var (
+		next       atomic.Int64
+		errs       atomic.Int64
+		mismatches atomic.Int64
+		bytesSent  atomic.Int64
+		pixels     atomic.Int64
+		mu         sync.Mutex
+		lats       []time.Duration
+		firstErr   atomic.Value
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < *conc; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, *frames / *conc + 1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *frames {
+					break
+				}
+				sp := &specs[i%len(specs)]
+				t0 := time.Now()
+				resp, err := c.LabelData(ctx, sp.data, sp.ctype, sp.params)
+				d := time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: %w", sp.name, err))
+					continue
+				}
+				local = append(local, d)
+				bytesSent.Add(int64(len(sp.data)))
+				pixels.Add(sp.pixels)
+				if sp.wantLabels != nil && !checkResponse(resp, sp) {
+					mismatches.Add(1)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.DurationS = elapsed.Seconds()
+	rep.Errors = int(errs.Load())
+	rep.Retried429 = counter.n.Load()
+	rep.BytesSent = bytesSent.Load()
+	rep.FramesPerS = float64(len(lats)) / elapsed.Seconds()
+	rep.MBPerS = float64(bytesSent.Load()) / 1e6 / elapsed.Seconds()
+	rep.PixelMBPerS = float64(pixels.Load()) / 1e6 / elapsed.Seconds()
+	fillLatency(rep, lats)
+	if *verify {
+		rep.Verify.Frames = len(lats)
+		rep.Verify.Mismatches = int(mismatches.Load())
+	}
+
+	// Phase 3: batches, verified in order.
+	if *batches > 0 && *batchSz > 0 {
+		if err := runBatches(ctx, c, specs, *batches, *batchSz, rep); err != nil {
+			return err
+		}
+	}
+
+	// Phase 4: the over-capacity burst, no retries.
+	if *overload > 0 {
+		runOverload(ctx, *url, specs, *overload, *timeout, rep)
+	}
+
+	summarize(out, rep)
+	if e, ok := firstErr.Load().(error); ok && e != nil {
+		fmt.Fprintf(out, "first error: %v\n", e)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", *outPath)
+	}
+	if rep.Errors > 0 || rep.Verify.Mismatches > 0 || rep.Batch.Mismatches > 0 || rep.Batch.Errors > 0 {
+		return fmt.Errorf("%d errors, %d verify mismatches, %d batch errors, %d batch mismatches",
+			rep.Errors, rep.Verify.Mismatches, rep.Batch.Errors, rep.Batch.Mismatches)
+	}
+	return nil
+}
+
+// buildCorpus generates the frame corpus and pre-computes the expected
+// results the verification phases compare against.
+func buildCorpus(sizes []int, formats []string, density float64, perSize int, verify bool, array int) ([]spec, error) {
+	var specs []spec
+	seed := uint64(1)
+	for _, n := range sizes {
+		for k := 0; k < perSize; k++ {
+			img := slapcc.RandomImage(n, density, seed)
+			seed++
+			var wantWhole, wantStrip []int32
+			var timeWhole, timeStrip int64
+			if verify {
+				res, err := slapcc.Label(img)
+				if err != nil {
+					return nil, err
+				}
+				wantWhole = flatten(res.Labels)
+				timeWhole = res.Metrics.Time
+				if array > 0 && array < n {
+					sres, err := slapcc.LabelLarge(img, slapcc.Options{ArrayWidth: array})
+					if err != nil {
+						return nil, err
+					}
+					wantStrip = flatten(sres.Labels)
+					timeStrip = sres.Metrics.Time
+				}
+			}
+			for _, format := range formats {
+				data, ctype, err := client.EncodeImage(img, strings.TrimSpace(format))
+				if err != nil {
+					return nil, err
+				}
+				sp := spec{
+					name:   fmt.Sprintf("%s-%d-%d", strings.TrimSpace(format), n, k),
+					data:   data,
+					ctype:  ctype,
+					pixels: int64(n) * int64(n),
+					w:      img.W(), h: img.H(),
+					wantLabels: wantWhole,
+					wantTime:   timeWhole,
+				}
+				if verify {
+					sp.params.WantLabels = true
+				}
+				// Every 4th spec strip-mines, pinning the service against
+				// in-process LabelLarge.
+				if array > 0 && array < n && len(specs)%4 == 3 {
+					sp.params.ArrayWidth = array
+					sp.name += fmt.Sprintf("-aw%d", array)
+					sp.wantLabels = wantStrip
+					sp.wantTime = timeStrip
+				}
+				specs = append(specs, sp)
+			}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty corpus (sizes %v, formats %v)", sizes, formats)
+	}
+	return specs, nil
+}
+
+// checkResponse compares a response against the precomputed truth.
+func checkResponse(resp *api.LabelResponse, sp *spec) bool {
+	if resp.Width != sp.w || resp.Height != sp.h || resp.Metrics.TimeSteps != sp.wantTime {
+		return false
+	}
+	if len(resp.Labels) != len(sp.wantLabels) {
+		return false
+	}
+	for i := range sp.wantLabels {
+		if resp.Labels[i] != sp.wantLabels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func runBatches(ctx context.Context, c *client.Client, specs []spec, batches, batchSz int, rep *report) error {
+	idx := 0
+	for b := 0; b < batches; b++ {
+		var frames []client.Frame
+		var members []*spec
+		for k := 0; k < batchSz; k++ {
+			sp := &specs[idx%len(specs)]
+			idx++
+			// Batch params are request-wide; skip strip-mined specs whose
+			// per-frame params would not apply.
+			if sp.params.ArrayWidth != 0 {
+				sp = &specs[0]
+			}
+			frames = append(frames, client.Frame{Data: sp.data, ContentType: sp.ctype})
+			members = append(members, sp)
+		}
+		resp, err := c.LabelBatch(ctx, frames, api.Params{WantLabels: members[0].wantLabels != nil})
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", b, err)
+		}
+		rep.Batch.Batches++
+		rep.Batch.Frames += resp.Frames
+		rep.Batch.Errors += resp.Errors
+		for i, item := range resp.Results {
+			if item.Index != i {
+				rep.Batch.Mismatches++
+				continue
+			}
+			if item.Result == nil {
+				continue // already counted in Errors
+			}
+			if members[i].wantLabels != nil && !checkResponse(item.Result, members[i]) {
+				rep.Batch.Mismatches++
+			}
+		}
+	}
+	return nil
+}
+
+// runOverload fires burst concurrent requests with no retrying and
+// tallies how the admission queue answered.
+func runOverload(ctx context.Context, url string, specs []spec, burst int, timeout time.Duration, rep *report) {
+	c := client.New(url, client.WithMaxRetries(0), client.WithHTTPClient(&http.Client{Timeout: timeout}))
+	var ok, rejected, errs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := &specs[i%len(specs)]
+			_, err := c.LabelData(ctx, sp.data, sp.ctype, api.Params{})
+			switch e := err.(type) {
+			case nil:
+				ok.Add(1)
+			case *client.StatusError:
+				if e.IsRetryable() {
+					rejected.Add(1)
+				} else {
+					errs.Add(1)
+				}
+			default:
+				errs.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.Overload.Requests = burst
+	rep.Overload.OK = int(ok.Load())
+	rep.Overload.Rejected429 = int(rejected.Load())
+	rep.Overload.Errors = int(errs.Load())
+}
+
+func fillLatency(rep *report, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	rep.LatencyMS.P50 = ms(pct(0.50))
+	rep.LatencyMS.P95 = ms(pct(0.95))
+	rep.LatencyMS.P99 = ms(pct(0.99))
+	rep.LatencyMS.Mean = ms(sum / time.Duration(len(lats)))
+	rep.LatencyMS.Max = ms(lats[len(lats)-1])
+}
+
+func summarize(out io.Writer, rep *report) {
+	fmt.Fprintf(out, "loop: %d frames in %.2fs over %d clients -> %.1f frames/s, %.2f MB/s wire, %.2f Mpix/s\n",
+		rep.Frames-rep.Errors, rep.DurationS, rep.Concurrency, rep.FramesPerS, rep.MBPerS, rep.PixelMBPerS)
+	fmt.Fprintf(out, "latency: p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Mean, rep.LatencyMS.Max)
+	fmt.Fprintf(out, "errors: %d   429-retries absorbed: %d\n", rep.Errors, rep.Retried429)
+	if rep.Verify.Enabled {
+		fmt.Fprintf(out, "verify: %d frames checked, %d mismatches\n", rep.Verify.Frames, rep.Verify.Mismatches)
+	}
+	if rep.Batch.Batches > 0 {
+		fmt.Fprintf(out, "batch: %d batches / %d frames, %d errors, %d mismatches\n",
+			rep.Batch.Batches, rep.Batch.Frames, rep.Batch.Errors, rep.Batch.Mismatches)
+	}
+	if rep.Overload.Requests > 0 {
+		fmt.Fprintf(out, "overload: %d fired -> %d ok, %d shed with 429, %d errors\n",
+			rep.Overload.Requests, rep.Overload.OK, rep.Overload.Rejected429, rep.Overload.Errors)
+	}
+}
+
+func flatten(lm *slapcc.LabelMap) []int32 {
+	out := make([]int32, 0, lm.W()*lm.H())
+	for x := 0; x < lm.W(); x++ {
+		out = append(out, lm.ColumnSlice(x)...)
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slapcc/internal/server"
+)
+
+// TestLoadAgainstRealServer is the acceptance loop in miniature: a
+// mixed-size, mixed-format corpus through a real server handler with
+// full verification, ordered batches, and an over-capacity burst, all
+// reported into the JSON artifact.
+func TestLoadAgainstRealServer(t *testing.T) {
+	hs := httptest.NewServer(server.New(server.Config{Workers: 2, QueueDepth: 2}))
+	defer hs.Close()
+
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", hs.URL,
+		"-frames", "24", "-concurrency", "3",
+		"-sizes", "16,24", "-corpus", "2",
+		"-formats", "png,pbm,raw,art",
+		"-array", "8",
+		"-batches", "2", "-batchsize", "4",
+		"-overload", "12",
+		"-out", outPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("bad report: %v\n%s", err, blob)
+	}
+	if rep.Errors != 0 || rep.Verify.Mismatches != 0 {
+		t.Fatalf("errors %d, mismatches %d", rep.Errors, rep.Verify.Mismatches)
+	}
+	if !rep.Verify.Enabled || rep.Verify.Frames != 24 {
+		t.Fatalf("verify: %+v", rep.Verify)
+	}
+	if rep.Batch.Batches != 2 || rep.Batch.Frames != 8 || rep.Batch.Errors != 0 || rep.Batch.Mismatches != 0 {
+		t.Fatalf("batch: %+v", rep.Batch)
+	}
+	if rep.Overload.Requests != 12 || rep.Overload.OK+rep.Overload.Rejected429+rep.Overload.Errors != 12 || rep.Overload.Errors != 0 {
+		t.Fatalf("overload: %+v", rep.Overload)
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 {
+		t.Fatalf("latency: %+v", rep.LatencyMS)
+	}
+	if rep.FramesPerS <= 0 || rep.MBPerS <= 0 {
+		t.Fatalf("throughput: %+v", rep)
+	}
+	if !strings.Contains(out.String(), "latency: p50") {
+		t.Fatalf("no summary:\n%s", out.String())
+	}
+}
+
+// TestRunFlagErrors: a missing -url and malformed lists fail fast.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-url") {
+		t.Fatalf("missing url: %v", err)
+	}
+	if err := run([]string{"-url", "http://x", "-sizes", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+}

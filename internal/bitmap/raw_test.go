@@ -1,0 +1,95 @@
+package bitmap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRawRoundTrip: WriteRaw/AppendRaw/ReadRaw agree byte for byte and
+// reproduce the image exactly across awkward widths (sub-byte, sub-word,
+// multi-word, non-square, empty).
+func TestRawRoundTrip(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {3, 5}, {8, 8}, {9, 2}, {63, 7}, {64, 3}, {65, 4}, {130, 65}, {0, 0}, {0, 4}, {5, 0}}
+	for _, sh := range shapes {
+		w, h := sh[0], sh[1]
+		img := New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if (x*31+y*17)%3 == 0 {
+					img.Set(x, y, true)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := img.WriteRaw(&buf); err != nil {
+			t.Fatalf("%dx%d: WriteRaw: %v", w, h, err)
+		}
+		if buf.Len() != RawSize(w, h) {
+			t.Fatalf("%dx%d: encoded %d bytes, RawSize says %d", w, h, buf.Len(), RawSize(w, h))
+		}
+		if app := img.AppendRaw(nil); !bytes.Equal(app, buf.Bytes()) {
+			t.Fatalf("%dx%d: AppendRaw differs from WriteRaw", w, h)
+		}
+		got, err := ReadRaw(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%dx%d: ReadRaw: %v", w, h, err)
+		}
+		if !got.Equal(img) {
+			t.Fatalf("%dx%d: round trip changed the image", w, h)
+		}
+	}
+}
+
+// TestRawRejects: bad magic, truncated header, truncated raster, and
+// absurd dimensions all fail with positioned errors, and dirty padding
+// bits are masked off rather than leaking out-of-width pixels.
+func TestRawRejects(t *testing.T) {
+	img := Random(10, 0.5, 1)
+	enc := img.AppendRaw(nil)
+
+	if _, err := ReadRaw(bytes.NewReader([]byte("JUNKJUNKJUNKJUNK"))); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := ReadRaw(bytes.NewReader(enc[:6])); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("truncated header: %v", err)
+	}
+	if _, err := ReadRaw(bytes.NewReader(enc[:len(enc)-1])); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated raster: %v", err)
+	}
+	huge := append([]byte(nil), enc...)
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadRaw(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "unreasonable") {
+		t.Fatalf("absurd dimensions: %v", err)
+	}
+
+	// Set padding bits above width 10 in every row byte; the decode must
+	// produce the same image as the clean encoding.
+	dirty := append([]byte(nil), enc...)
+	for i := rawHeaderSize; i < len(dirty); i += 2 {
+		dirty[i+1] |= 0xfc // bits 10..15 of the 16-bit row
+	}
+	got, err := ReadRaw(bytes.NewReader(dirty))
+	if err != nil {
+		t.Fatalf("dirty padding: %v", err)
+	}
+	if !got.Equal(img) {
+		t.Fatal("padding bits leaked into the decoded image")
+	}
+}
+
+// TestRawDims: the header peek reports dimensions without a decode and
+// refuses non-SLR1 data.
+func TestRawDims(t *testing.T) {
+	enc := New(37, 21).AppendRaw(nil)
+	w, h, ok := RawDims(enc)
+	if !ok || w != 37 || h != 21 {
+		t.Fatalf("RawDims = %d, %d, %v", w, h, ok)
+	}
+	if _, _, ok := RawDims([]byte("P1\n2 2\n")); ok {
+		t.Fatal("RawDims accepted PBM data")
+	}
+	if _, _, ok := RawDims(enc[:8]); ok {
+		t.Fatal("RawDims accepted a truncated header")
+	}
+}

@@ -108,7 +108,9 @@ func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*A
 		return nil, fmt.Errorf("core: initial labels have length %d, want %d", len(initial), w*h)
 	}
 	if aw := lb.userOpt.ArrayWidth; aw > 0 && aw < w {
-		return nil, fmt.Errorf("core: Aggregate does not support strip-mining (ArrayWidth %d < image width %d); use ArrayWidth 0", aw, w)
+		return nil, fmt.Errorf("core: Aggregate cannot strip-mine a %d-column image on a %d-PE array: "+
+			"the aggregation sweeps have no seam stitch yet (a ROADMAP open item; labeling via LabelLarge is unaffected). "+
+			"Rerun with ArrayWidth 0 (array as wide as the image), or partition the image yourself and combine the per-strip aggregates with the monoid", w, aw)
 	}
 	if op.Combine == nil {
 		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)

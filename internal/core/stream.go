@@ -45,12 +45,24 @@ func NewLabelerPool(opt Options, workers int) *LabelerPool {
 // Workers returns the pool size.
 func (p *LabelerPool) Workers() int { return p.workers }
 
-// withWorker checks out a worker, runs fn on it, and returns the worker
-// via defer so a panicking labeler cannot shrink the pool: the panic
-// propagates, but the slot is refilled with a fresh labeler (the
-// panicked one's arenas may be mid-run corrupt).
+// Idle returns how many workers are free right now. The value is a
+// racy snapshot — by the time the caller acts another goroutine may
+// have taken or returned a worker — so it is a load-shedding signal
+// (export it as a gauge, compare against Workers()), not a reservation.
+func (p *LabelerPool) Idle() int { return len(p.free) }
+
+// withWorker checks out a worker (blocking), runs fn on it, and returns
+// it; see runOn for the panic-safety contract.
 func (p *LabelerPool) withWorker(fn func(*Labeler) (*Result, error)) (*Result, error) {
-	lb := <-p.free
+	return runOn(p, <-p.free, fn)
+}
+
+// runOn runs fn on a checked-out worker and returns the worker via
+// defer so a panicking labeler cannot shrink the pool: the panic
+// propagates, but the slot is refilled with a fresh labeler (the
+// panicked one's arenas may be mid-run corrupt). Generic so the Label-
+// and Aggregate-shaped calls share this one lifecycle contract.
+func runOn[T any](p *LabelerPool, lb *Labeler, fn func(*Labeler) (T, error)) (T, error) {
 	done := false
 	defer func() {
 		if !done {
@@ -63,10 +75,53 @@ func (p *LabelerPool) withWorker(fn func(*Labeler) (*Result, error)) (*Result, e
 	return res, err
 }
 
+// under wraps fn to run with the worker retargeted to opt, restoring
+// the worker's own options afterwards whether fn succeeds or fails.
+// This is how one pool of warm workers serves heterogeneous requests
+// (connectivity, cost model, ArrayWidth all vary per request): the
+// arenas adapt in place, so warm reuse still applies across option
+// mixes.
+func under[T any](opt Options, fn func(*Labeler) (T, error)) func(*Labeler) (T, error) {
+	return func(lb *Labeler) (T, error) {
+		defer func(prev Options) { lb.userOpt = prev }(lb.userOpt)
+		lb.userOpt = opt
+		return fn(lb)
+	}
+}
+
 // Label runs Algorithm CC on img on any free worker, blocking while all
 // workers are busy. Safe for concurrent use.
 func (p *LabelerPool) Label(img *bitmap.Bitmap) (*Result, error) {
 	return p.withWorker(func(lb *Labeler) (*Result, error) { return lb.Label(img) })
+}
+
+// LabelWith is Label under per-call options — the shape a service
+// needs; see under for the worker-restoration contract.
+func (p *LabelerPool) LabelWith(img *bitmap.Bitmap, opt Options) (*Result, error) {
+	return p.withWorker(under(opt, func(lb *Labeler) (*Result, error) { return lb.Label(img) }))
+}
+
+// TryLabelWith is LabelWith without the blocking wait: when no worker
+// is free it reports ok=false immediately and does nothing, so an
+// accept loop can shed load instead of queueing behind the pool.
+func (p *LabelerPool) TryLabelWith(img *bitmap.Bitmap, opt Options) (res *Result, ok bool, err error) {
+	select {
+	case lb := <-p.free:
+		res, err = runOn(p, lb, under(opt, func(lb *Labeler) (*Result, error) { return lb.Label(img) }))
+		return res, true, err
+	default:
+		return nil, false, nil
+	}
+}
+
+// AggregateWith runs the Corollary 4 aggregation on any free worker
+// under per-call options, blocking while all workers are busy. Safe for
+// concurrent use; the same lifecycle and restoration contract as
+// LabelWith.
+func (p *LabelerPool) AggregateWith(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	return runOn(p, <-p.free, under(opt, func(lb *Labeler) (*AggregateResult, error) {
+		return lb.Aggregate(img, initial, op)
+	}))
 }
 
 // labelImage is Label over the Image interface on a whole-image array —
@@ -199,6 +254,39 @@ func (s *LabelStream) Submit(img *bitmap.Bitmap) {
 	}
 	s.frames <- streamFrame{seq: seq, img: img}
 }
+
+// TrySubmit is Submit without the backpressure wait: it accepts img
+// only when the stream can take it without blocking, reporting whether
+// it did. A rejected frame consumes no submission index — in-order
+// delivery of the accepted frames is unaffected — so an ingest loop can
+// shed load (drop, or answer "try again later") instead of stalling.
+// In single-worker mode Submit never queues, so TrySubmit always
+// accepts and labels synchronously like Submit.
+func (s *LabelStream) TrySubmit(img *bitmap.Bitmap) bool {
+	if s.closed {
+		panic("core: TrySubmit on a closed LabelStream")
+	}
+	if s.lone != nil {
+		s.Submit(img)
+		return true
+	}
+	select {
+	case s.frames <- streamFrame{seq: s.next, img: img}:
+		s.next++
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth returns how many accepted frames are waiting for a worker
+// right now (0 in single-worker mode, where Submit is synchronous). A
+// racy snapshot, like LabelerPool.Idle: a gauge, not a reservation.
+func (s *LabelStream) QueueDepth() int { return len(s.frames) }
+
+// QueueCap returns the frame buffer's capacity: TrySubmit starts
+// rejecting when QueueDepth reaches it and every worker is busy.
+func (s *LabelStream) QueueCap() int { return cap(s.frames) }
 
 // Close drains the stream: it waits until every submitted frame's
 // result has been delivered to the sink, then releases the workers.

@@ -230,3 +230,183 @@ func TestLabelerPoolPanicKeepsCapacity(t *testing.T) {
 		t.Fatalf("pool unusable after refill: %v", err)
 	}
 }
+
+// TestLabelerPoolLabelWith: per-call options take effect for exactly
+// that call — the worker reverts to the pool's options afterwards — and
+// results match a one-shot Label under the same options.
+func TestLabelerPoolLabelWith(t *testing.T) {
+	img := bitmap.MustParse("#.#\n.#.\n#.#")
+	pool := NewLabelerPool(Options{}, 1)
+
+	conn8 := Options{Connectivity: bitmap.Conn8}
+	want8 := mustLabel(t, img, conn8)
+	got8, err := pool.LabelWith(img, conn8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got8.Labels.Equal(want8.Labels) || got8.Metrics.Time != want8.Metrics.Time {
+		t.Fatal("LabelWith(conn8) diverged from one-shot Label")
+	}
+
+	want4 := mustLabel(t, img, Options{})
+	got4, err := pool.Label(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got4.Labels.Equal(want4.Labels) || got4.Metrics.Time != want4.Metrics.Time {
+		t.Fatal("pool options did not revert after LabelWith")
+	}
+
+	// Strip-mined per-request options flow through to LabelLarge.
+	big := bitmap.Random(48, 0.5, 3)
+	wantL := mustLabel(t, big, Options{})
+	gotL, err := pool.LabelWith(big, Options{ArrayWidth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotL.Labels.Equal(wantL.Labels) {
+		t.Fatal("LabelWith(ArrayWidth) mislabels")
+	}
+	if gotL.Metrics.N != 16 {
+		t.Fatalf("strip-mined run reports array width %d, want 16", gotL.Metrics.N)
+	}
+}
+
+// TestLabelerPoolTryLabelWith: with every worker checked out TryLabelWith
+// refuses immediately (ok=false, nothing labeled); once a worker is
+// free it labels like LabelWith. The full/empty transition is exact for
+// a 1-worker pool.
+func TestLabelerPoolTryLabelWith(t *testing.T) {
+	img := bitmap.Random(12, 0.5, 5)
+	pool := NewLabelerPool(Options{}, 1)
+	if pool.Idle() != 1 {
+		t.Fatalf("fresh pool Idle() = %d, want 1", pool.Idle())
+	}
+
+	lb := <-pool.free // occupy the only worker
+	if pool.Idle() != 0 {
+		t.Fatalf("emptied pool Idle() = %d, want 0", pool.Idle())
+	}
+	if res, ok, err := pool.TryLabelWith(img, Options{}); ok || res != nil || err != nil {
+		t.Fatalf("TryLabelWith on an empty pool = %v, %v, %v", res, ok, err)
+	}
+	pool.free <- lb
+
+	want := mustLabel(t, img, Options{})
+	res, ok, err := pool.TryLabelWith(img, Options{})
+	if !ok || err != nil {
+		t.Fatalf("TryLabelWith on a free pool = ok=%v, err=%v", ok, err)
+	}
+	if !res.Labels.Equal(want.Labels) {
+		t.Fatal("TryLabelWith mislabels")
+	}
+	if pool.Idle() != 1 {
+		t.Fatalf("pool Idle() = %d after TryLabelWith returned, want 1", pool.Idle())
+	}
+}
+
+// TestLabelerPoolAggregateWith: per-call aggregation matches the
+// one-shot Aggregate, and an error restores the worker and its options.
+func TestLabelerPoolAggregateWith(t *testing.T) {
+	img := bitmap.MustParse("##.\n.#.\n..#")
+	pool := NewLabelerPool(Options{}, 1)
+	want, err := Aggregate(img, Ones(img), Sum(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.AggregateWith(img, Ones(img), Sum(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.PerPixel {
+		if want.PerPixel[i] != got.PerPixel[i] {
+			t.Fatalf("PerPixel[%d] = %d, want %d", i, got.PerPixel[i], want.PerPixel[i])
+		}
+	}
+
+	// A strip-mined aggregate is rejected with the actionable error; the
+	// worker must come back with the pool's own options intact.
+	if _, err := pool.AggregateWith(img, Ones(img), Sum(), Options{ArrayWidth: 2}); err == nil {
+		t.Fatal("strip-mined AggregateWith did not error")
+	}
+	if pool.Idle() != 1 {
+		t.Fatalf("worker not returned after AggregateWith error: Idle() = %d", pool.Idle())
+	}
+	if res, err := pool.Label(img); err != nil || !res.Labels.Equal(mustLabel(t, img, Options{}).Labels) {
+		t.Fatalf("pool unusable after AggregateWith error: %v", err)
+	}
+}
+
+// TestLabelStreamTrySubmit walks the full/empty transition: with the
+// sink gated shut the pipeline backs up until TrySubmit refuses; after
+// the gate opens and the backlog drains, TrySubmit accepts again, and
+// every accepted frame arrives exactly once, in order.
+func TestLabelStreamTrySubmit(t *testing.T) {
+	gate := make(chan struct{})
+	delivered := make(chan int, 256)
+	seen := 0
+	s := NewLabelStream(Options{}, 2, func(r StreamResult) {
+		<-gate
+		if r.Frame != seen {
+			t.Errorf("frame %d delivered at position %d", r.Frame, seen)
+		}
+		seen++
+		delivered <- r.Frame
+	})
+	if s.QueueCap() != 2*s.Workers() {
+		t.Fatalf("QueueCap() = %d, want %d", s.QueueCap(), 2*s.Workers())
+	}
+
+	img := bitmap.Random(8, 0.5, 1)
+	accepted := 0
+	refused := false
+	for i := 0; i < 100; i++ {
+		if s.TrySubmit(img) {
+			accepted++
+		} else {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("TrySubmit never refused with the sink gated shut")
+	}
+	// The workers keep dequeuing while we look, so the depth may already
+	// have dropped below the full mark that triggered the refusal; it can
+	// never exceed the cap.
+	if d := s.QueueDepth(); d > s.QueueCap() {
+		t.Fatalf("QueueDepth() = %d exceeds QueueCap() %d", d, s.QueueCap())
+	}
+
+	close(gate) // drain the backlog
+	for i := 0; i < accepted; i++ {
+		<-delivered
+	}
+	if !s.TrySubmit(img) {
+		t.Fatal("TrySubmit still refusing after the backlog drained")
+	}
+	accepted++
+	s.Close()
+	if seen != accepted {
+		t.Fatalf("delivered %d frames, accepted %d", seen, accepted)
+	}
+}
+
+// TestLabelStreamTrySubmitSingleWorker: the synchronous delegate never
+// queues, so TrySubmit always accepts and delivers inline.
+func TestLabelStreamTrySubmitSingleWorker(t *testing.T) {
+	n := 0
+	s := NewLabelStream(Options{}, 1, func(StreamResult) { n++ })
+	if s.QueueDepth() != 0 || s.QueueCap() != 0 {
+		t.Fatalf("single-worker queue accessors = %d/%d, want 0/0", s.QueueDepth(), s.QueueCap())
+	}
+	for i := 0; i < 5; i++ {
+		if !s.TrySubmit(bitmap.Random(8, 0.5, uint64(i))) {
+			t.Fatal("single-worker TrySubmit refused")
+		}
+	}
+	if n != 5 {
+		t.Fatalf("delivered %d frames inline, want 5", n)
+	}
+	s.Close()
+}

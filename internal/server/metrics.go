@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// registry is slapd's metrics store: per-endpoint request/latency
+// counters plus service-wide ingest totals, rendered in Prometheus text
+// exposition format with no external dependencies. Everything renders
+// in sorted label order so /metrics output is deterministic — the
+// golden test depends on it, and diff-based scrape debugging benefits.
+type registry struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	latCount map[string]int64
+	latSum   map[string]float64
+	frames   int64
+	bytesIn  int64
+	rejected int64
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newRegistry() *registry {
+	return &registry{
+		requests: make(map[reqKey]int64),
+		latCount: make(map[string]int64),
+		latSum:   make(map[string]float64),
+	}
+}
+
+// observe records one completed request.
+func (g *registry) observe(endpoint string, code int, dur time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.requests[reqKey{endpoint, code}]++
+	g.latCount[endpoint]++
+	g.latSum[endpoint] += dur.Seconds()
+}
+
+func (g *registry) addFrames(n int)    { g.mu.Lock(); g.frames += int64(n); g.mu.Unlock() }
+func (g *registry) addBytesIn(n int64) { g.mu.Lock(); g.bytesIn += n; g.mu.Unlock() }
+func (g *registry) addRejected()       { g.mu.Lock(); g.rejected++; g.mu.Unlock() }
+
+// gauges are the live values the server samples at render time.
+type gauges struct {
+	inflight int
+	queueDep int
+	capacity int
+	idle     int
+	workers  int
+	draining bool
+}
+
+// render writes the whole exposition. Counter families come first, then
+// gauges; within a family, series sort by label values.
+func (g *registry) render(w io.Writer, gv gauges) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP slapd_requests_total HTTP requests completed, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE slapd_requests_total counter")
+	keys := make([]reqKey, 0, len(g.requests))
+	for k := range g.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "slapd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, g.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP slapd_request_seconds Wall time of completed requests, by endpoint.")
+	fmt.Fprintln(w, "# TYPE slapd_request_seconds summary")
+	eps := make([]string, 0, len(g.latCount))
+	for ep := range g.latCount {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "slapd_request_seconds_count{endpoint=%q} %d\n", ep, g.latCount[ep])
+		fmt.Fprintf(w, "slapd_request_seconds_sum{endpoint=%q} %g\n", ep, g.latSum[ep])
+	}
+
+	fmt.Fprintln(w, "# HELP slapd_frames_labeled_total Frames labeled, counting every batch part.")
+	fmt.Fprintln(w, "# TYPE slapd_frames_labeled_total counter")
+	fmt.Fprintf(w, "slapd_frames_labeled_total %d\n", g.frames)
+	fmt.Fprintln(w, "# HELP slapd_ingest_bytes_total Request body bytes accepted for decoding.")
+	fmt.Fprintln(w, "# TYPE slapd_ingest_bytes_total counter")
+	fmt.Fprintf(w, "slapd_ingest_bytes_total %d\n", g.bytesIn)
+	fmt.Fprintln(w, "# HELP slapd_rejected_total Requests shed with 429 by admission control.")
+	fmt.Fprintln(w, "# TYPE slapd_rejected_total counter")
+	fmt.Fprintf(w, "slapd_rejected_total %d\n", g.rejected)
+
+	fmt.Fprintln(w, "# HELP slapd_inflight Admitted requests currently being served.")
+	fmt.Fprintln(w, "# TYPE slapd_inflight gauge")
+	fmt.Fprintf(w, "slapd_inflight %d\n", gv.inflight)
+	fmt.Fprintln(w, "# HELP slapd_queue_depth Admitted requests waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE slapd_queue_depth gauge")
+	fmt.Fprintf(w, "slapd_queue_depth %d\n", gv.queueDep)
+	fmt.Fprintln(w, "# HELP slapd_admission_capacity Admission slots (workers + queue depth bound).")
+	fmt.Fprintln(w, "# TYPE slapd_admission_capacity gauge")
+	fmt.Fprintf(w, "slapd_admission_capacity %d\n", gv.capacity)
+	fmt.Fprintln(w, "# HELP slapd_workers Labeler pool size.")
+	fmt.Fprintln(w, "# TYPE slapd_workers gauge")
+	fmt.Fprintf(w, "slapd_workers %d\n", gv.workers)
+	fmt.Fprintln(w, "# HELP slapd_workers_idle Labeler pool workers currently free.")
+	fmt.Fprintln(w, "# TYPE slapd_workers_idle gauge")
+	fmt.Fprintf(w, "slapd_workers_idle %d\n", gv.idle)
+	fmt.Fprintln(w, "# HELP slapd_draining 1 while the server is draining for shutdown.")
+	fmt.Fprintln(w, "# TYPE slapd_draining gauge")
+	fmt.Fprintf(w, "slapd_draining %d\n", boolGauge(gv.draining))
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

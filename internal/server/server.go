@@ -1,0 +1,621 @@
+// Package server implements slapd, the network labeling service: an
+// http.Handler that decodes images (PNG, PBM, ASCII art, or the SLR1
+// raw wire format), admits requests through a bounded queue with 429
+// backpressure, labels them on a shared pool of warm Labelers, and
+// reports itself through Prometheus-format metrics and a health
+// endpoint. See the api package for the wire contract and the client
+// package for the matching Go client.
+//
+// The shape follows the batch-kernel ingest pipelines of the parallel
+// CCL literature: decode and admission are cheap and synchronous, the
+// expensive labeling step runs on a fixed set of warm workers
+// (per-request options retarget a worker without cold arenas), and load
+// beyond the queue bound is shed immediately rather than buffered into
+// unbounded memory.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"slapcc/api"
+	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/imageio"
+	"slapcc/internal/seqcc"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// Config configures a Server; the zero value serves with GOMAXPROCS
+// workers, a queue of 2× that, default image limits, and 64 MiB bodies.
+type Config struct {
+	// Options are the base labeling options; per-request parameters
+	// override individual fields (connectivity, UF, cost, ArrayWidth).
+	Options core.Options
+	// Workers sizes the labeler pool (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker beyond the ones being served; admission refuses with 429
+	// once Workers+QueueDepth requests are in flight (≤ 0 selects
+	// 2×Workers).
+	QueueDepth int
+	// Limits bound decoded image sizes (zero fields select
+	// imageio.DefaultLimits).
+	Limits imageio.Limits
+	// MaxBodyBytes bounds each request body, including whole batch
+	// bodies (≤ 0 selects 64 MiB).
+	MaxBodyBytes int64
+	// MaxBatchFrames bounds parts per batch request (≤ 0 selects 64).
+	MaxBatchFrames int
+	// RetryAfter is the hint sent with 429 responses (≤ 0 selects 1s;
+	// sub-second values round up to 1s on the wire).
+	RetryAfter time.Duration
+	// Verify cross-checks every labeling against the sequential ground
+	// truth before answering — the belt-and-suspenders mode for
+	// conformance runs; leave false in production.
+	Verify bool
+	// Now overrides the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxBatchFrames <= 0 {
+		c.MaxBatchFrames = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the slapd http.Handler. Construct with New, serve with any
+// http.Server, and call Shutdown to drain before exit.
+type Server struct {
+	cfg  Config
+	pool *core.LabelerPool
+	mux  *http.ServeMux
+	reg  *registry
+
+	// Admission: sem holds one token per admitted request; inflight
+	// counts them for the drain and the gauge. mu serializes admission
+	// against Shutdown so no request slips in after the drain begins.
+	sem      chan struct{}
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idle     sync.Cond // signaled whenever inflight drops
+}
+
+// New returns a Server ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		pool: core.NewLabelerPool(cfg.Options, cfg.Workers),
+		mux:  http.NewServeMux(),
+		reg:  newRegistry(),
+		sem:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+	}
+	s.idle.L = &s.mu
+	s.mux.HandleFunc(api.PathLabel, s.instrument("label", s.admitted(s.handleLabel)))
+	s.mux.HandleFunc(api.PathAggregate, s.instrument("aggregate", s.admitted(s.handleAggregate)))
+	s.mux.HandleFunc(api.PathBatch, s.instrument("batch", s.admitted(s.handleBatch)))
+	s.mux.HandleFunc(api.PathHealthz, s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc(api.PathMetrics, s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Workers returns the labeler pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// AdmissionCapacity returns how many requests may be in flight before
+// admission sheds with 429.
+func (s *Server) AdmissionCapacity() int { return s.cfg.Workers + s.cfg.QueueDepth }
+
+// HoldAdmissionForTest occupies every admission slot until release is
+// closed, then frees them — the hook conformance tests use to drive
+// genuine 429 backpressure through real HTTP requests.
+func (s *Server) HoldAdmissionForTest(release <-chan struct{}) {
+	n := s.AdmissionCapacity()
+	for i := 0; i < n; i++ {
+		s.sem <- struct{}{}
+	}
+	<-release
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}
+
+// Shutdown drains the server: new requests are refused with 503 (and
+// /healthz reports unhealthy, so load balancers stop routing here),
+// while every already-admitted request runs to completion. It returns
+// nil once the last one finishes, or ctx's error on timeout. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.inflight > 0 {
+			s.idle.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with per-endpoint request and latency
+// accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.reg.observe(name, sw.code, s.cfg.Now().Sub(start))
+	}
+}
+
+// admitted wraps a labeling handler with method filtering, drain
+// refusal, and the bounded admission queue: when Workers+QueueDepth
+// requests are already in flight the request is shed immediately with
+// 429 and a Retry-After hint instead of queueing without bound.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.mu.Unlock()
+			s.reg.addRejected()
+			secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+			return
+		}
+		s.inflight++
+		s.mu.Unlock()
+		defer func() {
+			<-s.sem
+			s.mu.Lock()
+			s.inflight--
+			s.mu.Unlock()
+			s.idle.Broadcast()
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	gv := gauges{
+		inflight: s.inflight,
+		capacity: s.AdmissionCapacity(),
+		workers:  s.cfg.Workers,
+		idle:     s.pool.Idle(),
+		draining: s.draining,
+	}
+	s.mu.Unlock()
+	if gv.queueDep = gv.inflight - s.cfg.Workers; gv.queueDep < 0 {
+		gv.queueDep = 0
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.render(w, gv)
+}
+
+// readFrame reads and decodes the request body under the configured
+// bounds; the returned status is the HTTP code to answer on error.
+func (s *Server) readFrame(w http.ResponseWriter, r *http.Request, p api.Params) (*bitmap.Bitmap, int, error) {
+	format, err := imageio.ParseFormat(p.Format)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if format == imageio.FormatAuto {
+		format = imageio.FormatFromContentType(r.Header.Get("Content-Type"))
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	s.reg.addBytesIn(int64(len(body)))
+	img, err := imageio.DecodeBytes(body, format, s.cfg.Limits)
+	if err != nil {
+		if errors.Is(err, imageio.ErrLimit) {
+			return nil, http.StatusRequestEntityTooLarge, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return img, 0, nil
+}
+
+// optionsFor resolves per-request parameters over the base options.
+func (s *Server) optionsFor(p api.Params, imgW, imgH int) (core.Options, error) {
+	opt := s.cfg.Options
+	switch p.Connectivity {
+	case 0:
+	case 4:
+		opt.Connectivity = bitmap.Conn4
+	case 8:
+		opt.Connectivity = bitmap.Conn8
+	default:
+		return opt, fmt.Errorf("bad conn %d (want 4 or 8)", p.Connectivity)
+	}
+	if p.UF != "" {
+		kind := unionfind.Kind(p.UF)
+		if !unionfind.Valid(kind) {
+			return opt, fmt.Errorf("unknown uf %q", p.UF)
+		}
+		opt.UF = kind
+	}
+	switch strings.ToLower(p.Cost) {
+	case "", "unit":
+	case "bitserial":
+		opt.Cost = slap.BitSerial(slap.WordBitsForDims(imgW, imgH))
+	default:
+		return opt, fmt.Errorf("bad cost %q (want unit or bitserial)", p.Cost)
+	}
+	if p.ArrayWidth < 0 {
+		return opt, fmt.Errorf("bad array %d (must be ≥ 0)", p.ArrayWidth)
+	}
+	if p.ArrayWidth > 0 {
+		opt.ArrayWidth = p.ArrayWidth
+	}
+	return opt, nil
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	p, err := api.ParamsFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	img, status, err := s.readFrame(w, r, p)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	resp, status, err := s.labelOne(img, p)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	s.reg.addFrames(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// labelOne labels a decoded frame on the pool under per-request params.
+func (s *Server) labelOne(img *bitmap.Bitmap, p api.Params) (*api.LabelResponse, int, error) {
+	opt, err := s.optionsFor(p, img.W(), img.H())
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	res, err := s.pool.LabelWith(img, opt)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if s.cfg.Verify {
+		conn := opt.Connectivity
+		if conn == 0 {
+			conn = bitmap.Conn4
+		}
+		if err := seqcc.CheckConn(img, res.Labels, conn); err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("verification failed: %w", err)
+		}
+	}
+	return toLabelResponse(res, p.WantLabels), 0, nil
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	p, err := api.ParamsFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	op, err := monoidByName(p.Op)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	img, status, err := s.readFrame(w, r, p)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	opt, err := s.optionsFor(p, img.W(), img.H())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	initial, err := initialValues(img, p.Initial)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.pool.AggregateWith(img, initial, op, opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.reg.addFrames(1)
+	resp := &api.AggregateResponse{
+		LabelResponse: *toLabelResponse(&core.Result{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF}, p.WantLabels),
+		Op:            op.Name,
+	}
+	if p.WantLabels {
+		resp.PerPixel = res.PerPixel
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	p, err := api.ParamsFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch requires multipart/form-data: %v", err))
+		return
+	}
+
+	// Decode parts synchronously (cheap), then fan the expensive
+	// labeling out across the shared pool: each frame retargets a warm
+	// worker, and the batch finishes when its slowest frame does.
+	// Results stay in part order by construction.
+	type frame struct {
+		idx int
+		img *bitmap.Bitmap
+	}
+	var frames []frame
+	items := []api.BatchItem{}
+	for {
+		part, err := mr.NextPart()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			} else {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("reading batch part %d: %v", len(items), err))
+			}
+			return
+		}
+		idx := len(items)
+		if idx >= s.cfg.MaxBatchFrames {
+			part.Close()
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch exceeds %d frames", s.cfg.MaxBatchFrames))
+			return
+		}
+		img, perr := s.decodePart(part, p)
+		part.Close()
+		if perr != nil {
+			items = append(items, api.BatchItem{Index: idx, Error: perr.Error()})
+			continue
+		}
+		items = append(items, api.BatchItem{Index: idx})
+		frames = append(frames, frame{idx: idx, img: img})
+	}
+
+	var wg sync.WaitGroup
+	for _, f := range frames {
+		wg.Add(1)
+		go func(f frame) {
+			defer wg.Done()
+			resp, _, err := s.labelOne(f.img, p)
+			if err != nil {
+				items[f.idx].Error = err.Error()
+				return
+			}
+			items[f.idx].Result = resp
+		}(f)
+	}
+	wg.Wait()
+
+	out := api.BatchResponse{Frames: len(items), Results: items}
+	labeled := 0
+	for _, it := range items {
+		if it.Error != "" {
+			out.Errors++
+		}
+		if it.Result != nil {
+			labeled++
+		}
+	}
+	s.reg.addFrames(labeled)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// decodePart decodes one multipart frame; the part's Content-Type
+// overrides the batch-level format parameter when present.
+func (s *Server) decodePart(part *multipart.Part, p api.Params) (*bitmap.Bitmap, error) {
+	format, err := imageio.ParseFormat(p.Format)
+	if err != nil {
+		return nil, err
+	}
+	if ct := part.Header.Get("Content-Type"); ct != "" {
+		if f := imageio.FormatFromContentType(ct); f != imageio.FormatAuto {
+			format = f
+		}
+	}
+	data, err := io.ReadAll(part)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.addBytesIn(int64(len(data)))
+	return imageio.DecodeBytes(data, format, s.cfg.Limits)
+}
+
+// toLabelResponse converts a core result to the wire form.
+func toLabelResponse(res *core.Result, wantLabels bool) *api.LabelResponse {
+	lm := res.Labels
+	st := seqcc.Summarize(lm)
+	out := &api.LabelResponse{
+		Width:      lm.W(),
+		Height:     lm.H(),
+		Foreground: st.Foreground,
+		Components: st.Components,
+		Largest:    st.Largest,
+		Metrics: api.Metrics{
+			ArrayWidth: res.Metrics.N,
+			TimeSteps:  res.Metrics.Time,
+			Sends:      res.Metrics.Sends,
+			Words:      res.Metrics.Words,
+			MaxQueue:   res.Metrics.MaxQueue,
+			PEMemory:   res.Metrics.PEMemory,
+		},
+		UF: api.UFReport{
+			Kind:       string(res.UF.Kind),
+			Finds:      res.UF.Finds,
+			Unions:     res.UF.Unions,
+			TotalSteps: res.UF.TotalSteps,
+			MaxOpCost:  res.UF.MaxOpCost,
+			MeanOpCost: res.UF.MeanOpCost,
+		},
+	}
+	for _, ph := range res.Metrics.Phases {
+		out.Metrics.Phases = append(out.Metrics.Phases, api.PhaseMetrics{
+			Name:     ph.Name,
+			Makespan: ph.Makespan,
+			Sends:    ph.Sends,
+			Words:    ph.Words,
+			Idle:     ph.Idle,
+			MaxQueue: ph.MaxQueue,
+		})
+	}
+	if wantLabels {
+		labels := make([]int32, 0, lm.W()*lm.H())
+		for x := 0; x < lm.W(); x++ {
+			labels = append(labels, lm.ColumnSlice(x)...)
+		}
+		out.Labels = labels
+	}
+	return out
+}
+
+func monoidByName(name string) (core.Monoid, error) {
+	switch strings.ToLower(name) {
+	case "", "min":
+		return core.Min(), nil
+	case "max":
+		return core.Max(), nil
+	case "sum":
+		return core.Sum(), nil
+	case "or":
+		return core.Or(), nil
+	}
+	return core.Monoid{}, fmt.Errorf("unknown op %q (min, max, sum, or)", name)
+}
+
+func initialValues(img *bitmap.Bitmap, kind string) ([]int32, error) {
+	switch strings.ToLower(kind) {
+	case "", "ones":
+		return core.Ones(img), nil
+	case "positions":
+		init := make([]int32, img.W()*img.H())
+		for i := range init {
+			init[i] = int32(i)
+		}
+		return init, nil
+	}
+	return nil, fmt.Errorf("unknown initial %q (ones, positions)", kind)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, api.ErrorResponse{Error: msg})
+}

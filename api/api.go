@@ -56,6 +56,16 @@ type Params struct {
 	// ArrayWidth strip-mines the run on an array of this many PEs when
 	// the image is wider (0 = array as wide as the image).
 	ArrayWidth int
+	// Seam selects the strip-mined seam-relabel model: "distributed"
+	// (the default — remap broadcast + per-PE rewrite, charged as array
+	// phases) or "host" (the relabel charged as a sequential host pass).
+	// Only meaningful with ArrayWidth set; see docs/METRICS.md.
+	Seam string
+	// Schedule selects the strip-composition schedule model:
+	// "sequential" (the default) or "pipelined" (strip s+1's input
+	// overlaps strip s's sweeps). Only meaningful with ArrayWidth set;
+	// see docs/METRICS.md.
+	Schedule string
 	// WantLabels asks for the full per-pixel labeling in the response
 	// (column-major, Background = -1). Off by default: a megapixel label
 	// map is megabytes of JSON.
@@ -86,6 +96,8 @@ func (p Params) Query() url.Values {
 	if p.ArrayWidth != 0 {
 		q.Set("array", strconv.Itoa(p.ArrayWidth))
 	}
+	set("seam", p.Seam)
+	set("schedule", p.Schedule)
 	if p.WantLabels {
 		q.Set("labels", "1")
 	}
@@ -98,11 +110,13 @@ func (p Params) Query() url.Values {
 // rejects malformed numeric fields.
 func ParamsFromQuery(q url.Values) (Params, error) {
 	p := Params{
-		Format:  q.Get("format"),
-		UF:      q.Get("uf"),
-		Cost:    q.Get("cost"),
-		Op:      q.Get("op"),
-		Initial: q.Get("initial"),
+		Format:   q.Get("format"),
+		UF:       q.Get("uf"),
+		Cost:     q.Get("cost"),
+		Op:       q.Get("op"),
+		Initial:  q.Get("initial"),
+		Seam:     q.Get("seam"),
+		Schedule: q.Get("schedule"),
 	}
 	var err error
 	if p.Connectivity, err = intParam(q, "conn"); err != nil {

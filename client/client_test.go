@@ -85,6 +85,40 @@ func TestClientAggregateAndBatch(t *testing.T) {
 		t.Fatalf("per_pixel[0] = %d, want 3", agg.PerPixel[0])
 	}
 
+	// Strip-mined aggregation (array=, formerly refused): per-pixel
+	// folds pin against in-process AggregateLarge — and therefore
+	// against the whole-image run, which AggregateLarge matches bit for
+	// bit. The pipelined schedule and host seam model ride query params.
+	large := slapcc.RandomImage(24, 0.5, 9)
+	wantLarge, err := slapcc.AggregateLarge(large, slapcc.OnesOf(large), slapcc.SumOf(), slapcc.Options{ArrayWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripAgg, err := c.Aggregate(context.Background(), large, api.Params{Op: "sum", ArrayWidth: 8, WantLabels: true})
+	if err != nil {
+		t.Fatalf("strip-mined aggregate: %v", err)
+	}
+	if stripAgg.Metrics.ArrayWidth != 8 || stripAgg.Metrics.TimeSteps != wantLarge.Metrics.Time {
+		t.Fatalf("strip-mined aggregate metrics: %+v, want array 8 time %d", stripAgg.Metrics, wantLarge.Metrics.Time)
+	}
+	for i := range wantLarge.PerPixel {
+		if stripAgg.PerPixel[i] != wantLarge.PerPixel[i] {
+			t.Fatalf("strip-mined per_pixel[%d] = %d, want %d", i, stripAgg.PerPixel[i], wantLarge.PerPixel[i])
+		}
+	}
+	wantPipe, err := slapcc.AggregateLarge(large, slapcc.OnesOf(large), slapcc.SumOf(),
+		slapcc.Options{ArrayWidth: 8, Seam: slapcc.SeamHost, Schedule: slapcc.SchedulePipelined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeAgg, err := c.Aggregate(context.Background(), large, api.Params{Op: "sum", ArrayWidth: 8, Seam: "host", Schedule: "pipelined"})
+	if err != nil {
+		t.Fatalf("pipelined aggregate: %v", err)
+	}
+	if pipeAgg.Metrics.TimeSteps != wantPipe.Metrics.Time {
+		t.Fatalf("pipelined aggregate time %d, want %d", pipeAgg.Metrics.TimeSteps, wantPipe.Metrics.Time)
+	}
+
 	var frames []Frame
 	imgs := []*slapcc.Bitmap{slapcc.RandomImage(12, 0.5, 1), slapcc.RandomImage(16, 0.5, 2), slapcc.RandomImage(9, 0.5, 3)}
 	for i, im := range imgs {

@@ -8,12 +8,19 @@
 //	slapcc -in image.pbm -uf blum -metrics
 //	slapcc -gen hserpentine -n 64 -bitserial -metrics
 //	slapcc -gen random50 -n 32 -agg sum -show
+//	slapcc -gen random50 -n 1024 -array 256 -schedule pipelined -metrics
 //
 // Input is either a generated family member (-gen, -n) or a file (-in;
 // "-" reads stdin) in any format internal/imageio understands — PNG,
-// plain PBM (P1), ASCII art, or the SLR1 raw wire format — selected
-// with -format (default auto-sniffs), the same codecs the slapd
-// service ingests.
+// plain PBM (P1), ASCII art, or the SLR1 raw wire format (docs/SLR1.md)
+// — selected with -format (default auto-sniffs), the same codecs the
+// slapd service ingests.
+//
+// Images wider than -array strip-mine onto the fixed-width machine
+// (labeling and -agg aggregation alike); -seam selects the distributed
+// (default) or host seam-relabel model and -schedule the sequential
+// (default) or pipelined strip schedule. Every phase the run can emit
+// and the composition equations are documented in docs/METRICS.md.
 package main
 
 import (
@@ -45,6 +52,8 @@ func run(args []string) error {
 		n         = fs.Int("n", 32, "image size for -gen")
 		array     = fs.Int("array", 0, "physical PE count; images wider than this are strip-mined (0 = array as wide as the image)")
 		stripWk   = fs.Int("stripworkers", 0, "fan strips of a strip-mined run across this many worker labelers (host wall time only)")
+		seam      = fs.String("seam", "", "strip-mined seam-relabel model: distributed (default; broadcast + per-PE rewrite) or host (sequential host pass)")
+		schedule  = fs.String("schedule", "", "strip schedule model: sequential (default) or pipelined (overlap strip inputs with compute)")
 		inPath    = fs.String("in", "", "read an image from this file ('-' = stdin)")
 		format    = fs.String("format", "auto", "input format for -in: png, pbm, art, raw, or auto (sniff)")
 		ufKind    = fs.String("uf", string(unionfind.KindTarjan), "union-find kind: "+kindList())
@@ -76,6 +85,10 @@ func run(args []string) error {
 		return err
 	}
 
+	// Normalized like the server's query parameters, so the same value
+	// works on both front ends.
+	seamModel := core.SeamModel(strings.ToLower(*seam))
+	scheduleModel := core.ScheduleModel(strings.ToLower(*schedule))
 	opt := core.Options{
 		UF:              unionfind.Kind(*ufKind),
 		Connectivity:    bitmap.Connectivity(*conn),
@@ -86,6 +99,8 @@ func run(args []string) error {
 		Speculate:       *speculate,
 		ArrayWidth:      *array,
 		StripWorkers:    *stripWk,
+		Seam:            seamModel,
+		Schedule:        scheduleModel,
 	}
 	if *bitserial {
 		// Labels are column-major positions offset by w·h, so the word
@@ -109,8 +124,15 @@ func run(args []string) error {
 		img.W(), img.H(), img.CountOnes(), img.Density())
 	if *array > 0 && *array < img.W() {
 		strips := (img.W() + *array - 1) / *array
-		fmt.Printf("array: %d PEs, %d strips (sequential schedule; seam-merge appended)\n",
-			*array, strips)
+		sched, seamName := "sequential", "distributed"
+		if scheduleModel == core.SchedulePipelined {
+			sched = "pipelined"
+		}
+		if seamModel == core.SeamHost {
+			seamName = "host"
+		}
+		fmt.Printf("array: %d PEs, %d strips (%s schedule, %s seam relabel)\n",
+			*array, strips, sched, seamName)
 	}
 	fmt.Printf("components: %d (largest %d pixels)\n", st.Components, st.Largest)
 	// Metrics.N is the physical array width: the image width on plain

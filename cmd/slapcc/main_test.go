@@ -249,29 +249,66 @@ func TestRunFormatInputs(t *testing.T) {
 	}
 }
 
-// TestRunAggregateStripMinedError pins the CLI-level error for an
-// aggregate on a strip-mined run: Aggregate has no seam stitch
-// (ROADMAP open item), and the message must say what to do instead.
-func TestRunAggregateStripMinedError(t *testing.T) {
-	_, err := capture(t, func() error {
-		return run([]string{"-gen", "random50", "-n", "32", "-array", "8", "-agg", "sum"})
-	})
-	if err == nil {
-		t.Fatal("strip-mined -agg did not error")
-	}
-	for _, want := range []string{"cannot strip-mine", "ArrayWidth 0", "ROADMAP"} {
-		if !strings.Contains(err.Error(), want) {
-			t.Errorf("error not actionable, missing %q: %v", want, err)
-		}
-	}
-	// The labeling itself (no -agg) remains fine on the same array.
-	out, err := capture(t, func() error {
-		return run([]string{"-gen", "random50", "-n", "32", "-array", "8"})
+// TestRunAggregateStripMined: -agg now strip-mines with -array (the
+// refusal of PR 3/4 is gone); the per-pixel fold the strip-mined CLI
+// run prints must match the whole-image run's.
+func TestRunAggregateStripMined(t *testing.T) {
+	whole, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "32", "-agg", "sum", "-show"})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "array: 8 PEs") {
-		t.Fatalf("strip-mined labeling broken:\n%s", out)
+	strip, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "32", "-array", "8", "-agg", "sum", "-show"})
+	})
+	if err != nil {
+		t.Fatalf("strip-mined -agg errored: %v", err)
+	}
+	marker := "per-pixel aggregate:"
+	wi, si := strings.Index(whole, marker), strings.Index(strip, marker)
+	if wi < 0 || si < 0 {
+		t.Fatalf("missing aggregate output:\n%s", strip)
+	}
+	if whole[wi:] != strip[si:] {
+		t.Errorf("strip-mined per-pixel aggregate differs from whole-image run:\n%s\nvs\n%s", strip[si:], whole[wi:])
+	}
+	if !strings.Contains(strip, "array: 8 PEs") {
+		t.Fatalf("strip-mined run summary missing:\n%s", strip)
+	}
+}
+
+// TestRunSeamScheduleFlags: -seam/-schedule select the models, show in
+// the run summary, and reject unknown values.
+func TestRunSeamScheduleFlags(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "32", "-array", "8", "-seam", "host", "-schedule", "pipelined", "-metrics"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pipelined schedule", "host seam relabel", "seam-merge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "seam-broadcast") {
+		t.Errorf("host seam model still emitted seam-broadcast:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "32", "-array", "8", "-metrics"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"distributed seam relabel", "seam-broadcast", "seam-rewrite"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("default output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-gen", "random50", "-n", "32", "-array", "8", "-seam", "psychic"})
+	}); err == nil || !strings.Contains(err.Error(), "seam") {
+		t.Fatalf("unknown -seam accepted: %v", err)
 	}
 }

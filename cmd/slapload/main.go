@@ -21,7 +21,11 @@
 //     the service against in-process LabelLarge);
 //  3. -batches multipart batches of -batchsize frames, checked for
 //     in-order, bit-identical results;
-//  4. an optional -overload burst fired without retry to observe the
+//  4. aggregate spot-checks (unless -aggverify=false): /v1/aggregate
+//     requests — whole-image and, when -array is set, strip-mined with
+//     array= — verified value-for-value against the in-process
+//     Aggregate/AggregateLarge;
+//  5. an optional -overload burst fired without retry to observe the
 //     admission queue shedding with 429.
 package main
 
@@ -97,6 +101,12 @@ type report struct {
 		Errors     int `json:"errors"`
 		Mismatches int `json:"mismatches"`
 	} `json:"batch"`
+	Aggregate struct {
+		Checks     int `json:"checks"`
+		Strip      int `json:"strip_mined"`
+		Errors     int `json:"errors"`
+		Mismatches int `json:"mismatches"`
+	} `json:"aggregate"`
 	Overload struct {
 		Requests    int `json:"requests"`
 		OK          int `json:"ok"`
@@ -135,6 +145,7 @@ func run(args []string, out io.Writer) error {
 		array    = fs.Int("array", 0, "strip-mine every 4th request on an array this wide (0 = never)")
 		batches  = fs.Int("batches", 8, "multipart batch requests after the loop (0 = skip)")
 		batchSz  = fs.Int("batchsize", 8, "frames per batch request")
+		aggVer   = fs.Bool("aggverify", true, "spot-check /v1/aggregate (incl. strip-mined array= runs) against in-process AggregateLarge; needs -verify")
 		overload = fs.Int("overload", 0, "fire this many concurrent no-retry requests to observe 429s (0 = skip)")
 		outPath  = fs.String("out", "", "write the JSON report here as well as stdout")
 		timeout  = fs.Duration("timeout", 120*time.Second, "per-request timeout")
@@ -246,7 +257,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	// Phase 4: the over-capacity burst, no retries.
+	// Phase 4: aggregate spot-checks against in-process AggregateLarge.
+	if *aggVer && *verify {
+		if err := runAggChecks(ctx, c, sizeList, *density, *array, rep); err != nil {
+			return err
+		}
+	}
+
+	// Phase 5: the over-capacity burst, no retries.
 	if *overload > 0 {
 		runOverload(ctx, *url, specs, *overload, *timeout, rep)
 	}
@@ -265,11 +283,88 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "report written to %s\n", *outPath)
 	}
-	if rep.Errors > 0 || rep.Verify.Mismatches > 0 || rep.Batch.Mismatches > 0 || rep.Batch.Errors > 0 {
-		return fmt.Errorf("%d errors, %d verify mismatches, %d batch errors, %d batch mismatches",
-			rep.Errors, rep.Verify.Mismatches, rep.Batch.Errors, rep.Batch.Mismatches)
+	if rep.Errors > 0 || rep.Verify.Mismatches > 0 || rep.Batch.Mismatches > 0 || rep.Batch.Errors > 0 ||
+		rep.Aggregate.Errors > 0 || rep.Aggregate.Mismatches > 0 {
+		return fmt.Errorf("%d errors, %d verify mismatches, %d batch errors, %d batch mismatches, %d aggregate errors, %d aggregate mismatches",
+			rep.Errors, rep.Verify.Mismatches, rep.Batch.Errors, rep.Batch.Mismatches,
+			rep.Aggregate.Errors, rep.Aggregate.Mismatches)
 	}
 	return nil
+}
+
+// runAggChecks drives /v1/aggregate — one whole-image and, when the
+// image is wider than -array, one strip-mined request per size — and
+// verifies the per-pixel folds, labels, and composed simulated time
+// value-for-value against the in-process Aggregate/AggregateLarge. The
+// strip-mined rows also exercise the pipelined schedule model, whose
+// composed time the service must reproduce exactly.
+func runAggChecks(ctx context.Context, c *client.Client, sizes []int, density float64, array int, rep *report) error {
+	for _, n := range sizes {
+		img := slapcc.RandomImage(n, density, uint64(n)*0xA99)
+		type check struct {
+			name string
+			opt  slapcc.Options
+			p    api.Params
+		}
+		checks := []check{{name: fmt.Sprintf("agg-%d", n), p: api.Params{Op: "sum", WantLabels: true}}}
+		if array > 0 && array < n {
+			checks = append(checks,
+				check{
+					name: fmt.Sprintf("agg-%d-aw%d", n, array),
+					opt:  slapcc.Options{ArrayWidth: array},
+					p:    api.Params{Op: "sum", ArrayWidth: array, WantLabels: true},
+				},
+				check{
+					name: fmt.Sprintf("agg-%d-aw%d-pipelined", n, array),
+					opt:  slapcc.Options{ArrayWidth: array, Schedule: slapcc.SchedulePipelined},
+					p:    api.Params{Op: "sum", ArrayWidth: array, Schedule: "pipelined", WantLabels: true},
+				})
+		}
+		for _, ck := range checks {
+			want, err := slapcc.AggregateLarge(img, slapcc.OnesOf(img), slapcc.SumOf(), ck.opt)
+			if err != nil {
+				return fmt.Errorf("%s: in-process reference: %w", ck.name, err)
+			}
+			rep.Aggregate.Checks++
+			if ck.p.ArrayWidth > 0 {
+				rep.Aggregate.Strip++
+			}
+			resp, err := c.Aggregate(ctx, img, ck.p)
+			if err != nil {
+				rep.Aggregate.Errors++
+				continue
+			}
+			if !aggMatches(resp, want) {
+				rep.Aggregate.Mismatches++
+			}
+		}
+	}
+	return nil
+}
+
+// aggMatches compares an aggregate response against the in-process
+// reference.
+func aggMatches(resp *api.AggregateResponse, want *slapcc.AggregateResult) bool {
+	if resp.Metrics.TimeSteps != want.Metrics.Time || len(resp.PerPixel) != len(want.PerPixel) {
+		return false
+	}
+	for i, v := range want.PerPixel {
+		if resp.PerPixel[i] != v {
+			return false
+		}
+	}
+	lm := want.Labels
+	if len(resp.Labels) != lm.W()*lm.H() {
+		return false
+	}
+	for x := 0; x < lm.W(); x++ {
+		for y := 0; y < lm.H(); y++ {
+			if resp.Labels[x*lm.H()+y] != lm.Get(x, y) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // buildCorpus generates the frame corpus and pre-computes the expected
@@ -455,6 +550,10 @@ func summarize(out io.Writer, rep *report) {
 	if rep.Batch.Batches > 0 {
 		fmt.Fprintf(out, "batch: %d batches / %d frames, %d errors, %d mismatches\n",
 			rep.Batch.Batches, rep.Batch.Frames, rep.Batch.Errors, rep.Batch.Mismatches)
+	}
+	if rep.Aggregate.Checks > 0 {
+		fmt.Fprintf(out, "aggregate: %d checks (%d strip-mined), %d errors, %d mismatches\n",
+			rep.Aggregate.Checks, rep.Aggregate.Strip, rep.Aggregate.Errors, rep.Aggregate.Mismatches)
 	}
 	if rep.Overload.Requests > 0 {
 		fmt.Fprintf(out, "overload: %d fired -> %d ok, %d shed with 429, %d errors\n",

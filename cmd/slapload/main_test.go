@@ -53,6 +53,12 @@ func TestLoadAgainstRealServer(t *testing.T) {
 	if rep.Batch.Batches != 2 || rep.Batch.Frames != 8 || rep.Batch.Errors != 0 || rep.Batch.Mismatches != 0 {
 		t.Fatalf("batch: %+v", rep.Batch)
 	}
+	// Two sizes × (whole + strip-mined + strip-mined-pipelined): the
+	// aggregate spot-checks must all verify against AggregateLarge.
+	if rep.Aggregate.Checks != 6 || rep.Aggregate.Strip != 4 ||
+		rep.Aggregate.Errors != 0 || rep.Aggregate.Mismatches != 0 {
+		t.Fatalf("aggregate: %+v", rep.Aggregate)
+	}
 	if rep.Overload.Requests != 12 || rep.Overload.OK+rep.Overload.Rejected429+rep.Overload.Errors != 12 || rep.Overload.Errors != 0 {
 		t.Fatalf("overload: %+v", rep.Overload)
 	}

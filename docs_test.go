@@ -1,0 +1,55 @@
+package slapcc
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsLinks is the docs-gate link check: every relative markdown
+// link in README.md and docs/ must point at a file (or directory) that
+// exists in the repository. External links are not fetched.
+func TestDocsLinks(t *testing.T) {
+	files := []string{"README.md"}
+	entries, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected at least ARCHITECTURE/METRICS/SLR1 under docs/, found %v", entries)
+	}
+	files = append(files, entries...)
+
+	// Inline markdown links: [text](target). Fenced code blocks are
+	// stripped first (their bodies may contain unbalanced backticks),
+	// then inline code spans — confined to one line so a stray backtick
+	// cannot swallow following text and hide a genuine broken link.
+	fence := regexp.MustCompile("(?ms)^```.*?^```[ \t]*$")
+	codeSpan := regexp.MustCompile("`[^`\n]*`")
+	link := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := codeSpan.ReplaceAllString(fence.ReplaceAllString(string(raw), ""), "")
+		for _, m := range link.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(f), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s): %v", f, m[1], resolved, err)
+			}
+		}
+	}
+}

@@ -9,7 +9,9 @@ import (
 // The SLR1 raw wire format: the densest self-describing serialization of
 // a Bitmap, built for the labeling service's hot ingest path (no pixel
 // re-parsing, no compression round-trip — a 1024×1024 frame is a 128 KiB
-// body decoded with byte moves).
+// body decoded with byte moves). The normative specification, decoder
+// obligations, and a worked hex example live in docs/SLR1.md; this
+// implementation is its reference.
 //
 //	offset  size          field
 //	0       4             magic "SLR1"

@@ -91,6 +91,9 @@ type AggregateResult struct {
 // labeling, then fold locally within each column, then run two
 // Label-Pass-like sweeps (left-to-right and right-to-left) accumulating
 // per-component values, and finally combine the three pieces locally.
+//
+// With 0 < opt.ArrayWidth < img.W() the run strip-mines onto the
+// fixed-width array (see AggregateLarge); results are identical.
 func Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
 	lb := labelerPool.Get().(*Labeler)
 	defer labelerPool.Put(lb)
@@ -101,16 +104,32 @@ func Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*Ag
 // Aggregate is the Labeler's reusable-arena form of the package-level
 // Aggregate: the labeling and the aggregation satellites all run
 // against the labeler's arenas; the only per-call allocation is the
-// returned result.
+// returned result. When Options.ArrayWidth names an array narrower than
+// the image, the run is strip-mined (see AggregateLarge and the tiler's
+// schedule models); per-pixel folds and labels are identical either
+// way.
 func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*AggregateResult, error) {
 	w, h := img.W(), img.H()
 	if len(initial) != w*h {
 		return nil, fmt.Errorf("core: initial labels have length %d, want %d", len(initial), w*h)
 	}
+	if op.Combine == nil {
+		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)
+	}
 	if aw := lb.userOpt.ArrayWidth; aw > 0 && aw < w {
-		return nil, fmt.Errorf("core: Aggregate cannot strip-mine a %d-column image on a %d-PE array: "+
-			"the aggregation sweeps have no seam stitch yet (a ROADMAP open item; labeling via LabelLarge is unaffected). "+
-			"Rerun with ArrayWidth 0 (array as wide as the image), or partition the image yourself and combine the per-strip aggregates with the monoid", w, aw)
+		return lb.aggregateLarge(img, initial, op)
+	}
+	return lb.aggregateImage(img, initial, op)
+}
+
+// aggregateImage is Aggregate over the Image interface, always on a
+// whole-image array: the shared path under Aggregate and
+// AggregateLarge's per-strip runs (which pass zero-copy strip views and
+// the strip's contiguous window of the initial values).
+func (lb *Labeler) aggregateImage(img bitmap.Image, initial []int32, op Monoid) (*AggregateResult, error) {
+	w, h := img.W(), img.H()
+	if len(initial) != w*h {
+		return nil, fmt.Errorf("core: initial labels have length %d, want %d", len(initial), w*h)
 	}
 	if op.Combine == nil {
 		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)

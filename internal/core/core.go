@@ -117,15 +117,80 @@ type Options struct {
 	// LabelerPool of up to this many workers (strips are independent
 	// until the seam stitch). Zero or one labels strips sequentially on
 	// one warm arena set. Labels and composed metrics are bit-identical
-	// at every setting — the schedule model stays sequential; only host
+	// at every setting — the schedule model is unaffected; only host
 	// wall time changes. Negative values are rejected.
 	StripWorkers int
+	// Seam selects how a strip-mined run's seam relabel is charged:
+	// SeamDistributed (the default) broadcasts the remap table down the
+	// array and rewrites per PE, metered as real machine phases
+	// ("seam-broadcast", "seam-rewrite"); SeamHost charges the relabel
+	// as a sequential host pass folded into "seam-merge" (the pre-PR 5
+	// model, kept selectable for comparison — its composed numbers are
+	// unchanged bit for bit). Labels, per-pixel aggregates, and the UF
+	// report are identical under both; only the charged phases differ.
+	// Ignored on whole-image runs. See docs/METRICS.md.
+	Seam SeamModel
+	// Schedule selects the strip-composition schedule model:
+	// ScheduleSequential (the default) runs strips back to back;
+	// SchedulePipelined overlaps strip s+1's input phase (and all but
+	// the last boundary column's seam offload) with strip s's sweeps on
+	// a double-buffered array, shrinking the composed Time while leaving
+	// every work total — per-phase makespans, busy time, traffic —
+	// identical. Ignored on whole-image runs. See docs/METRICS.md and
+	// slap.Metrics.MergePipelined.
+	Schedule ScheduleModel
 
 	// noFuse runs the sweep phases through the per-phase reference
 	// executor instead of the fused column walk. The two are
 	// bit-equivalent (tests compare them exhaustively); the knob exists
 	// for those tests and for ablation, hence unexported.
 	noFuse bool
+}
+
+// SeamModel selects how a strip-mined run charges the seam relabel
+// (Options.Seam).
+type SeamModel string
+
+// Seam-relabel models.
+const (
+	// SeamDistributed broadcasts the seam remap table down the array and
+	// rewrites per PE — the deployment a real fixed-width SLAP would use
+	// — charged as metered "seam-broadcast" and "seam-rewrite" machine
+	// phases. The default.
+	SeamDistributed SeamModel = "distributed"
+	// SeamHost charges the relabel as a sequential host pass inside the
+	// "seam-merge" phase: one LocalStep per rewritten pixel, no array
+	// phases. The original strip-mining model, kept for comparison.
+	SeamHost SeamModel = "host"
+)
+
+// Valid reports whether the seam model is known ("" selects the
+// default).
+func (s SeamModel) Valid() bool {
+	return s == "" || s == SeamDistributed || s == SeamHost
+}
+
+// ScheduleModel selects the strip-composition schedule
+// (Options.Schedule).
+type ScheduleModel string
+
+// Strip schedule models.
+const (
+	// ScheduleSequential composes strips back to back: the composed Time
+	// is the sum of every strip's makespan plus the seam phases. The
+	// default.
+	ScheduleSequential ScheduleModel = "sequential"
+	// SchedulePipelined overlaps strip s+1's input phase with strip s's
+	// sweeps on a double-buffered array (slap.Metrics.MergePipelined),
+	// and streams all but the final boundary column's seam offload under
+	// the following strips' compute.
+	SchedulePipelined ScheduleModel = "pipelined"
+)
+
+// Valid reports whether the schedule model is known ("" selects the
+// default).
+func (s ScheduleModel) Valid() bool {
+	return s == "" || s == ScheduleSequential || s == SchedulePipelined
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +202,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Connectivity == 0 {
 		o.Connectivity = bitmap.Conn4
+	}
+	if o.Seam == "" {
+		o.Seam = SeamDistributed
+	}
+	if o.Schedule == "" {
+		o.Schedule = ScheduleSequential
 	}
 	return o
 }
@@ -311,6 +382,12 @@ func (lb *Labeler) runCC(img bitmap.Image) (*bitmap.LabelMap, error) {
 	}
 	if opt.ArrayWidth < 0 || opt.StripWorkers < 0 {
 		return nil, fmt.Errorf("core: negative tiling options (ArrayWidth %d, StripWorkers %d)", opt.ArrayWidth, opt.StripWorkers)
+	}
+	if !opt.Seam.Valid() {
+		return nil, fmt.Errorf("core: unknown seam model %q (want %q or %q)", opt.Seam, SeamDistributed, SeamHost)
+	}
+	if !opt.Schedule.Valid() {
+		return nil, fmt.Errorf("core: unknown schedule model %q (want %q or %q)", opt.Schedule, ScheduleSequential, SchedulePipelined)
 	}
 	lb.m.SetLinkTuning(opt.BatchSize, opt.LinkDepth)
 	if opt.Parallel {

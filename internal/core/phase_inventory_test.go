@@ -1,0 +1,89 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/slap"
+)
+
+// TestPhaseNameInventory is the docs gate: it runs configurations
+// covering every phase the labeling system can emit — whole-image
+// labeling, Corollary 4 aggregation, strip-mined runs under both seam
+// models and both schedules — and fails if any emitted phase name is
+// missing from docs/METRICS.md. CI runs it by name; adding a phase to
+// the system without documenting its charge breaks the build.
+func TestPhaseNameInventory(t *testing.T) {
+	docPath := filepath.Join("..", "..", "docs", "METRICS.md")
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatalf("reading %s: %v", docPath, err)
+	}
+
+	names := map[string]bool{}
+	collect := func(run func() (slap.Metrics, error)) {
+		m, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Phases {
+			names[p.Name] = true
+		}
+	}
+	labelM := func(opt Options) func() (slap.Metrics, error) {
+		return func() (slap.Metrics, error) {
+			res, err := Label(bitmap.Random(24, 0.5, 3), opt)
+			if err != nil {
+				return slap.Metrics{}, err
+			}
+			return res.Metrics, nil
+		}
+	}
+	aggM := func(opt Options) func() (slap.Metrics, error) {
+		return func() (slap.Metrics, error) {
+			img := bitmap.Random(24, 0.5, 3)
+			res, err := Aggregate(img, Ones(img), Sum(), opt)
+			if err != nil {
+				return slap.Metrics{}, err
+			}
+			return res.Metrics, nil
+		}
+	}
+
+	collect(labelM(Options{}))
+	collect(aggM(Options{}))
+	for _, seam := range []SeamModel{SeamHost, SeamDistributed} {
+		for _, sched := range []ScheduleModel{ScheduleSequential, SchedulePipelined} {
+			collect(labelM(Options{ArrayWidth: 8, Seam: seam, Schedule: sched}))
+		}
+	}
+	collect(aggM(Options{ArrayWidth: 8}))
+
+	// Sanity: the sweep above must reach every known phase family —
+	// if a phase is ever renamed, this list and METRICS.md move together.
+	for _, must := range []string{
+		"input", "left:unionfind", "right:assign", "merge",
+		"agg:local", "left:agg", "right:agg", "agg:combine",
+		"seam-merge", "seam-broadcast", "seam-rewrite",
+	} {
+		if !names[must] {
+			t.Errorf("inventory sweep no longer emits %q — extend the sweep or drop it from the list", must)
+		}
+	}
+
+	var missing []string
+	for name := range names {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Fatalf("phase names emitted by the system but undocumented in docs/METRICS.md: %v\n"+
+			"document what each charges in the phase inventory table", missing)
+	}
+}

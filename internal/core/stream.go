@@ -130,6 +130,14 @@ func (p *LabelerPool) labelImage(img bitmap.Image) (*Result, error) {
 	return p.withWorker(func(lb *Labeler) (*Result, error) { return lb.labelImage(img) })
 }
 
+// aggregateImage is Aggregate over the Image interface on a whole-image
+// array — the tiler's fan-out path aggregates strip views through it.
+func (p *LabelerPool) aggregateImage(img bitmap.Image, initial []int32, op Monoid) (*AggregateResult, error) {
+	return runOn(p, <-p.free, func(lb *Labeler) (*AggregateResult, error) {
+		return lb.aggregateImage(img, initial, op)
+	})
+}
+
 // StreamResult is one frame's outcome, delivered to the stream's sink
 // in submission order.
 type StreamResult struct {

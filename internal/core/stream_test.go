@@ -324,10 +324,20 @@ func TestLabelerPoolAggregateWith(t *testing.T) {
 		}
 	}
 
-	// A strip-mined aggregate is rejected with the actionable error; the
-	// worker must come back with the pool's own options intact.
-	if _, err := pool.AggregateWith(img, Ones(img), Sum(), Options{ArrayWidth: 2}); err == nil {
-		t.Fatal("strip-mined AggregateWith did not error")
+	// A strip-mined aggregate runs through AggregateLarge and matches the
+	// whole-image fold; a bad call errors and the worker must come back
+	// with the pool's own options intact.
+	strip, err := pool.AggregateWith(img, Ones(img), Sum(), Options{ArrayWidth: 2})
+	if err != nil {
+		t.Fatalf("strip-mined AggregateWith: %v", err)
+	}
+	for i := range want.PerPixel {
+		if want.PerPixel[i] != strip.PerPixel[i] {
+			t.Fatalf("strip-mined PerPixel[%d] = %d, want %d", i, strip.PerPixel[i], want.PerPixel[i])
+		}
+	}
+	if _, err := pool.AggregateWith(img, Ones(img), Monoid{Name: "broken"}, Options{}); err == nil {
+		t.Fatal("monoid without Combine did not error")
 	}
 	if pool.Idle() != 1 {
 		t.Fatalf("worker not returned after AggregateWith error: Idle() = %d", pool.Idle())

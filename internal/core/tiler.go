@@ -15,27 +15,42 @@ import (
 // strips of at most Options.ArrayWidth columns, runs Algorithm CC per
 // strip on the fixed-width machine (zero-copy bitmap.Strip views over
 // one warm arena set, or fanned across a LabelerPool), and stitches the
-// strip-boundary seams with a host-side union–find pass, relabeling to
-// the global canonical least-column-major labels. The labeling is
-// bit-identical to a whole-image run's.
+// strip-boundary seams with a metered union–find pass, relabeling to the
+// global canonical least-column-major labels. AggregateLarge strip-mines
+// the Corollary 4 aggregation the same way: per-strip aggregation, then
+// the seam stitch additionally combines the per-strip component folds
+// under the monoid. Labels and per-pixel aggregates are bit-identical to
+// whole-image runs.
 //
-// # Schedule model
+// # Schedule models
 //
-// Composed metrics follow an explicitly sequential schedule — the strips
-// execute back to back on the one physical array — so every number stays
-// deterministic and meaningful (see slap.Metrics.MergeSequential):
-// per-phase makespans and traffic sum across strips, queue peaks and
-// per-PE memory max, N is the physical array width (the last strip is
-// usually narrower; its surplus PEs idle and charge nothing), and per-PE
-// profiles are dropped. StripWorkers only changes host wall time, never
-// the composed metrics.
+// Composed metrics follow one of two documented schedule models
+// (Options.Schedule; full equations in docs/METRICS.md):
 //
-// The stitch itself is appended as a "seam-merge" phase charged under
-// the run's cost model as a sequential host pass:
+//   - ScheduleSequential (default): the strips execute back to back on
+//     the one physical array (slap.Metrics.MergeSequential). Per-phase
+//     makespans and traffic sum across strips, queue peaks and per-PE
+//     memory max, N is the physical array width (the last strip is
+//     usually narrower; its surplus PEs idle and charge nothing), and
+//     per-PE profiles are dropped.
+//   - SchedulePipelined: the array double-buffers its column memory, so
+//     strip s+1's O(h) input phase streams in while strip s's sweeps run
+//     (slap.Metrics.MergePipelined), and every boundary column except
+//     the final strip's streams off under the following strips' compute.
+//     Work totals are identical to the sequential model's; only the
+//     composed Time (and the seam-merge critical path) shrink.
+//
+// StripWorkers only changes host wall time, never the composed metrics.
+//
+// # Seam accounting
+//
+// The stitch is charged as a "seam-merge" phase under the run's cost
+// model:
 //
 //   - offload: each seam's two boundary label columns cross one link,
 //     2h one-word records per seam (WordSteps each, counted in
-//     Sends/Words);
+//     Sends/Words); under SchedulePipelined only the final column's h
+//     words remain on the critical path (the rest overlap compute);
 //   - scan: one LocalStep per seam row to inspect the left boundary
 //     pixel, plus one per adjacency probe into the right column (1 probe
 //     under Conn4, up to 3 clipped probes under Conn8) for each left
@@ -43,17 +58,41 @@ import (
 //   - stitch: one LocalStep per recorded seam edge (label interning),
 //     the metered union–find steps of the unions and the per-label finds
 //     (operation counts instead when UnitCostUF), and one LocalStep per
-//     distinct boundary label for the class-minimum fold;
-//   - relabel: one LocalStep per pixel whose label the merge rewrote.
+//     distinct boundary label per fold — the class-minimum fold, plus
+//     the class-total fold on aggregation runs.
 //
-// Seam-merge cost is O(h·strips + rewritten pixels): lower-order next to
-// the Θ(w·h) labeling work unless strips are extremely narrow.
+// The relabel itself is charged per Options.Seam:
 //
+//   - SeamDistributed (default): the remap table — one record per
+//     boundary label whose canonical label (or component total) changed
+//     — is broadcast down the array as a metered "seam-broadcast" sweep
+//     (2-word records; 3-word on aggregation runs, which carry the
+//     combined total), and every PE rewrites the columns it holds in a
+//     "seam-rewrite" local phase: one LocalStep per foreground pixel
+//     examined plus one per pixel rewritten. Both phases execute on a
+//     real simulated machine, so their makespans are the systolic ones.
+//   - SeamHost: the relabel is a sequential host pass folded into
+//     seam-merge — one LocalStep per rewritten pixel — exactly the
+//     original strip-mining model, kept selectable for comparison.
+//
+// Seam work is O(h·strips + rewritten pixels): lower-order next to the
+// Θ(w·h) labeling work unless strips are extremely narrow.
+
 // LabelLarge runs Algorithm CC on img under opt, strip-mining onto a
 // fixed-width array when 0 < opt.ArrayWidth < img.W() (otherwise it is
 // exactly Label). The labeling always equals the whole-image run's.
 func LabelLarge(img *bitmap.Bitmap, opt Options) (*Result, error) {
 	return Label(img, opt)
+}
+
+// AggregateLarge runs the Corollary 4 aggregation on img under opt,
+// strip-mining onto a fixed-width array when 0 < opt.ArrayWidth <
+// img.W() (otherwise it is exactly Aggregate): per-strip aggregation
+// over zero-copy strip views, then a seam stitch that merges
+// seam-crossing components and combines their per-strip folds under op.
+// Labels and per-pixel folds always equal the whole-image run's.
+func AggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	return Aggregate(img, initial, op, opt)
 }
 
 // LabelLarge is the Labeler's reusable form of the package-level
@@ -63,16 +102,116 @@ func (lb *Labeler) LabelLarge(img *bitmap.Bitmap) (*Result, error) {
 	return lb.Label(img)
 }
 
-// labelLarge executes the strip-mined run. Callers guarantee
+// AggregateLarge is the Labeler's reusable form of the package-level
+// AggregateLarge; it is exactly Aggregate (which strip-mines whenever
+// Options.ArrayWidth names an array narrower than the image).
+func (lb *Labeler) AggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid) (*AggregateResult, error) {
+	return lb.Aggregate(img, initial, op)
+}
+
+// seamPhaseNames are the phases a strip-mined run's seam pass can
+// emit, in execution order: the stitch itself, then — under the
+// distributed relabel — the remap broadcast and the per-PE rewrite.
+var seamPhaseNames = [...]string{"seam-merge", "seam-broadcast", "seam-rewrite"}
+
+// SeamTime sums the makespans of every seam phase of a composed report
+// ("seam-merge" alone under SeamHost; plus "seam-broadcast" and
+// "seam-rewrite" under the default distributed relabel). Zero on
+// whole-image runs, which have no seams.
+func SeamTime(m slap.Metrics) int64 {
+	var total int64
+	for _, name := range seamPhaseNames {
+		if p, ok := m.Phase(name); ok {
+			total += p.Makespan
+		}
+	}
+	return total
+}
+
+// stripSpan returns strip s's leftmost column and width.
+func stripSpan(w, aw, s int) (x0, sw int) {
+	x0 = s * aw
+	sw = aw
+	if w-x0 < sw {
+		sw = w - x0
+	}
+	return x0, sw
+}
+
+// checkTiling validates the strip-mined entry preconditions shared by
+// labelLarge and aggregateLarge.
+func checkTiling(w, h int, opt Options) error {
+	if 2*int64(w)*int64(h) > math.MaxInt32 {
+		return fmt.Errorf("core: image %dx%d exceeds the int32 label space", w, h)
+	}
+	if opt.StripWorkers < 0 {
+		return fmt.Errorf("core: negative tiling options (ArrayWidth %d, StripWorkers %d)", opt.ArrayWidth, opt.StripWorkers)
+	}
+	return nil
+}
+
+// mergeStrip folds one strip's metrics into the composed report under
+// the selected schedule model.
+func mergeStrip(comp *slap.Metrics, opt Options, s slap.Metrics) {
+	if opt.Schedule == SchedulePipelined {
+		comp.MergePipelined(s)
+	} else {
+		comp.MergeSequential(s)
+	}
+}
+
+// foldStripUF accumulates one strip's union–find report into the
+// composed one (TotalSteps/MeanOpCost are finalized by finishStripUF).
+func foldStripUF(rep *UFReport, steps, ops *int64, s UFReport) {
+	rep.Finds += s.Finds
+	rep.Unions += s.Unions
+	*steps += s.TotalSteps
+	*ops += s.Finds + s.Unions
+	if s.MaxOpCost > rep.MaxOpCost {
+		rep.MaxOpCost = s.MaxOpCost
+	}
+}
+
+// finishStripUF folds the seam stitch's union–find stats and finalizes
+// the derived fields.
+func finishStripUF(rep *UFReport, steps, ops int64, seam seamUFStats) {
+	rep.Finds += seam.finds
+	rep.Unions += seam.unions
+	steps += seam.steps
+	ops += seam.finds + seam.unions
+	if seam.maxOp > rep.MaxOpCost {
+		rep.MaxOpCost = seam.maxOp
+	}
+	rep.TotalSteps = steps
+	if ops > 0 {
+		rep.MeanOpCost = float64(steps) / float64(ops)
+	}
+}
+
+// globalizeLabels translates one strip's labels to global positions: a
+// strip at column x0 labels with least strip-local positions sx·h + y,
+// and the global position of (x0+sx, y) is (x0+sx)·h + y — a constant
+// x0·h offset.
+func globalizeLabels(global *bitmap.LabelMap, labels *bitmap.LabelMap, x0, h int) {
+	off := int32(x0 * h)
+	for c := 0; c < labels.W(); c++ {
+		src := labels.ColumnSlice(c)
+		dst := global.ColumnSlice(x0 + c)
+		for y, l := range src {
+			if l != bitmap.Background {
+				dst[y] = l + off
+			}
+		}
+	}
+}
+
+// labelLarge executes the strip-mined labeling run. Callers guarantee
 // 0 < ArrayWidth < img.W().
 func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 	opt := lb.userOpt.withDefaults()
 	w, h := img.W(), img.H()
-	if 2*int64(w)*int64(h) > math.MaxInt32 {
-		return nil, fmt.Errorf("core: image %dx%d exceeds the int32 label space", w, h)
-	}
-	if opt.StripWorkers < 0 {
-		return nil, fmt.Errorf("core: negative tiling options (ArrayWidth %d, StripWorkers %d)", opt.ArrayWidth, opt.StripWorkers)
+	if err := checkTiling(w, h, opt); err != nil {
+		return nil, err
 	}
 	aw := opt.ArrayWidth
 	strips := (w + aw - 1) / aw
@@ -89,27 +228,14 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 		// identical to the sequential path. The pool is cached on the
 		// labeler, so a warm labeler's workers keep their arenas across
 		// frames instead of rebuilding the pool per call.
-		workers := opt.StripWorkers
-		if workers > strips {
-			workers = strips
-		}
-		pool := lb.stripPool
-		if pool == nil || lb.stripPoolOpt != stripOpt || pool.Workers() != workers {
-			pool = NewLabelerPool(stripOpt, workers)
-			lb.stripPool = pool
-			lb.stripPoolOpt = stripOpt
-		}
+		pool := lb.ensureStripPool(stripOpt, opt.StripWorkers, strips)
 		errs := make([]error, strips)
 		var wg sync.WaitGroup
 		for s := 0; s < strips; s++ {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				x0 := s * aw
-				sw := aw
-				if w-x0 < sw {
-					sw = w - x0
-				}
+				x0, sw := stripSpan(w, aw, s)
 				results[s], errs[s] = pool.labelImage(img.StripView(x0, sw))
 			}(s)
 		}
@@ -126,11 +252,7 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 		lb.userOpt = stripOpt
 		defer func() { lb.userOpt = saved }()
 		for s := 0; s < strips; s++ {
-			x0 := s * aw
-			sw := aw
-			if w-x0 < sw {
-				sw = w - x0
-			}
+			x0, sw := stripSpan(w, aw, s)
 			res, err := lb.labelImage(img.StripView(x0, sw))
 			if err != nil {
 				return nil, err
@@ -139,56 +261,125 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 		}
 	}
 
-	// Translate strip-local labels to global positions: a strip at column
-	// x0 labels with least strip-local positions sx·h + y, and the global
-	// position of (x0+sx, y) is (x0+sx)·h + y — a constant x0·h offset.
 	global := bitmap.NewLabelMap(w, h)
 	for s, res := range results {
-		x0 := s * aw
-		off := int32(x0 * h)
-		for c := 0; c < res.Labels.W(); c++ {
-			src := res.Labels.ColumnSlice(c)
-			dst := global.ColumnSlice(x0 + c)
-			for y, l := range src {
-				if l != bitmap.Background {
-					dst[y] = l + off
-				}
-			}
-		}
+		globalizeLabels(global, res.Labels, s*aw, h)
 	}
 
-	seamPhase, seamStats := lb.stitchSeams(img, global, aw, opt)
+	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, nil, nil, aw, opt)
 
-	// Compose the whole-run report under the sequential schedule model.
+	// Compose the whole-run report under the selected schedule model.
 	comp := slap.Metrics{N: aw}
 	rep := UFReport{Kind: opt.UF}
 	var spec SpecStats
 	var steps, ops int64
 	for _, res := range results {
-		comp.MergeSequential(res.Metrics)
-		rep.Finds += res.UF.Finds
-		rep.Unions += res.UF.Unions
-		steps += res.UF.TotalSteps
-		ops += res.UF.Finds + res.UF.Unions
-		if res.UF.MaxOpCost > rep.MaxOpCost {
-			rep.MaxOpCost = res.UF.MaxOpCost
-		}
+		mergeStrip(&comp, opt, res.Metrics)
+		foldStripUF(&rep, &steps, &ops, res.UF)
 		spec.Sends += res.Speculation.Sends
 		spec.Wasted += res.Speculation.Wasted
 	}
-	comp.AppendPhase(seamPhase)
-	rep.Finds += seamStats.finds
-	rep.Unions += seamStats.unions
-	steps += seamStats.steps
-	ops += seamStats.finds + seamStats.unions
-	if seamStats.maxOp > rep.MaxOpCost {
-		rep.MaxOpCost = seamStats.maxOp
+	for _, p := range seamPhases {
+		comp.AppendPhase(p)
 	}
-	rep.TotalSteps = steps
-	if ops > 0 {
-		rep.MeanOpCost = float64(steps) / float64(ops)
+	if seamMem > comp.PEMemory {
+		comp.PEMemory = seamMem
 	}
+	finishStripUF(&rep, steps, ops, seamStats)
 	return &Result{Labels: global, Metrics: comp, UF: rep, Speculation: spec}, nil
+}
+
+// aggregateLarge executes the strip-mined Corollary 4 aggregation.
+// Callers guarantee 0 < ArrayWidth < img.W() and validated initial/op.
+func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid) (*AggregateResult, error) {
+	opt := lb.userOpt.withDefaults()
+	w, h := img.W(), img.H()
+	if err := checkTiling(w, h, opt); err != nil {
+		return nil, err
+	}
+	aw := opt.ArrayWidth
+	strips := (w + aw - 1) / aw
+
+	stripOpt := opt
+	stripOpt.ArrayWidth = 0
+	stripOpt.StripWorkers = 0
+
+	// Per-strip aggregation: each strip sees the contiguous column-major
+	// window of the initial values its columns own — zero-copy, like the
+	// strip views themselves.
+	results := make([]*AggregateResult, strips)
+	if opt.StripWorkers > 1 && strips > 1 {
+		pool := lb.ensureStripPool(stripOpt, opt.StripWorkers, strips)
+		errs := make([]error, strips)
+		var wg sync.WaitGroup
+		for s := 0; s < strips; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				x0, sw := stripSpan(w, aw, s)
+				results[s], errs[s] = pool.aggregateImage(img.StripView(x0, sw), initial[x0*h:(x0+sw)*h], op)
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		saved := lb.userOpt
+		lb.userOpt = stripOpt
+		defer func() { lb.userOpt = saved }()
+		for s := 0; s < strips; s++ {
+			x0, sw := stripSpan(w, aw, s)
+			res, err := lb.aggregateImage(img.StripView(x0, sw), initial[x0*h:(x0+sw)*h], op)
+			if err != nil {
+				return nil, err
+			}
+			results[s] = res
+		}
+	}
+
+	global := bitmap.NewLabelMap(w, h)
+	out := make([]int32, w*h)
+	for s, res := range results {
+		x0 := s * aw
+		globalizeLabels(global, res.Labels, x0, h)
+		copy(out[x0*h:], res.PerPixel)
+	}
+
+	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, out, &op, aw, opt)
+
+	comp := slap.Metrics{N: aw}
+	rep := UFReport{Kind: opt.UF}
+	var steps, ops int64
+	for _, res := range results {
+		mergeStrip(&comp, opt, res.Metrics)
+		foldStripUF(&rep, &steps, &ops, res.UF)
+	}
+	for _, p := range seamPhases {
+		comp.AppendPhase(p)
+	}
+	if seamMem > comp.PEMemory {
+		comp.PEMemory = seamMem
+	}
+	finishStripUF(&rep, steps, ops, seamStats)
+	return &AggregateResult{PerPixel: out, Labels: global, Metrics: comp, UF: rep}, nil
+}
+
+// ensureStripPool returns the labeler's cached strip-worker pool,
+// rebuilding it when the options or worker count changed.
+func (lb *Labeler) ensureStripPool(stripOpt Options, workers, strips int) *LabelerPool {
+	if workers > strips {
+		workers = strips
+	}
+	pool := lb.stripPool
+	if pool == nil || lb.stripPoolOpt != stripOpt || pool.Workers() != workers {
+		pool = NewLabelerPool(stripOpt, workers)
+		lb.stripPool = pool
+		lb.stripPoolOpt = stripOpt
+	}
+	return pool
 }
 
 // seamUFStats summarizes the stitch's union–find work for the composed
@@ -199,31 +390,50 @@ type seamUFStats struct {
 	maxOp         int64
 }
 
+// remapPair is one seam remap-table entry: a globalized strip-local
+// label whose canonical label (or, on aggregation runs, component
+// total) the stitch changed.
+type remapPair struct {
+	old, canon int32
+}
+
 // seamScratch is the labeler-owned arena for the seam stitch: the
 // epoch-marked interner over boundary labels (the same structure the
 // merge and aggregation steps use instead of per-call maps), the dense
-// label/edge/root/minimum arrays, and one reusable metered forest. A
-// warm labeler stitches seams with no per-call allocation beyond what
-// the label count forces on first growth.
+// label/value/edge/root/fold arrays, one reusable metered forest, and —
+// for the distributed relabel — a private fixed-width machine that
+// executes the seam-broadcast/seam-rewrite phases. A warm labeler
+// stitches seams with no per-call allocation beyond what the label
+// count forces on first growth.
 type seamScratch struct {
 	it       interner
 	vals     []int32
+	acc      []int32 // per boundary label: its component's per-strip fold (aggregation only)
 	edges    []unionfind.Pair
 	roots    []int32
 	classMin []int32
+	classTot []int32
+	pairs    []remapPair
+	colFG    []int64 // per column: foreground pixels (distributed rewrite charge)
+	colRW    []int64 // per column: rewritten pixels
 	forest   *unionfind.Forest
 	meter    *unionfind.Meter
+	m        *slap.Machine
+	phases   [3]slap.PhaseMetrics // seam-merge [, seam-broadcast, seam-rewrite]
 }
 
 // stitchSeams merges the components split across strip boundaries: a
-// host-side union–find over the global labels of adjacent boundary
+// metered union–find over the global labels of adjacent boundary
 // columns, then a relabel of every affected pixel to its class's least
 // label (which is the component's global least column-major position,
 // since each class member is already the least position within its
-// strip). It rewrites global in place and returns the charged
-// "seam-merge" phase (see the schedule model above) plus the union–find
-// stats to fold into the run report.
-func (lb *Labeler) stitchSeams(img *bitmap.Bitmap, global *bitmap.LabelMap, aw int, opt Options) (slap.PhaseMetrics, seamUFStats) {
+// strip). On aggregation runs (op non-nil) it additionally combines the
+// per-strip component folds of each class under op and rewrites out to
+// the combined totals. It rewrites global (and out) in place and
+// returns the charged seam phases (see the accounting model above), the
+// union–find stats to fold into the run report, and the peak per-PE
+// memory the distributed relabel declared.
+func (lb *Labeler) stitchSeams(img *bitmap.Bitmap, global *bitmap.LabelMap, out []int32, op *Monoid, aw int, opt Options) ([]slap.PhaseMetrics, seamUFStats, int64) {
 	w, h := img.W(), img.H()
 	sc := &lb.seam
 	// Size the interner from the actual boundary population: distinct
@@ -243,9 +453,10 @@ func (lb *Labeler) stitchSeams(img *bitmap.Bitmap, global *bitmap.LabelMap, aw i
 	}
 	sc.it.prepare(bound)
 	sc.vals = sc.vals[:0]
+	sc.acc = sc.acc[:0]
 	sc.edges = sc.edges[:0]
 	var scanSteps int64
-	intern := func(l int32) int32 {
+	intern := func(l int32, pos int) int32 {
 		i := sc.it.slot(l)
 		if sc.it.live(i) {
 			return sc.it.val[i]
@@ -253,6 +464,11 @@ func (lb *Labeler) stitchSeams(img *bitmap.Bitmap, global *bitmap.LabelMap, aw i
 		id := int32(len(sc.vals))
 		sc.it.set(i, l, id)
 		sc.vals = append(sc.vals, l)
+		if op != nil {
+			// Any pixel of the piece carries the piece's whole-strip
+			// fold, so the first-seen boundary pixel's value is it.
+			sc.acc = append(sc.acc, out[pos])
+		}
 		return id
 	}
 	loDy, hiDy := 0, 0
@@ -280,24 +496,23 @@ func (lb *Labeler) stitchSeams(img *bitmap.Bitmap, global *bitmap.LabelMap, aw i
 					continue
 				}
 				if !aSet {
-					a = intern(global.Get(xL, y))
+					a = intern(global.Get(xL, y), xL*h+y)
 					aSet = true
 				}
-				sc.edges = append(sc.edges, unionfind.Pair{X: a, Y: intern(global.Get(xR, ny))})
+				sc.edges = append(sc.edges, unionfind.Pair{X: a, Y: intern(global.Get(xR, ny), xR*h+ny)})
 			}
 		}
 	}
 
 	cost := opt.Cost
-	phase := slap.PhaseMetrics{Name: "seam-merge"}
+	distributed := opt.Seam != SeamHost
 	// Offload: each seam's two boundary label columns cross one link as
 	// 2h one-word records.
 	offload := int64(2*h) * int64(seams)
-	phase.Sends = offload
-	phase.Words = offload
 
 	var ufCharge, foldSteps, rewrites int64
 	var stats seamUFStats
+	sc.pairs = sc.pairs[:0]
 	if len(sc.edges) > 0 {
 		if sc.forest == nil {
 			sc.forest = unionfind.NewForest(0, unionfind.LinkBySize, unionfind.CompressFull)
@@ -328,42 +543,184 @@ func (lb *Labeler) stitchSeams(img *bitmap.Bitmap, global *bitmap.LabelMap, aw i
 		// Least label per class; then rewrite the labels the merge
 		// changed. Each class member label is the least global position
 		// of its component's pixels within one strip, so the class
-		// minimum is the component's global least position.
+		// minimum is the component's global least position. On
+		// aggregation runs, the class total — the op-fold of the member
+		// pieces' strip folds — is computed alongside; each piece
+		// contributes exactly once, which non-idempotent monoids need.
 		classMin := fillNeg(unionfind.GrowInt32(sc.classMin, len(sc.vals)))
 		sc.classMin = classMin
-		changed := false
+		var classTot []int32
 		for id, v := range sc.vals {
 			foldSteps++
 			if r := roots[id]; classMin[r] == -1 || v < classMin[r] {
 				classMin[r] = v
 			}
 		}
-		for id, v := range sc.vals {
-			if classMin[roots[id]] != v {
-				changed = true
-				break
+		if op != nil {
+			classTot = unionfind.GrowInt32(sc.classTot, len(sc.vals))
+			sc.classTot = classTot
+			for i := range classTot {
+				classTot[i] = op.Identity
+			}
+			for id := range sc.vals {
+				foldSteps++
+				r := roots[id]
+				classTot[r] = op.Combine(classTot[r], sc.acc[id])
 			}
 		}
-		if changed {
+		for id, v := range sc.vals {
+			if classMin[roots[id]] != v || (op != nil && classTot[roots[id]] != sc.acc[id]) {
+				sc.pairs = append(sc.pairs, remapPair{old: v, canon: classMin[roots[id]]})
+			}
+		}
+		if len(sc.pairs) > 0 {
+			var colFG, colRW []int64
+			if distributed {
+				colFG = growInt64(sc.colFG, w)
+				colRW = growInt64(sc.colRW, w)
+				sc.colFG, sc.colRW = colFG, colRW
+			}
 			for x := 0; x < w; x++ {
 				col := global.ColumnSlice(x)
+				var fg, rw int64
 				for y, l := range col {
 					if l == bitmap.Background {
 						continue
 					}
+					fg++
 					if id, ok := sc.it.lookup(l); ok {
+						changed := false
 						if m := classMin[roots[id]]; m != l {
 							col[y] = m
+							changed = true
+						}
+						if op != nil {
+							if t := classTot[roots[id]]; t != out[x*h+y] {
+								out[x*h+y] = t
+								changed = true
+							}
+						}
+						if changed {
+							rw++
 							rewrites++
 						}
 					}
 				}
+				if distributed {
+					colFG[x] = fg
+					colRW[x] = rw
+				}
 			}
 		}
 	}
+
 	edgeSteps := int64(len(sc.edges))
-	phase.Makespan = cost.WordSteps*offload +
-		cost.LocalStep*(scanSteps+edgeSteps+ufCharge+foldSteps+rewrites)
-	phase.Busy = phase.Makespan
-	return phase, stats
+	local := scanSteps + edgeSteps + ufCharge + foldSteps
+	if !distributed {
+		local += rewrites
+	}
+	seamMerge := slap.PhaseMetrics{Name: "seam-merge"}
+	seamMerge.Sends = offload
+	seamMerge.Words = offload
+	seamMerge.Busy = cost.WordSteps*offload + cost.LocalStep*local
+	if opt.Schedule == SchedulePipelined {
+		// Every boundary column except the final strip's streamed off
+		// the array while the following strips computed; one h-word
+		// column remains on the critical path before the host stitch.
+		seamMerge.Makespan = cost.WordSteps*int64(h) + cost.LocalStep*local
+	} else {
+		seamMerge.Makespan = seamMerge.Busy
+	}
+	sc.phases[0] = seamMerge
+	var peMem int64
+	if !distributed {
+		return sc.phases[:1], stats, 0
+	}
+	sc.phases[1], sc.phases[2], peMem = lb.seamArrayPhases(w, aw, op != nil, len(sc.pairs) > 0, cost)
+	return sc.phases[:3], stats, peMem
+}
+
+// seamArrayPhases executes the distributed relabel on the seam machine —
+// a real simulated array of the physical width — and returns its two
+// phases plus the peak per-PE memory the remap table declared.
+//
+// seam-broadcast: the remap table enters at PE 0 and rides the links to
+// the end of the array, one record per changed boundary label (2 words:
+// old label, canonical label; 3 on aggregation runs, which also carry
+// the class total), one LocalStep per PE per record for the table
+// insert, eos-terminated like every Algorithm CC stream. The makespan is
+// the systolic one: the last PE finishes ~(R + N) record times after the
+// first.
+//
+// seam-rewrite: purely local; PE i holds column i of every strip (the
+// array is reused, not replicated), and charges one LocalStep per
+// foreground pixel it examines plus one per pixel it rewrites. When the
+// remap table is empty the PEs skip their columns entirely.
+func (lb *Labeler) seamArrayPhases(w, aw int, agg, changed bool, cost slap.CostModel) (bcast, rewrite slap.PhaseMetrics, peMem int64) {
+	sc := &lb.seam
+	if sc.m == nil {
+		sc.m = slap.NewMachine(aw, cost)
+	} else {
+		sc.m.Reset(aw, cost)
+	}
+	m := sc.m
+	recWords := uint8(2)
+	if agg {
+		recWords = 3
+	}
+	pairs := sc.pairs
+	tableWords := int64(recWords) * int64(len(pairs))
+	m.RunSweep("seam-broadcast", slap.LeftToRight, func(pe *slap.PE) {
+		if pe.Index == 0 {
+			for _, p := range pairs {
+				pe.Tick(1) // table insert
+				if pe.HasOut() {
+					pe.Send(slap.Msg{Kind: msgLabel, A: p.old, B: p.canon, Words: recWords})
+				}
+			}
+			if pe.HasOut() {
+				pe.Send(slap.Msg{Kind: msgEOS})
+			}
+		} else {
+			for {
+				msg, ok := pe.RecvWait()
+				if !ok {
+					panic(fmt.Sprintf("core: PE %d: seam-broadcast stream ended without eos", pe.Index))
+				}
+				if msg.Kind == msgEOS {
+					if pe.HasOut() {
+						pe.Send(msg)
+					}
+					break
+				}
+				pe.Tick(1) // table insert
+				if pe.HasOut() {
+					pe.Send(msg)
+				}
+			}
+		}
+		pe.DeclareMemory(tableWords)
+	})
+	m.RunLocal("seam-rewrite", func(pe *slap.PE) {
+		var ticks int64
+		if changed {
+			for x := pe.Index; x < w; x += aw {
+				ticks += sc.colFG[x] + sc.colRW[x]
+			}
+		}
+		pe.Tick(ticks)
+	})
+	return m.PhaseMetricsAt(0), m.PhaseMetricsAt(1), m.PEMemoryWords()
+}
+
+// growInt64 returns s grown to length n, zeroed.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		s = make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }

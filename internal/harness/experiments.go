@@ -489,6 +489,59 @@ func e11() Experiment {
 	}
 }
 
+// e13: strip-mined composition models — how the composed time of a
+// fixed-width run moves with the seam-relabel model (host-sequential vs
+// distributed broadcast+rewrite) and the strip schedule (sequential vs
+// pipelined input overlap). Labeling is bit-identical under every
+// combination (labelChecked holds it to the ground truth); only the
+// charged schedule differs.
+func e13() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "seam-relabel and strip-schedule composition models",
+		Claim: "the distributed relabel turns the host-sequential rewrite into array phases (a win once rewrites dominate), and the pipelined schedule hides all but the first strip's input phase",
+		Run: func(cfg Config) ([]Table, error) {
+			if err := cfg.validate(); err != nil {
+				return nil, err
+			}
+			n := cfg.maxSize()
+			t := Table{ID: "E13", Title: fmt.Sprintf("composed time by seam/schedule model (n=%d)", n),
+				Claim:   "T(host+seq) ≥ T(dist+seq) on rewrite-heavy images; T(·+pipe) shaves Σ later strips' input makespans; seam share counts all seam phases",
+				Columns: []string{"family", "array", "T host+seq", "T dist+seq", "T dist+pipe", "pipe saves %", "seam %"}}
+			for _, name := range []string{"random50", "checker", "hserpentine"} {
+				img := familyOrDie(name).Generate(n)
+				for _, div := range []int{4, 16} {
+					aw := n / div
+					if aw < 1 {
+						break
+					}
+					hostSeq, err := labelChecked(img, core.Options{ArrayWidth: aw, Seam: core.SeamHost})
+					if err != nil {
+						return nil, fmt.Errorf("%s aw=%d host+seq: %w", name, aw, err)
+					}
+					distSeq, err := labelChecked(img, core.Options{ArrayWidth: aw})
+					if err != nil {
+						return nil, fmt.Errorf("%s aw=%d dist+seq: %w", name, aw, err)
+					}
+					distPipe, err := labelChecked(img, core.Options{ArrayWidth: aw, Schedule: core.SchedulePipelined})
+					if err != nil {
+						return nil, fmt.Errorf("%s aw=%d dist+pipe: %w", name, aw, err)
+					}
+					saving := 100 * (1 - float64(distPipe.Metrics.Time)/float64(distSeq.Metrics.Time))
+					t.AddRow(name, fi(int64(aw)),
+						fi(hostSeq.Metrics.Time), fi(distSeq.Metrics.Time), fi(distPipe.Metrics.Time),
+						ff(saving),
+						ff(100*float64(core.SeamTime(distSeq.Metrics))/float64(distSeq.Metrics.Time)))
+				}
+			}
+			t.Notes = append(t.Notes,
+				"labels are bit-identical across every model combination (each run is ground-truth checked)",
+				"host+seq is the original PR 3 model, pinned unchanged by TestGoldenLargeStepCounts")
+			return []Table{t}, nil
+		},
+	}
+}
+
 func sizeCols(sizes []int) []string {
 	out := make([]string, len(sizes))
 	for i, n := range sizes {
@@ -531,10 +584,9 @@ func e12() Experiment {
 						return nil, fmt.Errorf("%s aw=%d: %w", name, aw, err)
 					}
 					strips := (n + aw - 1) / aw
-					seam, _ := res.Metrics.Phase("seam-merge")
 					t.AddRow(name, fi(int64(aw)), fi(int64(strips)), fi(res.Metrics.Time),
 						ff(float64(res.Metrics.Time)/float64(whole.Metrics.Time)),
-						ff(100*float64(seam.Makespan)/float64(res.Metrics.Time)))
+						ff(100*float64(core.SeamTime(res.Metrics))/float64(res.Metrics.Time)))
 				}
 			}
 			return []Table{t}, nil

@@ -1,7 +1,8 @@
-// Package harness defines the reproduction experiments E1–E12: one per
+// Package harness defines the reproduction experiments E1–E13: one per
 // figure or quantitative claim of the paper (see DESIGN.md §5 for the
-// index). Each experiment sweeps image families over a range of sizes on
-// the simulated SLAP and renders tables whose *shape* — growth exponents,
+// index), plus the strip-mining composition sweeps E12–E13. Each
+// experiment sweeps image families over a range of sizes on the
+// simulated SLAP and renders tables whose *shape* — growth exponents,
 // ratios, who wins — is what the reproduction checks; EXPERIMENTS.md
 // records paper-claim versus measured for each.
 package harness
@@ -157,7 +158,7 @@ type Experiment struct {
 // All returns the experiment suite in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(),
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13(),
 	}
 }
 

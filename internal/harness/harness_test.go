@@ -43,8 +43,8 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("want 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("want 13 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

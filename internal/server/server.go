@@ -344,6 +344,20 @@ func (s *Server) optionsFor(p api.Params, imgW, imgH int) (core.Options, error) 
 	if p.ArrayWidth > 0 {
 		opt.ArrayWidth = p.ArrayWidth
 	}
+	if p.Seam != "" {
+		seam := core.SeamModel(strings.ToLower(p.Seam))
+		if !seam.Valid() {
+			return opt, fmt.Errorf("bad seam %q (want %q or %q)", p.Seam, core.SeamDistributed, core.SeamHost)
+		}
+		opt.Seam = seam
+	}
+	if p.Schedule != "" {
+		sched := core.ScheduleModel(strings.ToLower(p.Schedule))
+		if !sched.Valid() {
+			return opt, fmt.Errorf("bad schedule %q (want %q or %q)", p.Schedule, core.ScheduleSequential, core.SchedulePipelined)
+		}
+		opt.Schedule = sched
+	}
 	return opt, nil
 }
 

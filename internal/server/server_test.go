@@ -168,8 +168,8 @@ func TestLabelEndpointErrors(t *testing.T) {
 }
 
 // TestAggregateEndpoint: sum-over-ones equals component areas from the
-// in-process Aggregate, and the strip-mined refusal surfaces as 400
-// with the actionable message.
+// in-process Aggregate, for whole-image and strip-mined (array=) runs
+// alike.
 func TestAggregateEndpoint(t *testing.T) {
 	s := New(Config{Workers: 1})
 	img := bitmap.MustParse("##.\n.#.\n..#")
@@ -191,17 +191,68 @@ func TestAggregateEndpoint(t *testing.T) {
 		}
 	}
 
-	rec = postImage(t, s, api.PathAggregate, img, imageio.FormatArt, api.Params{Op: "sum", ArrayWidth: 2})
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("strip-mined aggregate: %d", rec.Code)
+	// array= strip-mines the aggregation (the PR 4 refusal is gone): the
+	// per-pixel folds and labels must pin against in-process
+	// AggregateLarge, whose values equal the whole-image run's.
+	wantStrip, err := core.AggregateLarge(img, core.Ones(img), core.Sum(), core.Options{ArrayWidth: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	er := decodeJSON[api.ErrorResponse](t, rec)
-	if !strings.Contains(er.Error, "ArrayWidth 0") {
-		t.Fatalf("error not actionable: %q", er.Error)
+	rec = postImage(t, s, api.PathAggregate, img, imageio.FormatArt, api.Params{Op: "sum", ArrayWidth: 2, WantLabels: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("strip-mined aggregate: %d: %s", rec.Code, rec.Body.String())
+	}
+	sresp := decodeJSON[api.AggregateResponse](t, rec)
+	if sresp.Metrics.ArrayWidth != 2 || sresp.Metrics.TimeSteps != wantStrip.Metrics.Time {
+		t.Fatalf("strip-mined metrics: array %d time %d, want array 2 time %d",
+			sresp.Metrics.ArrayWidth, sresp.Metrics.TimeSteps, wantStrip.Metrics.Time)
+	}
+	for i := range wantStrip.PerPixel {
+		if sresp.PerPixel[i] != wantStrip.PerPixel[i] {
+			t.Fatalf("strip-mined per_pixel[%d] = %d, want %d", i, sresp.PerPixel[i], wantStrip.PerPixel[i])
+		}
+		if sresp.PerPixel[i] != want.PerPixel[i] {
+			t.Fatalf("strip-mined per_pixel[%d] = %d diverges from whole-image %d", i, sresp.PerPixel[i], want.PerPixel[i])
+		}
 	}
 
 	if rec := postImage(t, s, api.PathAggregate, img, imageio.FormatArt, api.Params{Op: "median"}); rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad op: %d", rec.Code)
+	}
+}
+
+// TestSeamScheduleParams: seam= and schedule= select the strip models
+// per request — pinned against the in-process runs — and unknown values
+// are 400s.
+func TestSeamScheduleParams(t *testing.T) {
+	s := New(Config{Workers: 1})
+	img := bitmap.Random(24, 0.5, 11)
+	for _, tc := range []struct {
+		p   api.Params
+		opt core.Options
+	}{
+		{api.Params{ArrayWidth: 8, Seam: "host"}, core.Options{ArrayWidth: 8, Seam: core.SeamHost}},
+		{api.Params{ArrayWidth: 8, Schedule: "pipelined"}, core.Options{ArrayWidth: 8, Schedule: core.SchedulePipelined}},
+		{api.Params{ArrayWidth: 8, Seam: "distributed", Schedule: "sequential"}, core.Options{ArrayWidth: 8}},
+	} {
+		want, err := core.LabelLarge(img, tc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := postImage(t, s, api.PathLabel, img, imageio.FormatRaw, tc.p)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%+v: %d: %s", tc.p, rec.Code, rec.Body.String())
+		}
+		resp := decodeJSON[api.LabelResponse](t, rec)
+		if resp.Metrics.TimeSteps != want.Metrics.Time {
+			t.Errorf("%+v: time %d, want %d", tc.p, resp.Metrics.TimeSteps, want.Metrics.Time)
+		}
+	}
+	for _, p := range []api.Params{{Seam: "psychic"}, {Schedule: "asap"}} {
+		rec := postImage(t, s, api.PathLabel, img, imageio.FormatRaw, p)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%+v accepted: %d", p, rec.Code)
+		}
 	}
 }
 

@@ -1,10 +1,14 @@
 package slap
 
 // Metrics composition for strip-mined runs: a fixed-width array labels an
-// oversized image as a sequence of independent strip runs plus a host-side
-// seam merge. The schedule model is explicitly sequential — the strips
-// execute back to back on the one physical array — so composed numbers
-// stay as meaningful and deterministic as single-run numbers:
+// oversized image as a sequence of independent strip runs plus a seam
+// merge. Two schedule models are offered (both documented in
+// docs/METRICS.md, with the equations):
+//
+// # Sequential (MergeSequential)
+//
+// The strips execute back to back on the one physical array, so composed
+// numbers stay as meaningful and deterministic as single-run numbers:
 //
 //   - phase makespans, busy/idle time, and traffic ADD (phases are folded
 //     by name, so "left:unionfind" of the composed report is the total
@@ -16,15 +20,35 @@ package slap
 //   - per-PE profiles are dropped (they do not compose across runs of
 //     differing strip widths).
 //
-// The seam merge itself is appended as its own phase (AppendPhase) so the
+// # Pipelined (MergePipelined)
+//
+// The array double-buffers its column memory, so strip s+1's O(h) input
+// phase streams in WHILE strip s's sweeps run; only the first strip's
+// input sits on the critical path (when inputs are shorter than computes,
+// the typical case by a factor of Θ(lg n)). Work accounting — per-phase
+// makespans, busy time, traffic — is identical to the sequential model;
+// only the composed Time differs, because phases overlap. The recurrence
+// is the classic two-stage pipeline with one lookahead buffer:
+//
+//	endInput(s)   = max(endInput(s-1), begCompute(s-1)) + I(s)
+//	begCompute(s) = max(endCompute(s-1), endInput(s))
+//	endCompute(s) = begCompute(s) + C(s)
+//
+// where I(s) is the makespan of strip s's "input" phase (0 under
+// SkipInput, which collapses the model to the sequential one) and C(s)
+// is the rest of the strip's makespan. Composed Time after the last
+// strip is endCompute(last); phases appended afterwards (the seam
+// phases) execute sequentially after the pipeline drains and add their
+// makespans as usual.
+//
+// The seam merge itself is appended phase by phase (AppendPhase) so the
 // report shows exactly what the stitching cost.
 
-// MergeSequential folds s into m under the sequential strip schedule:
-// phase metrics fold by name in s's order (appending unseen phases),
-// makespans and traffic sum, queue peaks and PE memory max. m keeps its
-// N. Typical use starts from Metrics{N: arrayWidth} and merges each
-// strip's metrics in strip order.
-func (m *Metrics) MergeSequential(s Metrics) {
+// foldStrip folds s's phases and traffic into m under either schedule
+// model: phase metrics fold by name in s's order (appending unseen
+// phases), makespans and traffic sum, queue peaks and PE memory max. m
+// keeps its N.
+func (m *Metrics) foldStrip(s Metrics) {
 	for _, p := range s.Phases {
 		p.PerPE = nil
 		i := -1
@@ -50,7 +74,6 @@ func (m *Metrics) MergeSequential(s Metrics) {
 		}
 		q.PerPE = nil
 	}
-	m.Time += s.Time
 	m.Sends += s.Sends
 	m.Words += s.Words
 	if s.MaxQueue > m.MaxQueue {
@@ -61,6 +84,64 @@ func (m *Metrics) MergeSequential(s Metrics) {
 	}
 }
 
+// MergeSequential folds s into m under the sequential strip schedule:
+// phase metrics fold by name in s's order (appending unseen phases),
+// makespans and traffic sum, queue peaks and PE memory max. m keeps its
+// N. Typical use starts from Metrics{N: arrayWidth} and merges each
+// strip's metrics in strip order.
+func (m *Metrics) MergeSequential(s Metrics) {
+	m.foldStrip(s)
+	m.Time += s.Time
+}
+
+// MergePipelined folds s into m under the pipelined strip schedule (see
+// the package comment above for the model): work accounting is identical
+// to MergeSequential, but the composed Time follows the double-buffered
+// input-overlap recurrence, so it is at most the sequential Time and
+// shrinks by up to Σ later strips' input makespans. Start from a fresh
+// Metrics{N: arrayWidth}, merge every strip in strip order, then
+// AppendPhase any trailing (seam) phases — those execute after the
+// pipeline drains and add sequentially.
+func (m *Metrics) MergePipelined(s Metrics) {
+	m.foldStrip(s)
+	var input int64
+	if p, ok := s.Phase("input"); ok {
+		input = p.Makespan
+	}
+	compute := s.Time - input
+
+	endInput := maxInt64(m.pipeInputEnd, m.pipeComputeBeg) + input
+	begCompute := maxInt64(m.pipeComputeEnd, endInput)
+	endCompute := begCompute + compute
+
+	// The composed Time may already carry phases appended before the
+	// pipeline (none in the tiler's usage, but keep the invariant): only
+	// the pipelined portion is replaced by the recurrence.
+	m.Time += endCompute - m.pipeComputeEnd
+	m.pipeInputEnd = endInput
+	m.pipeComputeBeg = begCompute
+	m.pipeComputeEnd = endCompute
+}
+
+// PipelinedSaving returns how much composed time the pipelined schedule
+// has saved so far versus sequential composition of the same strips:
+// Σ strip makespans minus the pipeline critical path. Zero when the
+// accumulator has only seen MergeSequential.
+func (m *Metrics) PipelinedSaving() int64 {
+	var seq int64
+	for _, p := range m.Phases {
+		seq += p.Makespan
+	}
+	return seq - m.Time
+}
+
 // AppendPhase records p as a new phase of m, folding it into the totals
 // exactly as a phase executed on the machine would be.
 func (m *Metrics) AppendPhase(p PhaseMetrics) { m.add(p) }
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -75,6 +75,66 @@ func TestMergeSequential(t *testing.T) {
 	}
 }
 
+// TestMergePipelined pins the pipelined schedule recurrence: work
+// totals fold exactly as MergeSequential, while Time follows the
+// double-buffered input-overlap model — only the first strip's input is
+// on the critical path when inputs are shorter than computes, and an
+// input longer than the preceding compute stalls the pipeline by the
+// difference.
+func TestMergePipelined(t *testing.T) {
+	strip := func(input, compute int64) Metrics {
+		var m Metrics
+		m.add(PhaseMetrics{Name: "input", Makespan: input, Busy: input})
+		m.add(PhaseMetrics{Name: "left:unionfind", Makespan: compute, Sends: 3, Words: 5})
+		return m
+	}
+
+	// Uniform strips, I < C: T = I + k·C.
+	var comp Metrics
+	for i := 0; i < 3; i++ {
+		comp.MergePipelined(strip(4, 10))
+	}
+	if comp.Time != 4+3*10 {
+		t.Errorf("uniform pipeline Time = %d, want %d", comp.Time, 34)
+	}
+	if comp.Phases[0].Makespan != 12 || comp.Phases[1].Makespan != 30 {
+		t.Errorf("work totals did not fold sequentially: %+v", comp.Phases)
+	}
+	if comp.Sends != 9 || comp.Words != 15 {
+		t.Errorf("traffic totals wrong: %+v", comp)
+	}
+	if comp.PipelinedSaving() != 42-34 {
+		t.Errorf("PipelinedSaving = %d, want 8", comp.PipelinedSaving())
+	}
+
+	// An input longer than the previous compute stalls the array: strip
+	// 2's input (25) begins once strip 1 starts computing (t=4) and ends
+	// at 29, after strip 1's compute (14), so compute 2 spans [29, 39].
+	var stall Metrics
+	stall.MergePipelined(strip(4, 10))
+	stall.MergePipelined(strip(25, 10))
+	if stall.Time != 39 {
+		t.Errorf("stalled pipeline Time = %d, want 39", stall.Time)
+	}
+
+	// No input phase (SkipInput): pipelining degenerates to sequential.
+	var noIn Metrics
+	a := Metrics{}
+	a.add(PhaseMetrics{Name: "left:unionfind", Makespan: 7})
+	noIn.MergePipelined(a)
+	noIn.MergePipelined(a)
+	if noIn.Time != 14 || noIn.PipelinedSaving() != 0 {
+		t.Errorf("SkipInput pipeline Time = %d saving %d, want 14 and 0", noIn.Time, noIn.PipelinedSaving())
+	}
+
+	// Appended (seam) phases execute after the drain and add as usual.
+	before := comp.Time
+	comp.AppendPhase(PhaseMetrics{Name: "seam-merge", Makespan: 11})
+	if comp.Time != before+11 {
+		t.Errorf("AppendPhase after pipeline: Time = %d, want %d", comp.Time, before+11)
+	}
+}
+
 // TestMergeSequentialAppendsUnseenPhases: a later run with a phase the
 // accumulator has not seen appends it, preserving order.
 func TestMergeSequentialAppendsUnseenPhases(t *testing.T) {

@@ -23,6 +23,10 @@
 // barrier-separated, matching the paper's phase-by-phase accounting. The
 // SIMD restriction (one common instruction stream with predication) costs
 // only a constant factor over this MIMD-style count and is not modeled.
+//
+// docs/METRICS.md is the reference for every phase name the system
+// emits, what each meter entry charges, and the strip-composition
+// schedule equations (MergeSequential/MergePipelined in compose.go).
 package slap
 
 import "fmt"

@@ -252,11 +252,19 @@ type PhaseMetrics struct {
 type Metrics struct {
 	N        int
 	Phases   []PhaseMetrics
-	Time     int64 // Σ phase makespans
+	Time     int64 // Σ phase makespans (pipelined composition: critical path)
 	Sends    int64
 	Words    int64
 	MaxQueue int
 	PEMemory int64 // max declared per-PE memory in words
+
+	// Pipelined-composition state (see MergePipelined in compose.go): the
+	// completion time of the last merged strip's input stage, and the
+	// start/completion times of its compute stage. Zero outside pipelined
+	// composition.
+	pipeInputEnd   int64
+	pipeComputeBeg int64
+	pipeComputeEnd int64
 }
 
 // add folds a phase into the totals.
@@ -359,6 +367,23 @@ func (mc *Machine) N() int { return mc.n }
 
 // Cost returns the machine's cost model.
 func (mc *Machine) Cost() CostModel { return mc.cost }
+
+// PhaseCount returns how many phases the machine has executed since the
+// last Reset.
+func (mc *Machine) PhaseCount() int { return len(mc.metrics.Phases) }
+
+// PhaseMetricsAt returns the i-th executed phase by value, with any
+// per-PE profile dropped — the allocation-free read for composition
+// code that folds a phase and moves on. Metrics() remains the safe
+// independent full copy.
+func (mc *Machine) PhaseMetricsAt(i int) PhaseMetrics {
+	p := mc.metrics.Phases[i]
+	p.PerPE = nil
+	return p
+}
+
+// PEMemoryWords returns the maximum per-PE memory declared so far.
+func (mc *Machine) PEMemoryWords() int64 { return mc.metrics.PEMemory }
 
 // Metrics returns the metrics accumulated so far. The returned value is
 // an independent copy: it stays valid after the machine is reset.

@@ -90,6 +90,29 @@ type CostModel = slap.CostModel
 // Monoid is a commutative associative fold operator for Aggregate.
 type Monoid = core.Monoid
 
+// SeamModel selects how a strip-mined run charges its seam relabel
+// (Options.Seam): SeamDistributed broadcasts the remap table down the
+// array and rewrites per PE; SeamHost charges a sequential host pass.
+type SeamModel = core.SeamModel
+
+// Seam-relabel models for Options.Seam; see docs/METRICS.md.
+const (
+	SeamDistributed = core.SeamDistributed // default: broadcast + per-PE rewrite
+	SeamHost        = core.SeamHost        // sequential host pass (comparison model)
+)
+
+// ScheduleModel selects the strip-composition schedule
+// (Options.Schedule): ScheduleSequential runs strips back to back;
+// SchedulePipelined overlaps strip inputs with the previous strip's
+// sweeps.
+type ScheduleModel = core.ScheduleModel
+
+// Strip schedule models for Options.Schedule; see docs/METRICS.md.
+const (
+	ScheduleSequential = core.ScheduleSequential // default: strips back to back
+	SchedulePipelined  = core.SchedulePipelined  // overlap inputs under compute
+)
+
 // AggregateResult is Aggregate's output.
 type AggregateResult = core.AggregateResult
 
@@ -172,8 +195,28 @@ func LabelLarge(img *Bitmap, opt Options) (*Result, error) { return core.LabelLa
 // Aggregate labels every component of img with the op-fold of the
 // initial per-pixel labels over the whole component (the paper's
 // Corollary 4 extension). initial is indexed by column-major position.
+// With 0 < opt.ArrayWidth < img.W() the run strip-mines onto the
+// fixed-width array (see AggregateLarge); results are identical.
 func Aggregate(img *Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
 	return core.Aggregate(img, initial, op, opt)
+}
+
+// SeamTime sums the makespans of a composed report's seam phases
+// ("seam-merge", plus "seam-broadcast"/"seam-rewrite" under the
+// distributed relabel) — the strip-mining overhead term next to the
+// strips' own labeling time. Zero on whole-image runs.
+func SeamTime(m Metrics) int64 { return core.SeamTime(m) }
+
+// AggregateLarge runs the Corollary 4 aggregation on an image wider
+// than the physical array by strip-mining, exactly as LabelLarge does
+// for labeling: per-strip aggregation over zero-copy strip views, then
+// a seam stitch that merges seam-crossing components and combines their
+// per-strip folds under op. Per-pixel folds and labels are bit-identical
+// to a whole-image run at every array width; composed metrics follow
+// the selected Options.Seam and Options.Schedule models (see
+// docs/METRICS.md). With ArrayWidth 0 it is exactly Aggregate.
+func AggregateLarge(img *Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	return core.AggregateLarge(img, initial, op, opt)
 }
 
 // MinOf returns the minimum monoid (Corollary 4's operator).

@@ -10,7 +10,9 @@
 //	POST /v1/aggregate    one image in the body → AggregateResponse
 //	POST /v1/label/batch  multipart/form-data, one image per part →
 //	                      BatchResponse (results in part order)
-//	GET  /healthz         200 "ok" while serving, 503 while draining
+//	GET  /healthz         200 HealthResponse while serving, 503 once
+//	                      draining (the body carries queue depth, so a
+//	                      coordinator can route by load)
 //	GET  /metrics         Prometheus text format counters
 //
 // Image bodies may be PNG, plain PBM (P1), ASCII art, or the SLR1
@@ -51,8 +53,14 @@ type Params struct {
 	// UF names the union–find implementation (e.g. "tarjan", "blum").
 	UF string
 	// Cost is "unit" (default) or "bitserial" (the Theorem 5 machine,
-	// word width derived from the image's dimensions).
+	// word width derived from the image's dimensions unless WordBits
+	// pins it).
 	Cost string
+	// WordBits pins the bit-serial word width (0 = derive from the
+	// image's dimensions). A coordinator fanning strips of one image
+	// across backends pins the whole image's width here, so per-strip
+	// runs charge exactly what a local strip-mined run would.
+	WordBits int
 	// ArrayWidth strip-mines the run on an array of this many PEs when
 	// the image is wider (0 = array as wide as the image).
 	ArrayWidth int
@@ -77,6 +85,11 @@ type Params struct {
 	// "ones" (Sum gives component areas) or "positions" (column-major
 	// index; Min gives canonical labels). Default "ones".
 	Initial string
+	// InitialOffset shifts the "positions" initial values: pixel i gets
+	// i + InitialOffset. A coordinator aggregating one image strip by
+	// strip sets each strip's global column-major origin here, so the
+	// per-strip folds are the ones the whole-image run computes.
+	InitialOffset int
 }
 
 // Query encodes p as URL query parameters, omitting zero values.
@@ -93,6 +106,9 @@ func (p Params) Query() url.Values {
 	}
 	set("uf", p.UF)
 	set("cost", p.Cost)
+	if p.WordBits != 0 {
+		q.Set("wordbits", strconv.Itoa(p.WordBits))
+	}
 	if p.ArrayWidth != 0 {
 		q.Set("array", strconv.Itoa(p.ArrayWidth))
 	}
@@ -103,6 +119,9 @@ func (p Params) Query() url.Values {
 	}
 	set("op", p.Op)
 	set("initial", p.Initial)
+	if p.InitialOffset != 0 {
+		q.Set("initialoffset", strconv.Itoa(p.InitialOffset))
+	}
 	return q
 }
 
@@ -123,6 +142,12 @@ func ParamsFromQuery(q url.Values) (Params, error) {
 		return p, err
 	}
 	if p.ArrayWidth, err = intParam(q, "array"); err != nil {
+		return p, err
+	}
+	if p.WordBits, err = intParam(q, "wordbits"); err != nil {
+		return p, err
+	}
+	if p.InitialOffset, err = intParam(q, "initialoffset"); err != nil {
 		return p, err
 	}
 	switch q.Get("labels") {
@@ -224,6 +249,23 @@ type BatchResponse struct {
 	Frames  int         `json:"frames"`
 	Errors  int         `json:"errors"`
 	Results []BatchItem `json:"results"`
+}
+
+// HealthResponse is the /healthz body: 200 with Status "ok" while
+// serving, 503 with Status "draining" once shutdown drain begins. The
+// load figures let a coordinator prefer idle backends without a
+// second round-trip to /metrics.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Inflight is the number of admitted requests currently in flight.
+	Inflight int `json:"inflight"`
+	// QueueDepth is how many of those are waiting for a worker.
+	QueueDepth int `json:"queue_depth"`
+	// Capacity is the admission bound: 429s begin at Inflight ==
+	// Capacity.
+	Capacity int `json:"capacity"`
+	// Workers is the labeler pool size.
+	Workers int `json:"workers"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx, non-429 response.

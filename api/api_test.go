@@ -1,0 +1,54 @@
+package api
+
+import (
+	"net/url"
+	"testing"
+)
+
+// TestParamsRoundTrip: Query and ParamsFromQuery are inverses for
+// every field, including the cluster-era WordBits and InitialOffset.
+func TestParamsRoundTrip(t *testing.T) {
+	p := Params{
+		Format:        "raw",
+		Connectivity:  8,
+		UF:            "tarjan",
+		Cost:          "bitserial",
+		WordBits:      13,
+		ArrayWidth:    64,
+		Seam:          "distributed",
+		Schedule:      "pipelined",
+		WantLabels:    true,
+		Op:            "sum",
+		Initial:       "positions",
+		InitialOffset: 4096,
+	}
+	got, err := ParamsFromQuery(p.Query())
+	if err != nil {
+		t.Fatalf("ParamsFromQuery: %v", err)
+	}
+	if got != p {
+		t.Fatalf("round trip changed params:\n got %+v\nwant %+v", got, p)
+	}
+
+	// Zero values stay off the wire and parse back to zero.
+	if enc := (Params{}).Query().Encode(); enc != "" {
+		t.Fatalf("zero params encoded to %q", enc)
+	}
+	if got, err := ParamsFromQuery(url.Values{}); err != nil || got != (Params{}) {
+		t.Fatalf("empty query: %+v, %v", got, err)
+	}
+}
+
+// TestParamsFromQueryRejectsBadInts: malformed numeric fields are
+// errors, not silent zeros.
+func TestParamsFromQueryRejectsBadInts(t *testing.T) {
+	for _, key := range []string{"conn", "array", "wordbits", "initialoffset"} {
+		q := url.Values{key: []string{"not-a-number"}}
+		if _, err := ParamsFromQuery(q); err == nil {
+			t.Errorf("bad %s accepted", key)
+		}
+	}
+	if _, err := ParamsFromQuery(url.Values{"labels": []string{"maybe"}}); err == nil {
+		t.Error("bad labels accepted")
+	}
+}

@@ -1,6 +1,6 @@
 // Package client is the Go client for the slapd labeling service: a
 // thin, connection-reusing wrapper over the api wire contract with
-// typed results and automatic retry on 429 backpressure.
+// typed results and automatic retry of transient failures.
 //
 //	c := client.New("http://localhost:8117")
 //	resp, err := c.Label(ctx, img, api.Params{})
@@ -8,22 +8,39 @@
 //
 // One Client is safe for concurrent use and keeps connections alive
 // across requests (the load generator drives thousands of frames per
-// connection through it). When slapd sheds load with 429, the client
-// honors the Retry-After hint up to a configurable attempt budget
-// before surfacing the error as a *StatusError.
+// connection through it). Every POST body is a replayable byte slice
+// and labeling is pure, so retrying is always safe; one attempt budget
+// (WithMaxRetries) covers both failure families:
+//
+//   - 429 backpressure: the wait honors the server's Retry-After hint
+//     (whole seconds or an HTTP-date; zero, negative, or past values
+//     mean "retry now"), capped by WithMaxRetryWait;
+//   - transient transport errors — connection refused or reset, broken
+//     pipe, a response truncated mid-body (unexpected EOF): the wait
+//     follows capped exponential backoff with jitter, so a fleet of
+//     clients hammering a restarting backend spreads out instead of
+//     thundering back in lockstep.
+//
+// Context deadlines and cancellation are honored on every attempt and
+// every wait. Anything non-transient (4xx, malformed responses)
+// surfaces immediately as a *StatusError or decode error.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"mime/multipart"
 	"net/http"
 	"net/textproto"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"slapcc"
@@ -35,8 +52,16 @@ import (
 type Client struct {
 	base       string
 	hc         *http.Client
-	maxRetries int           // extra attempts after a 429
-	maxWait    time.Duration // cap on a single Retry-After wait
+	maxRetries int           // extra attempts after a retryable failure
+	maxWait    time.Duration // cap on a single retry wait
+	backoff    time.Duration // first transient-error backoff step
+
+	// Injectable clockwork (tests): sleep waits d or until ctx dies,
+	// now reads the wall clock (HTTP-date Retry-After), rnd drives the
+	// backoff jitter.
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+	rnd   func() float64
 }
 
 // Option customizes a Client.
@@ -46,12 +71,20 @@ type Option func(*Client)
 // transport tuning, test doubles).
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
 
-// WithMaxRetries sets how many times a 429 is retried before giving up
-// (default 4; 0 disables retrying).
+// WithMaxRetries sets how many times a retryable failure (429 or a
+// transient transport error) is retried before giving up (default 4;
+// 0 disables retrying — a coordinator that owns its own retry and
+// routing policy runs its per-backend clients this way).
 func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
 
-// WithMaxRetryWait caps a single Retry-After wait (default 5s).
+// WithMaxRetryWait caps a single retry wait, whatever its source —
+// Retry-After hint or backoff schedule (default 5s).
 func WithMaxRetryWait(d time.Duration) Option { return func(c *Client) { c.maxWait = d } }
+
+// WithBackoff sets the first transient-error backoff step; attempt k
+// waits ~backoff·2^k with jitter, capped by WithMaxRetryWait (default
+// 50ms).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
 // New returns a client for the slapd at baseURL (e.g.
 // "http://localhost:8117").
@@ -60,6 +93,22 @@ func New(baseURL string, opts ...Option) *Client {
 		base:       strings.TrimRight(baseURL, "/"),
 		maxRetries: 4,
 		maxWait:    5 * time.Second,
+		backoff:    50 * time.Millisecond,
+		now:        time.Now,
+		rnd:        lockedFloat64(),
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		if d <= 0 {
+			return ctx.Err()
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	for _, o := range opts {
 		o(c)
@@ -72,10 +121,28 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
+// lockedFloat64 returns a concurrency-safe jitter source with its own
+// seed (the global rand would contend across clients under load).
+func lockedFloat64() func() float64 {
+	var mu sync.Mutex
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+}
+
 // StatusError is a non-2xx response, carrying the server's error text.
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the parsed Retry-After hint of a 429 (zero when
+	// absent, unparseable, or already elapsed).
+	RetryAfter time.Duration
+	// hinted records whether the header was present and parseable, so
+	// the retry loop can tell "wait 0, retry now" from "no hint".
+	hinted bool
 }
 
 func (e *StatusError) Error() string {
@@ -128,8 +195,14 @@ func (c *Client) Aggregate(ctx context.Context, img *slapcc.Bitmap, p api.Params
 	if err != nil {
 		return nil, err
 	}
+	return c.AggregateData(ctx, data, ct, p)
+}
+
+// AggregateData aggregates an already-encoded image body, the
+// /v1/aggregate counterpart of LabelData.
+func (c *Client) AggregateData(ctx context.Context, data []byte, contentType string, p api.Params) (*api.AggregateResponse, error) {
 	var out api.AggregateResponse
-	if err := c.post(ctx, api.PathAggregate, p, data, ct, &out); err != nil {
+	if err := c.post(ctx, api.PathAggregate, p, data, contentType, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -184,19 +257,42 @@ func (c *Client) LabelBatch(ctx context.Context, frames []Frame, p api.Params) (
 
 // Healthz reports nil while the server is healthy.
 func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.Health(ctx)
+	return err
+}
+
+// Health probes /healthz and returns the server's load report. A
+// healthy backend returns (report, nil); a draining one returns its
+// report alongside the 503 *StatusError, so a router can still read
+// the load figures; a dead one returns (nil, transport error).
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.PathHealthz, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer drain(resp)
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var h api.HealthResponse
+	decoded := json.Unmarshal(body, &h) == nil && h.Status != ""
 	if resp.StatusCode != http.StatusOK {
-		return statusError(resp)
+		se := &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+		var er api.ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			se.Msg = er.Error
+		}
+		if decoded {
+			return &h, se
+		}
+		return nil, se
 	}
-	return nil
+	if !decoded {
+		return nil, fmt.Errorf("client: malformed health body %q", body)
+	}
+	return &h, nil
 }
 
 // Metrics fetches the Prometheus exposition.
@@ -211,74 +307,144 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	}
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
-		return "", statusError(resp)
+		return "", c.statusError(resp)
 	}
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
 }
 
-// post sends one POST with 429-retry and decodes the JSON response.
-// The body is a byte slice precisely so each retry can replay it.
+// post sends one POST with the retry policy of the package comment —
+// one attempt budget over 429 backpressure and transient transport
+// errors — and decodes the JSON response. The body is a byte slice
+// precisely so each retry can replay it.
 func (c *Client) post(ctx context.Context, path string, p api.Params, body []byte, contentType string, out any) error {
 	url := c.base + path
 	if q := p.Query().Encode(); q != "" {
 		url += "?" + q
 	}
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-		if err != nil {
+		err := c.postOnce(ctx, url, body, contentType, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || attempt >= c.maxRetries {
 			return err
 		}
-		if contentType != "" {
-			req.Header.Set("Content-Type", contentType)
-		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
+		var wait time.Duration
+		var se *StatusError
+		switch {
+		case errors.As(err, &se):
+			if !se.IsRetryable() {
+				return err
+			}
+			wait = se.RetryAfter
+			if !se.hinted {
+				// No usable hint: a short fixed pause, so a missing
+				// header cannot spin-loop.
+				wait = 100 * time.Millisecond
+			}
+		case isTransient(err):
+			wait = c.backoffWait(attempt)
+		default:
 			return err
 		}
-		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries {
-			wait := retryAfter(resp)
-			drain(resp)
-			if wait > c.maxWait {
-				wait = c.maxWait
-			}
-			select {
-			case <-time.After(wait):
-				continue
-			case <-ctx.Done():
-				return ctx.Err()
-			}
+		if wait > c.maxWait {
+			wait = c.maxWait
 		}
-		if resp.StatusCode != http.StatusOK {
-			defer drain(resp)
-			return statusError(resp)
+		if err := c.sleep(ctx, wait); err != nil {
+			return err
 		}
-		err = json.NewDecoder(resp.Body).Decode(out)
-		drain(resp)
-		return err
 	}
 }
 
-// retryAfter parses the server's whole-seconds hint, defaulting to a
-// short pause so a missing header cannot spin-loop.
-func retryAfter(resp *http.Response) time.Duration {
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
-		}
+// postOnce performs a single attempt. A truncated response body
+// surfaces as io.ErrUnexpectedEOF from the decoder, which isTransient
+// recognizes — the request is replayable, so the attempt loop retries.
+func (c *Client) postOnce(ctx context.Context, url string, body []byte, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
 	}
-	return 100 * time.Millisecond
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer drain(resp)
+		return c.statusError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(out)
+	drain(resp)
+	return err
+}
+
+// backoffWait is attempt k's capped exponential backoff with jitter:
+// uniformly within [half, full] of backoff·2^k, capped by maxWait —
+// enough spread that restarting fleets don't retry in lockstep, never
+// less than half the nominal step.
+func (c *Client) backoffWait(attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // past any realistic budget; avoids shift overflow
+	}
+	d := c.backoff << uint(attempt)
+	if d <= 0 || d > c.maxWait {
+		d = c.maxWait
+	}
+	half := d / 2
+	return half + time.Duration(c.rnd()*float64(half))
+}
+
+// isTransient reports whether err is a failure worth replaying the
+// request over: the connection never opened (refused), died under us
+// (reset, broken pipe, EOF mid-exchange), or the body arrived
+// truncated. Context cancellation is never transient.
+func isTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.EOF)
+}
+
+// parseRetryAfter interprets a Retry-After header: whole seconds or an
+// HTTP-date. Zero, negative, and past values parse to 0 ("retry now");
+// ok is false when the header is absent or unparseable.
+func parseRetryAfter(h string, now time.Time) (wait time.Duration, ok bool) {
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // statusError builds a *StatusError from a non-2xx response, preferring
-// the JSON error body.
-func statusError(resp *http.Response) error {
+// the JSON error body and carrying any Retry-After hint.
+func (c *Client) statusError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	se := &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
 	var er api.ErrorResponse
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
-		return &StatusError{Code: resp.StatusCode, Msg: er.Error}
+		se.Msg = er.Error
 	}
-	return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+	se.RetryAfter, se.hinted = parseRetryAfter(resp.Header.Get("Retry-After"), c.now())
+	return se
 }
 
 // drain discards the rest of the body so the connection is reusable.

@@ -11,6 +11,12 @@
 //	slapload -url http://localhost:8117 -frames 1000 -concurrency 4 \
 //	         -sizes 64,128,256 -formats png,pbm,raw -out BENCH_pr4.json
 //
+// With -cluster the target is a slapfront coordinator: the same loop
+// and aggregate spot-checks run (strip-mined frames then fan out
+// across the fleet and must still verify bit-for-bit — kill a backend
+// mid-run to watch the coordinator re-shard), and the batch phase is
+// skipped.
+//
 // Phases:
 //
 //  1. warmup (a few frames, uncounted);
@@ -20,7 +26,8 @@
 //     request strip-mines on a -array-wide machine when given, pinning
 //     the service against in-process LabelLarge);
 //  3. -batches multipart batches of -batchsize frames, checked for
-//     in-order, bit-identical results;
+//     in-order, bit-identical results (skipped with -cluster: the
+//     slapfront coordinator does not expose /v1/label/batch);
 //  4. aggregate spot-checks (unless -aggverify=false): /v1/aggregate
 //     requests — whole-image and, when -array is set, strip-mined with
 //     array= — verified value-for-value against the in-process
@@ -76,6 +83,7 @@ type report struct {
 	Sizes       []int    `json:"sizes"`
 	Formats     []string `json:"formats"`
 	ArrayWidth  int      `json:"array_width,omitempty"`
+	Cluster     bool     `json:"cluster,omitempty"`
 	DurationS   float64  `json:"duration_s"`
 	FramesPerS  float64  `json:"frames_per_s"`
 	MBPerS      float64  `json:"mb_per_s"`
@@ -146,6 +154,7 @@ func run(args []string, out io.Writer) error {
 		batches  = fs.Int("batches", 8, "multipart batch requests after the loop (0 = skip)")
 		batchSz  = fs.Int("batchsize", 8, "frames per batch request")
 		aggVer   = fs.Bool("aggverify", true, "spot-check /v1/aggregate (incl. strip-mined array= runs) against in-process AggregateLarge; needs -verify")
+		clusterT = fs.Bool("cluster", false, "target is a slapfront coordinator: skip the batch phase (no /v1/label/batch there)")
 		overload = fs.Int("overload", 0, "fire this many concurrent no-retry requests to observe 429s (0 = skip)")
 		outPath  = fs.String("out", "", "write the JSON report here as well as stdout")
 		timeout  = fs.Duration("timeout", 120*time.Second, "per-request timeout")
@@ -180,6 +189,7 @@ func run(args []string, out io.Writer) error {
 	rep := &report{
 		Target: *url, Frames: *frames, Concurrency: *conc,
 		Sizes: sizeList, Formats: formatList, ArrayWidth: *array,
+		Cluster: *clusterT,
 	}
 	rep.Verify.Enabled = *verify
 
@@ -250,8 +260,9 @@ func run(args []string, out io.Writer) error {
 		rep.Verify.Mismatches = int(mismatches.Load())
 	}
 
-	// Phase 3: batches, verified in order.
-	if *batches > 0 && *batchSz > 0 {
+	// Phase 3: batches, verified in order. A slapfront target has no
+	// batch endpoint — single frames are the unit it shards.
+	if *batches > 0 && *batchSz > 0 && !*clusterT {
 		if err := runBatches(ctx, c, specs, *batches, *batchSz, rep); err != nil {
 			return err
 		}

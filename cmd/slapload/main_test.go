@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"slapcc/internal/cluster"
 	"slapcc/internal/server"
 )
 
@@ -80,5 +82,72 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-url", "http://x", "-sizes", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("bad sizes accepted")
+	}
+}
+
+// TestLoadAgainstCluster drives the -cluster scenario end to end: two
+// slapd backends behind a slapfront coordinator, one killed outright
+// mid-corpus (its strips re-shard to the survivor), and every response
+// — including the strip-mined frames that fan out across the fleet —
+// still verifies bit-for-bit with zero errors.
+func TestLoadAgainstCluster(t *testing.T) {
+	b1 := httptest.NewServer(server.New(server.Config{Workers: 2}))
+	defer b1.Close()
+	b2 := httptest.NewServer(server.New(server.Config{Workers: 2}))
+	co := cluster.New(cluster.Config{
+		Backends:    []string{b1.URL, b2.URL},
+		RetryBudget: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	})
+	defer co.Close()
+	front := httptest.NewServer(co)
+	defer front.Close()
+
+	// Kill backend 2 while the loop runs: refused connections from the
+	// first in-flight strip onward.
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b2.CloseClientConnections()
+		b2.Close()
+		close(killed)
+	}()
+
+	outPath := filepath.Join(t.TempDir(), "bench-cluster.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", front.URL,
+		"-cluster",
+		"-frames", "32", "-concurrency", "3",
+		"-sizes", "16,24", "-corpus", "2",
+		"-formats", "png,raw",
+		"-array", "8",
+		"-out", outPath,
+	}, &out)
+	<-killed
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("bad report: %v\n%s", err, blob)
+	}
+	if !rep.Cluster {
+		t.Fatalf("report not marked cluster: %+v", rep)
+	}
+	if rep.Errors != 0 || rep.Verify.Mismatches != 0 {
+		t.Fatalf("cluster run with a killed backend: errors %d, mismatches %d\n%s", rep.Errors, rep.Verify.Mismatches, out.String())
+	}
+	if rep.Batch.Batches != 0 {
+		t.Fatalf("batch phase ran against a coordinator: %+v", rep.Batch)
+	}
+	if rep.Aggregate.Checks == 0 || rep.Aggregate.Errors != 0 || rep.Aggregate.Mismatches != 0 {
+		t.Fatalf("aggregate: %+v", rep.Aggregate)
 	}
 }

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"slapcc/client"
+)
+
+// breakerState is the per-backend circuit breaker's state machine:
+//
+//	closed ──(Threshold consecutive failures)──▶ open
+//	open ──(Cooldown elapses)──▶ half-open
+//	half-open ──(trial succeeds)──▶ closed
+//	half-open ──(trial fails)──▶ open (cooldown restarts)
+//
+// Closed admits traffic freely. Open admits nothing — the backend's
+// strips are re-sharded across the survivors instead of queueing
+// behind a corpse. Half-open admits exactly one trial request at a
+// time; its outcome decides the next state, so one cheap probe (or one
+// real job) re-earns trust instead of a thundering herd.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// backend is one slapd the coordinator routes to: its retry-free
+// client (the coordinator owns retry and routing policy — nested
+// client retries would multiply the budget), the breaker, and the
+// health/load signals routing reads.
+type backend struct {
+	name string // host:port, for metrics and logs
+	url  string
+	cl   *client.Client
+
+	mu          sync.Mutex
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	trialInFly  bool // half-open: one trial at a time
+	outstanding int  // jobs in flight (least-loaded routing)
+	probeOK     bool // last active /healthz probe (optimistic start)
+	lastErr     string
+}
+
+func newBackend(rawURL string, opts []client.Option) *backend {
+	name := rawURL
+	for _, pfx := range []string{"http://", "https://"} {
+		if len(name) > len(pfx) && name[:len(pfx)] == pfx {
+			name = name[len(pfx):]
+		}
+	}
+	opts = append([]client.Option{client.WithMaxRetries(0)}, opts...)
+	return &backend{
+		name:    name,
+		url:     rawURL,
+		cl:      client.New(rawURL, opts...),
+		probeOK: true,
+	}
+}
+
+// tryAcquire admits one job if the breaker and the active-probe signal
+// allow it, and reserves the slot (outstanding++, plus the half-open
+// trial token). Callers must pair it with release.
+func (b *backend) tryAcquire(now time.Time, cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if now.Sub(b.openedAt) < cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trialInFly = false
+		fallthrough
+	case breakerHalfOpen:
+		if b.trialInFly {
+			return false
+		}
+		b.trialInFly = true
+	default: // closed
+		if !b.probeOK {
+			return false
+		}
+	}
+	b.outstanding++
+	return true
+}
+
+// release reports a job's outcome and updates the breaker. A 429 or a
+// caller-side cancellation is released with countable=false: the
+// backend answered (or was never at fault), so the outcome teaches the
+// breaker nothing.
+func (b *backend) release(ok, countable bool, now time.Time, threshold int, errText string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.outstanding--
+	if b.state == breakerHalfOpen {
+		b.trialInFly = false
+	}
+	if !countable {
+		return
+	}
+	if ok {
+		b.consecFails = 0
+		b.state = breakerClosed
+		b.probeOK = true
+		b.lastErr = ""
+		return
+	}
+	b.consecFails++
+	b.lastErr = errText
+	if b.state == breakerHalfOpen || b.consecFails >= threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}
+
+// load returns the routing key: jobs in flight right now.
+func (b *backend) load() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.outstanding
+}
+
+// snapshot returns the state the metrics and health endpoints report.
+func (b *backend) snapshot() (state breakerState, probeOK bool, outstanding int, consec int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.probeOK, b.outstanding, b.consecFails
+}
+
+// probe runs one active /healthz round-trip and feeds the result into
+// the same signals passive traffic drives: a healthy answer closes the
+// breaker (probes double as the half-open trial), a draining or dead
+// backend is marked and — after enough consecutive failures — opened.
+func (b *backend) probe(ctx context.Context, timeout time.Duration, now time.Time, threshold int) bool {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	_, err := b.cl.Health(pctx)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil {
+		b.probeOK = false
+		b.lastErr = err.Error()
+		b.consecFails++
+		if b.consecFails >= threshold || b.state == breakerHalfOpen {
+			b.state = breakerOpen
+			b.openedAt = now
+		}
+		return false
+	}
+	b.probeOK = true
+	b.consecFails = 0
+	b.state = breakerClosed
+	b.lastErr = ""
+	return true
+}
+
+// pick selects the admissible backend with the least load, reserving a
+// slot on it; nil when no backend will take the job (all open, probing
+// dead, or mid-trial) — the caller's cue to degrade to local
+// execution.
+func (co *Coordinator) pick(now time.Time) *backend {
+	co.pickMu.Lock()
+	defer co.pickMu.Unlock()
+	// Least-outstanding first; ties go to list order. Acquisition is
+	// checked per candidate so a half-open backend admits exactly its
+	// one trial even under concurrent picks.
+	order := make([]*backend, len(co.backends))
+	copy(order, co.backends)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].load() < order[j-1].load(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, b := range order {
+		if b.tryAcquire(now, co.cfg.BreakerCooldown) {
+			return b
+		}
+	}
+	return nil
+}

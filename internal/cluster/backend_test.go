@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitions walks the breaker's whole state machine under
+// a fake clock: closed → open at the failure threshold, open blocks
+// until the cooldown, half-open admits exactly one trial, a failed
+// trial re-opens, a successful one closes.
+func TestBreakerTransitions(t *testing.T) {
+	const threshold = 2
+	cooldown := 10 * time.Second
+	now := time.Unix(1000, 0)
+	b := newBackend("http://backend-a:8080", nil)
+	if b.name != "backend-a:8080" {
+		t.Fatalf("name = %q, want scheme stripped", b.name)
+	}
+
+	// Failures below the threshold keep the breaker closed.
+	if !b.tryAcquire(now, cooldown) {
+		t.Fatal("fresh backend refused a job")
+	}
+	b.release(false, true, now, threshold, "boom")
+	if st, _, _, consec := b.snapshot(); st != breakerClosed || consec != 1 {
+		t.Fatalf("after 1 failure: state %v consec %d, want closed 1", st, consec)
+	}
+
+	// The threshold-th consecutive failure opens it.
+	if !b.tryAcquire(now, cooldown) {
+		t.Fatal("closed backend refused a job")
+	}
+	b.release(false, true, now, threshold, "boom")
+	if st, _, _, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("after %d failures: state %v, want open", threshold, st)
+	}
+
+	// Open blocks everything until the cooldown elapses.
+	if b.tryAcquire(now.Add(cooldown-time.Millisecond), cooldown) {
+		t.Fatal("open breaker admitted a job before the cooldown")
+	}
+
+	// Cooldown elapsed: half-open, exactly one trial at a time.
+	trialAt := now.Add(cooldown)
+	if !b.tryAcquire(trialAt, cooldown) {
+		t.Fatal("cooled-down breaker refused the half-open trial")
+	}
+	if st, _, _, _ := b.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("state %v, want half-open", st)
+	}
+	if b.tryAcquire(trialAt, cooldown) {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// A failed trial re-opens immediately (no threshold count needed)
+	// and restarts the cooldown.
+	b.release(false, true, trialAt, threshold, "still dead")
+	if st, _, _, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("failed trial left state %v, want open", st)
+	}
+	if b.tryAcquire(trialAt.Add(cooldown-time.Second), cooldown) {
+		t.Fatal("cooldown did not restart after the failed trial")
+	}
+
+	// A successful trial closes the breaker and clears the counters.
+	retryAt := trialAt.Add(cooldown)
+	if !b.tryAcquire(retryAt, cooldown) {
+		t.Fatal("second trial refused")
+	}
+	b.release(true, true, retryAt, threshold, "")
+	if st, _, out, consec := b.snapshot(); st != breakerClosed || consec != 0 || out != 0 {
+		t.Fatalf("after successful trial: state %v consec %d outstanding %d, want closed 0 0", st, consec, out)
+	}
+}
+
+// TestBreakerUncountableOutcomes: 429s and caller-side cancellations
+// release the slot but teach the breaker nothing — a busy backend is
+// not a broken one.
+func TestBreakerUncountableOutcomes(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBackend("http://b", nil)
+	b.tryAcquire(now, time.Second)
+	b.release(false, true, now, 3, "boom")
+	for i := 0; i < 10; i++ {
+		if !b.tryAcquire(now, time.Second) {
+			t.Fatalf("acquire %d refused", i)
+		}
+		b.release(true, false, now, 3, "") // 429: ok but uncountable
+	}
+	if st, _, out, consec := b.snapshot(); st != breakerClosed || consec != 1 || out != 0 {
+		t.Fatalf("uncountable outcomes moved the breaker: state %v consec %d outstanding %d", st, consec, out)
+	}
+	// An uncountable failure (caller cancelled) likewise.
+	b.tryAcquire(now, time.Second)
+	b.release(false, false, now, 3, "")
+	if _, _, _, consec := b.snapshot(); consec != 1 {
+		t.Fatalf("cancelled job counted against the backend: consec %d", consec)
+	}
+}
+
+// TestPickRoutesLeastLoaded: routing prefers the backend with the
+// fewest jobs in flight, skips open breakers and failed probes, and
+// returns nil when nobody is admissible.
+func TestPickRoutesLeastLoaded(t *testing.T) {
+	co := New(Config{Backends: []string{"http://a", "http://b"}})
+	defer co.Close()
+	now := time.Unix(1000, 0)
+	a, b := co.backends[0], co.backends[1]
+
+	// Load a; pick must choose b.
+	if !a.tryAcquire(now, co.cfg.BreakerCooldown) {
+		t.Fatal("acquire a")
+	}
+	if got := co.pick(now); got != b {
+		t.Fatalf("pick = %v, want least-loaded b", got)
+	}
+	b.release(true, true, now, 3, "")
+
+	// Open b's breaker; pick must fall back to a despite its load.
+	for i := 0; i < co.cfg.BreakerThreshold; i++ {
+		b.tryAcquire(now, co.cfg.BreakerCooldown)
+		b.release(false, true, now, co.cfg.BreakerThreshold, "boom")
+	}
+	if got := co.pick(now); got != a {
+		t.Fatalf("pick = %v, want a (b's breaker open)", got)
+	}
+	a.release(true, true, now, 3, "")
+	a.release(true, true, now, 3, "")
+
+	// Fail a's probe; with b open too, pick must return nil.
+	a.mu.Lock()
+	a.probeOK = false
+	a.mu.Unlock()
+	if got := co.pick(now); got != nil {
+		t.Fatalf("pick = %v, want nil with a unprobed and b open", got)
+	}
+}
+
+// TestProbeNowTracksBackendHealth: the active prober marks a draining
+// (503) backend unroutable and restores it when it recovers, feeding
+// the same signal path passive traffic uses.
+func TestProbeNowTracksBackendHealth(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining"}`))
+	}))
+	defer srv.Close()
+
+	co := New(Config{Backends: []string{srv.URL}})
+	defer co.Close()
+	b := co.backends[0]
+
+	co.ProbeNow(context.Background())
+	if _, probeOK, _, _ := b.snapshot(); !probeOK {
+		t.Fatal("healthy backend marked down")
+	}
+	if co.pick(co.cfg.Now()) != b {
+		t.Fatal("healthy backend not picked")
+	}
+	b.release(true, true, co.cfg.Now(), 3, "")
+
+	// Draining: the probe marks it down, and routing skips it.
+	healthy.Store(false)
+	co.ProbeNow(context.Background())
+	if _, probeOK, _, _ := b.snapshot(); probeOK {
+		t.Fatal("draining backend still marked up")
+	}
+	if got := co.pick(co.cfg.Now()); got != nil {
+		t.Fatalf("pick = %v, want nil while draining", got)
+	}
+
+	// Enough failed probes open the breaker outright.
+	for i := 0; i < co.cfg.BreakerThreshold; i++ {
+		co.ProbeNow(context.Background())
+	}
+	if st, _, _, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("state %v after repeated failed probes, want open", st)
+	}
+
+	// Recovery: a healthy probe closes the breaker again. (The probe
+	// ignores the cooldown by design — it is the half-open trial.)
+	healthy.Store(true)
+	co.ProbeNow(context.Background())
+	if st, probeOK, _, _ := b.snapshot(); st != breakerClosed || !probeOK {
+		t.Fatalf("state %v probeOK %v after recovery, want closed true", st, probeOK)
+	}
+}

@@ -1,0 +1,201 @@
+// Package chaos is slapfront's fault-injection layer: an HTTP proxy
+// that sits in front of a real slapd handler and misbehaves on
+// command — added latency, 5xx errors, connection resets, mid-body
+// truncation, and hangs. A deterministic Plan decides each request's
+// fate from its sequence number, so chaos tests replay exactly and a
+// failure is a seed, not a flake.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Mode is one injected failure.
+type Mode int
+
+const (
+	// Pass proxies the request untouched.
+	Pass Mode = iota
+	// Delay holds the request for Decision.Delay, then proxies it.
+	Delay
+	// Error500 answers 500 without touching the backend.
+	Error500
+	// Reset closes the TCP connection with a RST (SetLinger(0)): the
+	// client sees ECONNRESET or an abrupt EOF.
+	Reset
+	// Truncate runs the real handler, advertises the full
+	// Content-Length, but sends only half the body before closing: the
+	// client's decoder sees io.ErrUnexpectedEOF.
+	Truncate
+	// Hang never answers; the request parks until the client gives up
+	// (its context or the coordinator's job timeout fires) or the
+	// proxy is Closed.
+	Hang
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Delay:
+		return "delay"
+	case Error500:
+		return "error500"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Hang:
+		return "hang"
+	default:
+		return "pass"
+	}
+}
+
+// Decision is one request's fate.
+type Decision struct {
+	Mode  Mode
+	Delay time.Duration // Delay mode only
+}
+
+// Proxy wraps an inner handler with plan-driven fault injection.
+// Requests are numbered from 0 in arrival order; Plan(n) decides
+// request n's fate. Swap the plan mid-test with SetPlan (e.g. to
+// "kill" a backend after its first strip).
+type Proxy struct {
+	next http.Handler
+	done chan struct{}
+
+	mu     sync.Mutex
+	n      int
+	plan   func(n int) Decision
+	closed bool
+}
+
+// NewProxy wraps next. A nil plan passes everything through.
+func NewProxy(next http.Handler, plan func(n int) Decision) *Proxy {
+	return &Proxy{next: next, plan: plan, done: make(chan struct{})}
+}
+
+// Close releases every hung request so the server around the proxy can
+// shut down. Call it before closing that server.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.done)
+	}
+}
+
+// SetPlan replaces the plan; the request counter keeps running.
+func (p *Proxy) SetPlan(plan func(n int) Decision) {
+	p.mu.Lock()
+	p.plan = plan
+	p.mu.Unlock()
+}
+
+// Requests returns how many requests the proxy has seen.
+func (p *Proxy) Requests() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+func (p *Proxy) decide() Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.n
+	p.n++
+	if p.plan == nil {
+		return Decision{Mode: Pass}
+	}
+	return p.plan(n)
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d := p.decide()
+	switch d.Mode {
+	case Delay:
+		select {
+		case <-time.After(d.Delay):
+		case <-r.Context().Done():
+			return
+		}
+		p.next.ServeHTTP(w, r)
+	case Error500:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"chaos: injected failure"}`)
+	case Reset:
+		abort(w)
+	case Truncate:
+		rec := httptest.NewRecorder()
+		p.next.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		conn, buf, err := hijack(w)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(buf, "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+			rec.Code, http.StatusText(rec.Code), rec.Header().Get("Content-Type"), len(body))
+		buf.Write(body[:len(body)/2])
+		buf.Flush()
+		conn.Close()
+	case Hang:
+		// Drain the body first: with unread request bytes buffered the
+		// server never arms its client-disconnect watch, and the hang
+		// would outlive the client that caused it.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-p.done:
+		}
+	default:
+		p.next.ServeHTTP(w, r)
+	}
+}
+
+func hijack(w http.ResponseWriter) (net.Conn, *writerFlusher, error) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("chaos: response writer is not hijackable")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, nil, err
+	}
+	return conn, &writerFlusher{rw}, nil
+}
+
+type writerFlusher struct {
+	rw interface {
+		Write([]byte) (int, error)
+		Flush() error
+	}
+}
+
+func (w *writerFlusher) Write(p []byte) (int, error) { return w.rw.Write(p) }
+func (w *writerFlusher) Flush()                      { w.rw.Flush() }
+
+// abort hijacks the connection and closes it with linger 0, producing
+// a TCP RST instead of a graceful FIN.
+func abort(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaos: response writer is not hijackable")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}

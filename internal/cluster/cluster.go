@@ -1,0 +1,839 @@
+// Package cluster implements slapfront, the fault-tolerant coordinator
+// that promotes the strip-mined tiler across the network: it exposes
+// the same /v1/label and /v1/aggregate API as a single slapd, splits
+// each image into per-strip jobs, fans them out to a fleet of slapd
+// backends over the SLR1 wire format, and stitches the returned strip
+// runs with the exact seam-merge and schedule composition the local
+// tiler uses (core.ComposeStrips) — so every response is bit-identical
+// to a local run of the same request.
+//
+// Only O(boundary) data rides the composition: each backend returns
+// its strip's labels and fold report, and the coordinator's host-side
+// stitch touches boundary columns plus rewritten pixels, the same
+// merge structure the strip-mining analysis charges.
+//
+// The robustness model, end to end:
+//
+//   - per-job timeouts, with capped exponential backoff + jitter
+//     between attempts and one retry budget per job;
+//   - health-aware routing: active /healthz probes (draining backends
+//     report 503 and stop receiving work) plus the passive outcome of
+//     every job feed a per-backend circuit breaker (see backend.go);
+//   - partial failure re-shards: a failed strip re-routes to the
+//     least-loaded surviving backend, not back to the corpse;
+//   - full degradation: a strip no backend will take runs locally on
+//     the coordinator — through the same wire-shaped round-trip as a
+//     remote strip, so the composed answer stays bit-identical — and
+//     the service keeps answering with every backend down.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"slapcc/api"
+	"slapcc/client"
+	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/imageio"
+	"slapcc/internal/server"
+	"slapcc/internal/slap"
+	"slapcc/internal/unionfind"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Backends are the slapd base URLs to fan out to. Empty is allowed:
+	// every request runs locally (a degenerate but working cluster).
+	Backends []string
+	// Options are the base labeling options local-fallback runs resolve
+	// request parameters over, exactly as a slapd's Config.Options.
+	Options core.Options
+	// JobTimeout bounds one strip job attempt on one backend (default
+	// 30s): a hung backend costs one timeout, then its strips re-shard.
+	JobTimeout time.Duration
+	// RetryBudget is the attempt budget per job across all backends
+	// (default 4). Exhausting it degrades the job to local execution.
+	RetryBudget int
+	// BackoffBase and BackoffMax shape the between-attempt wait: attempt
+	// k waits ~BackoffBase·2^k with jitter, capped at BackoffMax
+	// (defaults 25ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold opens a backend's breaker after this many
+	// consecutive countable failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks before
+	// admitting a half-open trial (default 5s).
+	BreakerCooldown time.Duration
+	// ProbeInterval spaces the active /healthz probes (default 0 =
+	// disabled; the slapfront daemon enables them, deterministic tests
+	// drive ProbeNow instead).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip (default 2s).
+	ProbeTimeout time.Duration
+	// JobConcurrency caps strip jobs in flight per request (≤ 0 selects
+	// 2 per backend, minimum 2).
+	JobConcurrency int
+	// Limits bound decoded image sizes; MaxBodyBytes bounds request
+	// bodies (≤ 0 selects 64 MiB).
+	Limits       imageio.Limits
+	MaxBodyBytes int64
+	// ClientOptions are appended to every per-backend client (tests:
+	// transport doubles). Retries stay disabled regardless — the
+	// coordinator owns retry policy.
+	ClientOptions []client.Option
+	// Now and Rand override the clock and the jitter source (tests).
+	Now  func() time.Time
+	Rand func() float64
+	// Sleep overrides the between-attempt wait (tests); it must return
+	// early with ctx's error when the context dies.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 30 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.JobConcurrency <= 0 {
+		c.JobConcurrency = 2 * len(c.Backends)
+		if c.JobConcurrency < 2 {
+			c.JobConcurrency = 2
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Rand == nil {
+		c.Rand = func() float64 { return 0.5 }
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) error {
+			if d <= 0 {
+				return ctx.Err()
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return c
+}
+
+// Coordinator is the slapfront http.Handler. Construct with New; call
+// Close to stop the active prober.
+type Coordinator struct {
+	cfg      Config
+	backends []*backend
+	mux      *http.ServeMux
+	reg      *registry
+	pickMu   sync.Mutex
+	stop     chan struct{}
+	stopped  sync.Once
+}
+
+// New returns a Coordinator routing to cfg.Backends.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	co := &Coordinator{
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		reg:  newRegistry(),
+		stop: make(chan struct{}),
+	}
+	for _, u := range cfg.Backends {
+		co.backends = append(co.backends, newBackend(strings.TrimRight(u, "/"), cfg.ClientOptions))
+	}
+	co.mux.HandleFunc(api.PathLabel, co.instrument("label", co.handleLabel))
+	co.mux.HandleFunc(api.PathAggregate, co.instrument("aggregate", co.handleAggregate))
+	co.mux.HandleFunc(api.PathHealthz, co.instrument("healthz", co.handleHealthz))
+	co.mux.HandleFunc(api.PathMetrics, co.instrument("metrics", co.handleMetrics))
+	if cfg.ProbeInterval > 0 && len(co.backends) > 0 {
+		go co.probeLoop()
+	}
+	return co
+}
+
+// ServeHTTP implements http.Handler.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { co.mux.ServeHTTP(w, r) }
+
+// Close stops the active prober. The handler keeps serving.
+func (co *Coordinator) Close() { co.stopped.Do(func() { close(co.stop) }) }
+
+func (co *Coordinator) probeLoop() {
+	t := time.NewTicker(co.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.ProbeNow(context.Background())
+		}
+	}
+}
+
+// ProbeNow actively probes every backend's /healthz once, in parallel,
+// and feeds the outcomes into the routing state. The prober calls it
+// on a timer; deterministic tests call it directly.
+func (co *Coordinator) ProbeNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range co.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			wasOpen, _, _, _ := b.snapshot()
+			if !b.probe(ctx, co.cfg.ProbeTimeout, co.cfg.Now(), co.cfg.BreakerThreshold) {
+				if st, _, _, _ := b.snapshot(); st == breakerOpen && wasOpen != breakerOpen {
+					co.reg.addOpened()
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// HealthSnapshot is the coordinator's /healthz body.
+type HealthSnapshot struct {
+	Status   string          `json:"status"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// BackendHealth is one backend's routing state as /healthz reports it.
+type BackendHealth struct {
+	Backend     string `json:"backend"`
+	Breaker     string `json:"breaker"`
+	ProbeOK     bool   `json:"probe_ok"`
+	Outstanding int    `json:"outstanding"`
+}
+
+func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := HealthSnapshot{Status: "ok", Backends: []BackendHealth{}}
+	for _, b := range co.backends {
+		st, probeOK, out, _ := b.snapshot()
+		snap.Backends = append(snap.Backends, BackendHealth{
+			Backend: b.name, Breaker: st.String(), ProbeOK: probeOK, Outstanding: out,
+		})
+	}
+	// The coordinator itself is always healthy — with every backend
+	// down it degrades to local execution rather than going dark.
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	gs := make([]backendGauge, 0, len(co.backends))
+	for _, b := range co.backends {
+		st, probeOK, out, _ := b.snapshot()
+		gs = append(gs, backendGauge{name: b.name, state: st, probeOK: probeOK, outstanding: out})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	co.reg.render(w, gs)
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (co *Coordinator) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := co.cfg.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		co.reg.observe(name, sw.code, co.cfg.Now().Sub(start))
+	}
+}
+
+// readFrame mirrors slapd's body handling: format from the parameter
+// or Content-Type, bounded read, decode under the limits.
+func (co *Coordinator) readFrame(w http.ResponseWriter, r *http.Request, p api.Params) (*bitmap.Bitmap, int, error) {
+	format, err := imageio.ParseFormat(p.Format)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if format == imageio.FormatAuto {
+		format = imageio.FormatFromContentType(r.Header.Get("Content-Type"))
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, co.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", co.cfg.MaxBodyBytes)
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	img, err := imageio.DecodeBytes(body, format, co.cfg.Limits)
+	if err != nil {
+		if errors.Is(err, imageio.ErrLimit) {
+			return nil, http.StatusRequestEntityTooLarge, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return img, 0, nil
+}
+
+// errNoBackend reports that no backend would accept a job right now:
+// every breaker open, every probe failing, or no backends configured.
+var errNoBackend = errors.New("cluster: no routable backend")
+
+// dispatch runs one job under the retry/routing policy: pick the
+// healthiest backend, bound the attempt with the job timeout, classify
+// the outcome, back off, re-route. It returns the job's result, or a
+// 4xx *client.StatusError to propagate verbatim, or a terminal error
+// (errNoBackend / exhausted budget) that the caller answers by running
+// the job locally.
+func dispatch[T any](co *Coordinator, ctx context.Context, kind string, run func(context.Context, *client.Client) (T, error)) (T, error) {
+	var zero T
+	var lastErr error = errNoBackend
+	for attempt := 0; attempt < co.cfg.RetryBudget; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		if attempt > 0 {
+			co.reg.addRetry()
+		}
+		b := co.pick(co.cfg.Now())
+		if b == nil {
+			// Nothing routable. If a breaker could half-open within the
+			// budget the backoff below gives it the chance; a totally
+			// empty fleet fails fast to local.
+			if len(co.backends) == 0 {
+				return zero, errNoBackend
+			}
+			lastErr = errNoBackend
+			if err := co.cfg.Sleep(ctx, co.backoffWait(attempt)); err != nil {
+				return zero, err
+			}
+			continue
+		}
+		jctx, cancel := context.WithTimeout(ctx, co.cfg.JobTimeout)
+		res, err := run(jctx, b.cl)
+		cancel()
+		now := co.cfg.Now()
+		if err == nil {
+			b.release(true, true, now, co.cfg.BreakerThreshold, "")
+			co.reg.addJob(b.name, "ok")
+			return res, nil
+		}
+		var se *client.StatusError
+		switch {
+		case errors.As(err, &se) && se.Code == http.StatusTooManyRequests:
+			// Busy, not broken: the backend answered coherently. Honor
+			// its hint (bounded), then re-route.
+			b.release(true, false, now, co.cfg.BreakerThreshold, "")
+			co.reg.addJob(b.name, "busy")
+			wait := se.RetryAfter
+			if wait <= 0 || wait > co.cfg.BackoffMax {
+				wait = co.backoffWait(attempt)
+			}
+			lastErr = err
+			if err := co.cfg.Sleep(ctx, wait); err != nil {
+				return zero, err
+			}
+		case errors.As(err, &se) && se.Code < http.StatusInternalServerError:
+			// 4xx: our request (and hence the caller's) is wrong.
+			// Propagate — re-sending it elsewhere cannot fix it, and the
+			// backend is healthy.
+			b.release(true, true, now, co.cfg.BreakerThreshold, "")
+			return zero, err
+		case ctx.Err() != nil:
+			// The caller hung up; the backend may be fine. Uncountable.
+			b.release(false, false, now, co.cfg.BreakerThreshold, "")
+			return zero, ctx.Err()
+		default:
+			// 5xx, timeout, or transport failure: a real backend
+			// failure. Count it, maybe open the breaker, re-shard the
+			// job to a survivor after the backoff.
+			wasOpen, _, _, _ := b.snapshot()
+			b.release(false, true, now, co.cfg.BreakerThreshold, err.Error())
+			if st, _, _, _ := b.snapshot(); st == breakerOpen && wasOpen != breakerOpen {
+				co.reg.addOpened()
+			}
+			co.reg.addJob(b.name, "error")
+			lastErr = err
+			if err := co.cfg.Sleep(ctx, co.backoffWait(attempt)); err != nil {
+				return zero, err
+			}
+		}
+	}
+	return zero, fmt.Errorf("cluster: %s job failed after %d attempts: %w", kind, co.cfg.RetryBudget, lastErr)
+}
+
+// backoffWait is attempt k's capped exponential backoff with jitter,
+// uniformly within [half, full] of BackoffBase·2^k capped by
+// BackoffMax.
+func (co *Coordinator) backoffWait(attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := co.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > co.cfg.BackoffMax {
+		d = co.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(co.cfg.Rand()*float64(half))
+}
+
+// fallbackLocal reports whether err means "run this job locally": the
+// fleet is unroutable or the budget is spent. 4xx propagation and
+// caller cancellation are not fallback cases.
+func fallbackLocal(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) && se.Code < http.StatusInternalServerError && se.Code != http.StatusTooManyRequests {
+		return false
+	}
+	return true
+}
+
+// writeDispatchError answers a request whose dispatch failed without a
+// local fallback: 4xx pass through verbatim, cancellation is the
+// client's own doing, anything else is a 502.
+func writeDispatchError(w http.ResponseWriter, err error) {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		writeError(w, se.Code, se.Msg)
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, 499, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadGateway, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, api.ErrorResponse{Error: msg})
+}
+
+// stripRunFromResponse reconstructs a core.StripRun from one strip's
+// wire response. The wire omits Busy/NilRecvs/per-PE profiles and the
+// speculation stats — none of which ever serialize in a composed
+// response — so the composition over reconstructed runs is
+// byte-identical to the local tiler's.
+func stripRunFromResponse(resp *api.LabelResponse, perPixel []int32, wantAgg bool) (core.StripRun, error) {
+	sw, h := resp.Width, resp.Height
+	if len(resp.Labels) != sw*h {
+		return core.StripRun{}, fmt.Errorf("cluster: strip response has %d labels, want %d", len(resp.Labels), sw*h)
+	}
+	lm := bitmap.NewLabelMap(sw, h)
+	for x := 0; x < sw; x++ {
+		copy(lm.ColumnSlice(x), resp.Labels[x*h:(x+1)*h])
+	}
+	m := slap.Metrics{
+		N:        resp.Metrics.ArrayWidth,
+		Time:     resp.Metrics.TimeSteps,
+		Sends:    resp.Metrics.Sends,
+		Words:    resp.Metrics.Words,
+		MaxQueue: resp.Metrics.MaxQueue,
+		PEMemory: resp.Metrics.PEMemory,
+	}
+	for _, ph := range resp.Metrics.Phases {
+		m.Phases = append(m.Phases, slap.PhaseMetrics{
+			Name:     ph.Name,
+			Makespan: ph.Makespan,
+			Sends:    ph.Sends,
+			Words:    ph.Words,
+			Idle:     ph.Idle,
+			MaxQueue: ph.MaxQueue,
+		})
+	}
+	run := core.StripRun{
+		Labels:  lm,
+		Metrics: m,
+		UF: core.UFReport{
+			Kind:       unionfind.Kind(resp.UF.Kind),
+			Finds:      resp.UF.Finds,
+			Unions:     resp.UF.Unions,
+			TotalSteps: resp.UF.TotalSteps,
+			MaxOpCost:  resp.UF.MaxOpCost,
+			MeanOpCost: resp.UF.MeanOpCost,
+		},
+	}
+	if wantAgg {
+		if len(perPixel) != sw*h {
+			return core.StripRun{}, fmt.Errorf("cluster: strip response has %d per-pixel folds, want %d", len(perPixel), sw*h)
+		}
+		run.PerPixel = perPixel
+	}
+	return run, nil
+}
+
+// stripParams builds the wire parameters of the strip at x0 under
+// caller parameters p and the full-image resolved options opt: a plain
+// whole-strip run (no array), full labels for the stitch, the
+// bit-serial word width pinned to the full image's resolved width (a
+// strip left to choose its own would charge narrower words than the
+// local tiler does), and — on aggregation jobs — the strip's global
+// column-major origin as the positions offset.
+func stripParams(p api.Params, opt core.Options, h, x0 int, agg bool) api.Params {
+	sp := api.Params{
+		Format:       string(imageio.FormatRaw),
+		Connectivity: p.Connectivity,
+		UF:           p.UF,
+		Cost:         p.Cost,
+		WordBits:     p.WordBits,
+		WantLabels:   true,
+	}
+	if opt.Cost.WordBits > 0 {
+		sp.Cost = "bitserial"
+		sp.WordBits = opt.Cost.WordBits
+	}
+	if agg {
+		sp.Op = p.Op
+		sp.Initial = p.Initial
+		sp.InitialOffset = p.InitialOffset + x0*h
+	}
+	return sp
+}
+
+// job is one strip's work order.
+type job struct {
+	s      int // strip index
+	x0, sw int
+	data   []byte // SLR1-encoded strip
+}
+
+// encodeJobs materializes and encodes every strip of img.
+func encodeJobs(img *bitmap.Bitmap, aw int) ([]job, error) {
+	w, h := img.W(), img.H()
+	strips := (w + aw - 1) / aw
+	jobs := make([]job, strips)
+	for s := 0; s < strips; s++ {
+		x0 := s * aw
+		sw := aw
+		if w-x0 < sw {
+			sw = w - x0
+		}
+		data, err := imageio.EncodeBytes(img.SubImage(x0, 0, sw, h), imageio.FormatRaw)
+		if err != nil {
+			return nil, err
+		}
+		jobs[s] = job{s: s, x0: x0, sw: sw, data: data}
+	}
+	return jobs, nil
+}
+
+// runJobs executes every strip job — remote with retries and
+// re-sharding, locally as the last resort — with at most
+// JobConcurrency in flight. each returns the strip's run or an error;
+// the first error (by strip index) wins.
+func (co *Coordinator) runJobs(ctx context.Context, jobs []job, each func(context.Context, job) (core.StripRun, error)) ([]core.StripRun, error) {
+	runs := make([]core.StripRun, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, co.cfg.JobConcurrency)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			runs[i], errs[i] = each(ctx, jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+func (co *Coordinator) handleLabel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	p, err := api.ParamsFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	img, status, err := co.readFrame(w, r, p)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	// Resolve options exactly as a backend would: rejects bad
+	// parameters here with the same 400s, and configures local
+	// fallback runs identically.
+	opt, err := server.OptionsFromParams(co.cfg.Options, p, img.W(), img.H())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+
+	aw := opt.ArrayWidth
+	if aw <= 0 || aw >= img.W() {
+		// Whole-image run: one job, routed like any other.
+		resp, err := co.wholeImageLabel(ctx, img, p, opt)
+		if err != nil {
+			writeDispatchError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	jobs, err := encodeJobs(img, aw)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	stripOpt := opt
+	stripOpt.ArrayWidth = 0
+	stripOpt.StripWorkers = 0
+	runs, err := co.runJobs(ctx, jobs, func(ctx context.Context, j job) (core.StripRun, error) {
+		sp := stripParams(p, opt, img.H(), j.x0, false)
+		resp, derr := dispatch(co, ctx, "label", func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
+			return cl.LabelData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
+		})
+		if derr != nil {
+			if !fallbackLocal(derr) {
+				return core.StripRun{}, derr
+			}
+			co.reg.addFallback()
+			res, lerr := core.Label(mustDecodeStrip(j), stripOpt)
+			if lerr != nil {
+				return core.StripRun{}, lerr
+			}
+			resp = server.ToLabelResponse(res, true)
+		}
+		return stripRunFromResponse(resp, nil, false)
+	})
+	if err != nil {
+		writeDispatchError(w, err)
+		return
+	}
+	res, err := core.ComposeStrips(img, runs, opt)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, server.ToLabelResponse(res, p.WantLabels))
+}
+
+func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	p, err := api.ParamsFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	op, err := server.MonoidByName(p.Op)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch strings.ToLower(p.Initial) {
+	case "", "ones", "positions":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown initial %q (ones, positions)", p.Initial))
+		return
+	}
+	img, status, err := co.readFrame(w, r, p)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	opt, err := server.OptionsFromParams(co.cfg.Options, p, img.W(), img.H())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+
+	aw := opt.ArrayWidth
+	if aw <= 0 || aw >= img.W() {
+		resp, err := co.wholeImageAggregate(ctx, img, p, op, opt)
+		if err != nil {
+			writeDispatchError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	jobs, err := encodeJobs(img, aw)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	stripOpt := opt
+	stripOpt.ArrayWidth = 0
+	stripOpt.StripWorkers = 0
+	h := img.H()
+	runs, err := co.runJobs(ctx, jobs, func(ctx context.Context, j job) (core.StripRun, error) {
+		sp := stripParams(p, opt, h, j.x0, true)
+		resp, derr := dispatch(co, ctx, "aggregate", func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
+			return cl.AggregateData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
+		})
+		if derr != nil {
+			if !fallbackLocal(derr) {
+				return core.StripRun{}, derr
+			}
+			co.reg.addFallback()
+			strip := mustDecodeStrip(j)
+			initial, ierr := server.InitialValues(strip, p.Initial, p.InitialOffset+j.x0*h)
+			if ierr != nil {
+				return core.StripRun{}, ierr
+			}
+			res, lerr := core.Aggregate(strip, initial, op, stripOpt)
+			if lerr != nil {
+				return core.StripRun{}, lerr
+			}
+			resp = server.ToAggregateResponse(res, op.Name, true)
+		}
+		return stripRunFromResponse(&resp.LabelResponse, resp.PerPixel, true)
+	})
+	if err != nil {
+		writeDispatchError(w, err)
+		return
+	}
+	res, err := core.ComposeAggregateStrips(img, runs, op, opt)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, server.ToAggregateResponse(res, op.Name, p.WantLabels))
+}
+
+// wholeImageLabel routes an un-strip-mined request as a single job,
+// degrading to a local run when no backend will take it.
+func (co *Coordinator) wholeImageLabel(ctx context.Context, img *bitmap.Bitmap, p api.Params, opt core.Options) (*api.LabelResponse, error) {
+	data, err := imageio.EncodeBytes(img, imageio.FormatRaw)
+	if err != nil {
+		return nil, err
+	}
+	fp := p
+	fp.Format = string(imageio.FormatRaw)
+	resp, derr := dispatch(co, ctx, "label", func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
+		return cl.LabelData(jctx, data, string(imageio.FormatRaw.ContentType()), fp)
+	})
+	if derr == nil {
+		return resp, nil
+	}
+	if !fallbackLocal(derr) {
+		return nil, derr
+	}
+	co.reg.addFallback()
+	res, err := core.Label(img, opt)
+	if err != nil {
+		return nil, err
+	}
+	return server.ToLabelResponse(res, p.WantLabels), nil
+}
+
+// wholeImageAggregate is wholeImageLabel for /v1/aggregate.
+func (co *Coordinator) wholeImageAggregate(ctx context.Context, img *bitmap.Bitmap, p api.Params, op core.Monoid, opt core.Options) (*api.AggregateResponse, error) {
+	data, err := imageio.EncodeBytes(img, imageio.FormatRaw)
+	if err != nil {
+		return nil, err
+	}
+	fp := p
+	fp.Format = string(imageio.FormatRaw)
+	resp, derr := dispatch(co, ctx, "aggregate", func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
+		return cl.AggregateData(jctx, data, string(imageio.FormatRaw.ContentType()), fp)
+	})
+	if derr == nil {
+		return resp, nil
+	}
+	if !fallbackLocal(derr) {
+		return nil, derr
+	}
+	co.reg.addFallback()
+	initial, err := server.InitialValues(img, p.Initial, p.InitialOffset)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Aggregate(img, initial, op, opt)
+	if err != nil {
+		return nil, err
+	}
+	return server.ToAggregateResponse(res, op.Name, p.WantLabels), nil
+}
+
+// mustDecodeStrip re-decodes a job's already-encoded strip for local
+// fallback. The bytes came from EncodeBytes moments ago, so failure is
+// a programming error.
+func mustDecodeStrip(j job) *bitmap.Bitmap {
+	img, err := imageio.DecodeBytes(j.data, imageio.FormatRaw, imageio.Limits{})
+	if err != nil {
+		panic(fmt.Sprintf("cluster: re-decoding own strip %d: %v", j.s, err))
+	}
+	return img
+}

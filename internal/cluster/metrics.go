@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// registry is slapfront's metrics store, the same dependency-free
+// Prometheus text idiom as slapd's: per-endpoint request counters,
+// per-backend job outcomes, and the robustness counters that tell the
+// failure story — retries, re-routed strips, local fallbacks, breaker
+// openings.
+type registry struct {
+	mu        sync.Mutex
+	requests  map[reqKey]int64
+	latCount  map[string]int64
+	latSum    map[string]float64
+	jobs      map[jobKey]int64
+	retries   int64
+	fallbacks int64
+	opened    int64
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+type jobKey struct {
+	backend string
+	outcome string // ok | error | busy
+}
+
+func newRegistry() *registry {
+	return &registry{
+		requests: make(map[reqKey]int64),
+		latCount: make(map[string]int64),
+		latSum:   make(map[string]float64),
+		jobs:     make(map[jobKey]int64),
+	}
+}
+
+func (g *registry) observe(endpoint string, code int, dur time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.requests[reqKey{endpoint, code}]++
+	g.latCount[endpoint]++
+	g.latSum[endpoint] += dur.Seconds()
+}
+
+func (g *registry) addJob(backend, outcome string) {
+	g.mu.Lock()
+	g.jobs[jobKey{backend, outcome}]++
+	g.mu.Unlock()
+}
+
+func (g *registry) addRetry()    { g.mu.Lock(); g.retries++; g.mu.Unlock() }
+func (g *registry) addFallback() { g.mu.Lock(); g.fallbacks++; g.mu.Unlock() }
+func (g *registry) addOpened()   { g.mu.Lock(); g.opened++; g.mu.Unlock() }
+
+// backendGauge is one backend's live state at render time.
+type backendGauge struct {
+	name        string
+	state       breakerState
+	probeOK     bool
+	outstanding int
+}
+
+func (g *registry) render(w io.Writer, backends []backendGauge) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP slapfront_requests_total HTTP requests completed, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE slapfront_requests_total counter")
+	rkeys := make([]reqKey, 0, len(g.requests))
+	for k := range g.requests {
+		rkeys = append(rkeys, k)
+	}
+	sort.Slice(rkeys, func(i, j int) bool {
+		if rkeys[i].endpoint != rkeys[j].endpoint {
+			return rkeys[i].endpoint < rkeys[j].endpoint
+		}
+		return rkeys[i].code < rkeys[j].code
+	})
+	for _, k := range rkeys {
+		fmt.Fprintf(w, "slapfront_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, g.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP slapfront_request_seconds Wall time of completed requests, by endpoint.")
+	fmt.Fprintln(w, "# TYPE slapfront_request_seconds summary")
+	eps := make([]string, 0, len(g.latCount))
+	for ep := range g.latCount {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "slapfront_request_seconds_count{endpoint=%q} %d\n", ep, g.latCount[ep])
+		fmt.Fprintf(w, "slapfront_request_seconds_sum{endpoint=%q} %g\n", ep, g.latSum[ep])
+	}
+
+	fmt.Fprintln(w, "# HELP slapfront_jobs_total Strip jobs dispatched to backends, by outcome.")
+	fmt.Fprintln(w, "# TYPE slapfront_jobs_total counter")
+	jkeys := make([]jobKey, 0, len(g.jobs))
+	for k := range g.jobs {
+		jkeys = append(jkeys, k)
+	}
+	sort.Slice(jkeys, func(i, j int) bool {
+		if jkeys[i].backend != jkeys[j].backend {
+			return jkeys[i].backend < jkeys[j].backend
+		}
+		return jkeys[i].outcome < jkeys[j].outcome
+	})
+	for _, k := range jkeys {
+		fmt.Fprintf(w, "slapfront_jobs_total{backend=%q,outcome=%q} %d\n", k.backend, k.outcome, g.jobs[k])
+	}
+
+	fmt.Fprintln(w, "# HELP slapfront_job_retries_total Job attempts re-routed after a failure or busy signal.")
+	fmt.Fprintln(w, "# TYPE slapfront_job_retries_total counter")
+	fmt.Fprintf(w, "slapfront_job_retries_total %d\n", g.retries)
+	fmt.Fprintln(w, "# HELP slapfront_local_fallbacks_total Jobs executed locally because no backend would take them.")
+	fmt.Fprintln(w, "# TYPE slapfront_local_fallbacks_total counter")
+	fmt.Fprintf(w, "slapfront_local_fallbacks_total %d\n", g.fallbacks)
+	fmt.Fprintln(w, "# HELP slapfront_breaker_opened_total Circuit breaker open transitions.")
+	fmt.Fprintln(w, "# TYPE slapfront_breaker_opened_total counter")
+	fmt.Fprintf(w, "slapfront_breaker_opened_total %d\n", g.opened)
+
+	fmt.Fprintln(w, "# HELP slapfront_backend_up 1 while the backend is routable (breaker closed and last probe healthy).")
+	fmt.Fprintln(w, "# TYPE slapfront_backend_up gauge")
+	for _, b := range backends {
+		up := 0
+		if b.state == breakerClosed && b.probeOK {
+			up = 1
+		}
+		fmt.Fprintf(w, "slapfront_backend_up{backend=%q} %d\n", b.name, up)
+	}
+	fmt.Fprintln(w, "# HELP slapfront_backend_breaker_state Breaker state: 0 closed, 1 half-open, 2 open.")
+	fmt.Fprintln(w, "# TYPE slapfront_backend_breaker_state gauge")
+	for _, b := range backends {
+		v := 0
+		switch b.state {
+		case breakerHalfOpen:
+			v = 1
+		case breakerOpen:
+			v = 2
+		}
+		fmt.Fprintf(w, "slapfront_backend_breaker_state{backend=%q} %d\n", b.name, v)
+	}
+	fmt.Fprintln(w, "# HELP slapfront_backend_outstanding Jobs in flight per backend.")
+	fmt.Fprintln(w, "# TYPE slapfront_backend_outstanding gauge")
+	for _, b := range backends {
+		fmt.Fprintf(w, "slapfront_backend_outstanding{backend=%q} %d\n", b.name, b.outstanding)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	mbits "math/bits"
@@ -120,6 +121,19 @@ func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*A
 		return lb.aggregateLarge(img, initial, op)
 	}
 	return lb.aggregateImage(img, initial, op)
+}
+
+// AggregateCtx is Aggregate under a request context, with LabelCtx's
+// contract: strip-mined runs poll ctx between strips and stop early
+// with a wrapped context error when it is cancelled; whole-image runs
+// check ctx only on entry.
+func (lb *Labeler) AggregateCtx(ctx context.Context, img *bitmap.Bitmap, initial []int32, op Monoid) (*AggregateResult, error) {
+	if err := cancelCheck(ctx); err != nil {
+		return nil, err
+	}
+	lb.ctx = ctx
+	defer func() { lb.ctx = nil }()
+	return lb.Aggregate(img, initial, op)
 }
 
 // aggregateImage is Aggregate over the Image interface, always on a

@@ -30,6 +30,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -298,6 +299,26 @@ type Labeler struct {
 	seam         seamScratch
 	stripPool    *LabelerPool
 	stripPoolOpt Options
+
+	// ctx is the caller's request context for the duration of a *Ctx
+	// run: strip-mined runs poll it between strips, so a cancelled
+	// request stops early instead of finishing the whole image. Nil
+	// (the non-Ctx entry points) means never cancelled.
+	ctx context.Context
+}
+
+// cancelCheck reports ctx's cancellation as a core error (nil ctx never
+// cancels). It wraps the context error, so errors.Is(err,
+// context.Canceled / DeadlineExceeded) keeps working for callers that
+// map cancellation to a status code.
+func cancelCheck(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: run cancelled between strips: %w", err)
+	}
+	return nil
 }
 
 // NewLabeler returns a reusable labeler running Algorithm CC under opt.
@@ -315,6 +336,21 @@ func (lb *Labeler) Label(img *bitmap.Bitmap) (*Result, error) {
 		return lb.labelLarge(img)
 	}
 	return lb.labelImage(img)
+}
+
+// LabelCtx is Label under a request context: a strip-mined run polls
+// ctx between strips and stops early with a wrapped context error when
+// it is cancelled, instead of finishing the whole image. Whole-image
+// runs are one indivisible simulation; for them ctx is checked only on
+// entry. Results and metrics of completed runs are identical to
+// Label's.
+func (lb *Labeler) LabelCtx(ctx context.Context, img *bitmap.Bitmap) (*Result, error) {
+	if err := cancelCheck(ctx); err != nil {
+		return nil, err
+	}
+	lb.ctx = ctx
+	defer func() { lb.ctx = nil }()
+	return lb.Label(img)
 }
 
 // labelImage is Label over the Image interface, always on a whole-image

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -111,6 +112,40 @@ func (p *LabelerPool) TryLabelWith(img *bitmap.Bitmap, opt Options) (res *Result
 		return res, true, err
 	default:
 		return nil, false, nil
+	}
+}
+
+// LabelWithCtx is LabelWith under a request context: the wait for a
+// free worker aborts if ctx is cancelled first, and a strip-mined run
+// polls ctx between strips (see Labeler.LabelCtx).
+func (p *LabelerPool) LabelWithCtx(ctx context.Context, img *bitmap.Bitmap, opt Options) (*Result, error) {
+	lb, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(p, lb, under(opt, func(lb *Labeler) (*Result, error) { return lb.LabelCtx(ctx, img) }))
+}
+
+// AggregateWithCtx is AggregateWith under a request context, with
+// LabelWithCtx's contract.
+func (p *LabelerPool) AggregateWithCtx(ctx context.Context, img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	lb, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(p, lb, under(opt, func(lb *Labeler) (*AggregateResult, error) {
+		return lb.AggregateCtx(ctx, img, initial, op)
+	}))
+}
+
+// acquire checks out a worker, abandoning the wait if ctx is cancelled
+// first.
+func (p *LabelerPool) acquire(ctx context.Context) (*Labeler, error) {
+	select {
+	case lb := <-p.free:
+		return lb, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("core: cancelled waiting for a worker: %w", ctx.Err())
 	}
 }
 

@@ -85,6 +85,108 @@ func LabelLarge(img *bitmap.Bitmap, opt Options) (*Result, error) {
 	return Label(img, opt)
 }
 
+// StripRun is one strip's completed whole-image run, ready for seam
+// composition: the strip-local labeling (least strip-local column-major
+// labels, exactly what Label returns for the strip on its own), its
+// simulated metrics, and its union–find report. PerPixel carries the
+// strip's per-pixel fold on aggregation runs and is nil otherwise.
+//
+// The split between running strips and composing them is the cluster
+// seam: LabelLarge produces StripRuns locally; the slapfront
+// coordinator produces them by fanning strips out to slapd backends
+// over the wire. Either way ComposeStrips stitches them into a result
+// bit-identical to the whole-image run.
+type StripRun struct {
+	Labels      *bitmap.LabelMap
+	Metrics     slap.Metrics
+	UF          UFReport
+	Speculation SpecStats
+	PerPixel    []int32
+}
+
+// ComposeStrips stitches already-labeled strips into the whole-image
+// labeling result: runs[s] must be the whole-image run of the strip
+// covering columns [s·aw, min((s+1)·aw, w)) of img, where aw =
+// opt.ArrayWidth. The result — labels, composed metrics under
+// opt.Schedule, seam phases under opt.Seam, union–find report — is
+// bit-identical to LabelLarge(img, opt), which is implemented on top of
+// the same composition.
+func ComposeStrips(img *bitmap.Bitmap, runs []StripRun, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := checkCompose(img, runs, opt, false); err != nil {
+		return nil, err
+	}
+	lb := labelerPool.Get().(*Labeler)
+	defer labelerPool.Put(lb)
+	lb.userOpt = opt
+	return lb.composeLabelStrips(img, runs, opt), nil
+}
+
+// ComposeAggregateStrips is ComposeStrips for aggregation runs: each
+// run's PerPixel must hold the strip's own Corollary-4 fold under op,
+// and the stitch additionally combines the per-strip folds of
+// seam-crossing components. Bit-identical to AggregateLarge(img,
+// initial, op, opt) when the runs were aggregated over the matching
+// windows of initial.
+func ComposeAggregateStrips(img *bitmap.Bitmap, runs []StripRun, op Monoid, opt Options) (*AggregateResult, error) {
+	opt = opt.withDefaults()
+	if op.Combine == nil {
+		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)
+	}
+	if err := checkCompose(img, runs, opt, true); err != nil {
+		return nil, err
+	}
+	lb := labelerPool.Get().(*Labeler)
+	defer labelerPool.Put(lb)
+	lb.userOpt = opt
+	return lb.composeAggregateStrips(img, runs, op, opt), nil
+}
+
+// checkCompose validates a ComposeStrips call: a genuinely strip-mined
+// width, the right strip count, and per-strip dimensions that match the
+// spans the width implies.
+func checkCompose(img *bitmap.Bitmap, runs []StripRun, opt Options, agg bool) error {
+	w, h := img.W(), img.H()
+	if err := checkTiling(w, h, opt); err != nil {
+		return err
+	}
+	if err := opt.Cost.Validate(); err != nil {
+		return err
+	}
+	if !opt.Seam.Valid() {
+		return fmt.Errorf("core: unknown seam model %q (want %q or %q)", opt.Seam, SeamDistributed, SeamHost)
+	}
+	if !opt.Schedule.Valid() {
+		return fmt.Errorf("core: unknown schedule model %q (want %q or %q)", opt.Schedule, ScheduleSequential, SchedulePipelined)
+	}
+	aw := opt.ArrayWidth
+	if aw <= 0 || aw >= w {
+		return fmt.Errorf("core: ComposeStrips needs 0 < ArrayWidth < image width (got %d for width %d)", aw, w)
+	}
+	strips := (w + aw - 1) / aw
+	if len(runs) != strips {
+		return fmt.Errorf("core: %d strip runs for %d strips (width %d, array %d)", len(runs), strips, w, aw)
+	}
+	for s, run := range runs {
+		_, sw := stripSpan(w, aw, s)
+		if run.Labels == nil || run.Labels.W() != sw || run.Labels.H() != h {
+			return fmt.Errorf("core: strip %d labels are %v, want %dx%d", s, dimsOf(run.Labels), sw, h)
+		}
+		if agg && len(run.PerPixel) != sw*h {
+			return fmt.Errorf("core: strip %d per-pixel fold has %d values, want %d", s, len(run.PerPixel), sw*h)
+		}
+	}
+	return nil
+}
+
+// dimsOf formats a label map's dimensions for error text (nil-safe).
+func dimsOf(lm *bitmap.LabelMap) string {
+	if lm == nil {
+		return "nil"
+	}
+	return fmt.Sprintf("%dx%d", lm.W(), lm.H())
+}
+
 // AggregateLarge runs the Corollary 4 aggregation on img under opt,
 // strip-mining onto a fixed-width array when 0 < opt.ArrayWidth <
 // img.W() (otherwise it is exactly Aggregate): per-strip aggregation
@@ -221,13 +323,14 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 	stripOpt.ArrayWidth = 0
 	stripOpt.StripWorkers = 0
 
-	results := make([]*Result, strips)
+	runs := make([]StripRun, strips)
 	if opt.StripWorkers > 1 && strips > 1 {
 		// Fan the independent strips across a pool of worker labelers;
 		// results land in strip order, so everything downstream is
 		// identical to the sequential path. The pool is cached on the
 		// labeler, so a warm labeler's workers keep their arenas across
 		// frames instead of rebuilding the pool per call.
+		ctx := lb.ctx
 		pool := lb.ensureStripPool(stripOpt, opt.StripWorkers, strips)
 		errs := make([]error, strips)
 		var wg sync.WaitGroup
@@ -235,8 +338,17 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
+				if err := cancelCheck(ctx); err != nil {
+					errs[s] = err
+					return
+				}
 				x0, sw := stripSpan(w, aw, s)
-				results[s], errs[s] = pool.labelImage(img.StripView(x0, sw))
+				res, err := pool.labelImage(img.StripView(x0, sw))
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				runs[s] = StripRun{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF, Speculation: res.Speculation}
 			}(s)
 		}
 		wg.Wait()
@@ -247,23 +359,38 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 		}
 	} else {
 		// One warm arena set labels every strip in turn: the machine and
-		// column arenas reset in place per strip, as across frames.
+		// column arenas reset in place per strip, as across frames. A
+		// cancelled request context stops the run between strips instead
+		// of finishing the whole image.
 		saved := lb.userOpt
 		lb.userOpt = stripOpt
 		defer func() { lb.userOpt = saved }()
 		for s := 0; s < strips; s++ {
+			if err := cancelCheck(lb.ctx); err != nil {
+				return nil, err
+			}
 			x0, sw := stripSpan(w, aw, s)
 			res, err := lb.labelImage(img.StripView(x0, sw))
 			if err != nil {
 				return nil, err
 			}
-			results[s] = res
+			runs[s] = StripRun{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF, Speculation: res.Speculation}
 		}
 	}
 
+	return lb.composeLabelStrips(img, runs, opt), nil
+}
+
+// composeLabelStrips is the second half of a strip-mined labeling run —
+// globalize the strip labelings, stitch the seams, compose the report
+// under the schedule model — shared by labelLarge and the exported
+// ComposeStrips (whose runs arrive from remote backends).
+func (lb *Labeler) composeLabelStrips(img *bitmap.Bitmap, runs []StripRun, opt Options) *Result {
+	w, h := img.W(), img.H()
+	aw := opt.ArrayWidth
 	global := bitmap.NewLabelMap(w, h)
-	for s, res := range results {
-		globalizeLabels(global, res.Labels, s*aw, h)
+	for s, run := range runs {
+		globalizeLabels(global, run.Labels, s*aw, h)
 	}
 
 	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, nil, nil, aw, opt)
@@ -273,11 +400,11 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 	rep := UFReport{Kind: opt.UF}
 	var spec SpecStats
 	var steps, ops int64
-	for _, res := range results {
-		mergeStrip(&comp, opt, res.Metrics)
-		foldStripUF(&rep, &steps, &ops, res.UF)
-		spec.Sends += res.Speculation.Sends
-		spec.Wasted += res.Speculation.Wasted
+	for _, run := range runs {
+		mergeStrip(&comp, opt, run.Metrics)
+		foldStripUF(&rep, &steps, &ops, run.UF)
+		spec.Sends += run.Speculation.Sends
+		spec.Wasted += run.Speculation.Wasted
 	}
 	for _, p := range seamPhases {
 		comp.AppendPhase(p)
@@ -286,7 +413,7 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 		comp.PEMemory = seamMem
 	}
 	finishStripUF(&rep, steps, ops, seamStats)
-	return &Result{Labels: global, Metrics: comp, UF: rep, Speculation: spec}, nil
+	return &Result{Labels: global, Metrics: comp, UF: rep, Speculation: spec}
 }
 
 // aggregateLarge executes the strip-mined Corollary 4 aggregation.
@@ -307,8 +434,9 @@ func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid
 	// Per-strip aggregation: each strip sees the contiguous column-major
 	// window of the initial values its columns own — zero-copy, like the
 	// strip views themselves.
-	results := make([]*AggregateResult, strips)
+	runs := make([]StripRun, strips)
 	if opt.StripWorkers > 1 && strips > 1 {
+		ctx := lb.ctx
 		pool := lb.ensureStripPool(stripOpt, opt.StripWorkers, strips)
 		errs := make([]error, strips)
 		var wg sync.WaitGroup
@@ -316,8 +444,17 @@ func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
+				if err := cancelCheck(ctx); err != nil {
+					errs[s] = err
+					return
+				}
 				x0, sw := stripSpan(w, aw, s)
-				results[s], errs[s] = pool.aggregateImage(img.StripView(x0, sw), initial[x0*h:(x0+sw)*h], op)
+				res, err := pool.aggregateImage(img.StripView(x0, sw), initial[x0*h:(x0+sw)*h], op)
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				runs[s] = StripRun{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF, PerPixel: res.PerPixel}
 			}(s)
 		}
 		wg.Wait()
@@ -331,21 +468,33 @@ func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid
 		lb.userOpt = stripOpt
 		defer func() { lb.userOpt = saved }()
 		for s := 0; s < strips; s++ {
+			if err := cancelCheck(lb.ctx); err != nil {
+				return nil, err
+			}
 			x0, sw := stripSpan(w, aw, s)
 			res, err := lb.aggregateImage(img.StripView(x0, sw), initial[x0*h:(x0+sw)*h], op)
 			if err != nil {
 				return nil, err
 			}
-			results[s] = res
+			runs[s] = StripRun{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF, PerPixel: res.PerPixel}
 		}
 	}
 
+	return lb.composeAggregateStrips(img, runs, op, opt), nil
+}
+
+// composeAggregateStrips is composeLabelStrips for aggregation runs:
+// the stitch additionally combines seam-crossing components' per-strip
+// folds under op. Shared by aggregateLarge and ComposeAggregateStrips.
+func (lb *Labeler) composeAggregateStrips(img *bitmap.Bitmap, runs []StripRun, op Monoid, opt Options) *AggregateResult {
+	w, h := img.W(), img.H()
+	aw := opt.ArrayWidth
 	global := bitmap.NewLabelMap(w, h)
 	out := make([]int32, w*h)
-	for s, res := range results {
+	for s, run := range runs {
 		x0 := s * aw
-		globalizeLabels(global, res.Labels, x0, h)
-		copy(out[x0*h:], res.PerPixel)
+		globalizeLabels(global, run.Labels, x0, h)
+		copy(out[x0*h:], run.PerPixel)
 	}
 
 	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, out, &op, aw, opt)
@@ -353,9 +502,9 @@ func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid
 	comp := slap.Metrics{N: aw}
 	rep := UFReport{Kind: opt.UF}
 	var steps, ops int64
-	for _, res := range results {
-		mergeStrip(&comp, opt, res.Metrics)
-		foldStripUF(&rep, &steps, &ops, res.UF)
+	for _, run := range runs {
+		mergeStrip(&comp, opt, run.Metrics)
+		foldStripUF(&rep, &steps, &ops, run.UF)
 	}
 	for _, p := range seamPhases {
 		comp.AppendPhase(p)
@@ -364,7 +513,7 @@ func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid
 		comp.PEMemory = seamMem
 	}
 	finishStripUF(&rep, steps, ops, seamStats)
-	return &AggregateResult{PerPixel: out, Labels: global, Metrics: comp, UF: rep}, nil
+	return &AggregateResult{PerPixel: out, Labels: global, Metrics: comp, UF: rep}
 }
 
 // ensureStripPool returns the labeler's cached strip-worker pool,

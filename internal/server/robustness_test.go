@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"slapcc/api"
+	"slapcc/internal/bitmap"
+	"slapcc/internal/core"
+	"slapcc/internal/imageio"
+	"slapcc/internal/slap"
+)
+
+// TestHealthzReportsLoadAndDrain pins the routing-signal contract the
+// slapfront coordinator depends on: a serving backend answers 200 with
+// a JSON HealthResponse carrying its load figures, and the instant
+// Shutdown begins — before the drain completes — /healthz flips to 503
+// with Status "draining".
+func TestHealthzReportsLoadAndDrain(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 3})
+
+	req := httptest.NewRequest(http.MethodGet, api.PathHealthz, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz while serving: %d %s", rec.Code, rec.Body.String())
+	}
+	h := decodeJSON[api.HealthResponse](t, rec)
+	if h.Status != "ok" || h.Inflight != 0 || h.QueueDepth != 0 {
+		t.Fatalf("healthz body: %+v", h)
+	}
+	if h.Capacity != s.AdmissionCapacity() || h.Workers != 2 {
+		t.Fatalf("healthz capacity/workers: %+v (capacity want %d)", h, s.AdmissionCapacity())
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", rec.Code)
+	}
+	if h := decodeJSON[api.HealthResponse](t, rec); h.Status != "draining" {
+		t.Fatalf("draining healthz body: %+v", h)
+	}
+}
+
+// TestWordBitsParam: wordbits pins the bit-serial word width instead
+// of deriving it from the posted frame's dimensions. A 24×24 strip
+// charged at a 64×64 image's word width must report exactly the
+// metrics of a local run under slap.BitSerial of that width — the
+// divergence the parameter exists to remove when a coordinator fans
+// out strips of a larger image.
+func TestWordBitsParam(t *testing.T) {
+	img := bitmap.Random(24, 0.5, 21)
+	s := New(Config{Workers: 1})
+	bits := slap.WordBitsForDims(64, 64)
+	if bits == slap.WordBitsForDims(24, 24) {
+		t.Fatal("test needs distinct word widths")
+	}
+
+	rec := postImage(t, s, api.PathLabel, img, imageio.FormatRaw, api.Params{Cost: "bitserial", WordBits: bits})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("label: %d %s", rec.Code, rec.Body.String())
+	}
+	got := decodeJSON[api.LabelResponse](t, rec)
+
+	want, err := core.Label(img, core.Options{Cost: slap.BitSerial(bits)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics.TimeSteps != want.Metrics.Time {
+		t.Fatalf("pinned wordbits TimeSteps = %d, local = %d", got.Metrics.TimeSteps, want.Metrics.Time)
+	}
+
+	// Unpinned, the same frame derives its own (different) width.
+	rec = postImage(t, s, api.PathLabel, img, imageio.FormatRaw, api.Params{Cost: "bitserial"})
+	if derived := decodeJSON[api.LabelResponse](t, rec); derived.Metrics.TimeSteps == got.Metrics.TimeSteps {
+		t.Fatal("wordbits parameter had no effect")
+	}
+
+	// Negative widths are rejected.
+	rec = postImage(t, s, api.PathLabel, img, imageio.FormatRaw, api.Params{Cost: "bitserial", WordBits: -1})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("wordbits=-1: %d", rec.Code)
+	}
+}
+
+// TestInitialOffsetParam: initialoffset shifts the "positions" initial
+// values to the strip's global column-major origin, so a strip posted
+// on its own folds exactly what the whole-image run folds over that
+// window.
+func TestInitialOffsetParam(t *testing.T) {
+	whole := bitmap.Random(32, 0.5, 33)
+	h := whole.H()
+	const x0, sw = 16, 16
+	strip := whole.SubImage(x0, 0, sw, h)
+	s := New(Config{Workers: 1})
+
+	rec := postImage(t, s, api.PathAggregate, strip, imageio.FormatRaw,
+		api.Params{Op: "min", Initial: "positions", InitialOffset: x0 * h, WantLabels: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("aggregate: %d %s", rec.Code, rec.Body.String())
+	}
+	got := decodeJSON[api.AggregateResponse](t, rec)
+
+	initial := make([]int32, sw*h)
+	for i := range initial {
+		initial[i] = int32(i + x0*h)
+	}
+	want, err := core.Aggregate(strip, initial, core.Min(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PerPixel) != len(want.PerPixel) {
+		t.Fatalf("per-pixel length %d, want %d", len(got.PerPixel), len(want.PerPixel))
+	}
+	for i := range want.PerPixel {
+		if got.PerPixel[i] != want.PerPixel[i] {
+			t.Fatalf("per_pixel[%d] = %d, want %d", i, got.PerPixel[i], want.PerPixel[i])
+		}
+	}
+}
+
+// TestCancelledRequestAborts: a request whose context is already dead
+// never runs the labeling; the handler answers 499 (client closed
+// request) rather than burning a worker on an abandoned frame. The
+// between-strips cancellation itself is pinned in internal/core.
+func TestCancelledRequestAborts(t *testing.T) {
+	s := New(Config{Workers: 1})
+	img := bitmap.Random(32, 0.5, 5)
+	data, err := imageio.EncodeBytes(img, imageio.FormatRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, path := range []string{
+		api.PathLabel + "?array=8",
+		api.PathAggregate + "?array=8&op=sum",
+	} {
+		var body io.Reader = bytes.NewReader(data)
+		req := httptest.NewRequest(http.MethodPost, path, body).WithContext(ctx)
+		req.Header.Set("Content-Type", imageio.FormatRaw.ContentType())
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != statusClientClosedRequest {
+			t.Fatalf("%s with dead context: %d %s", path, rec.Code, rec.Body.String())
+		}
+	}
+}

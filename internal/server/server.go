@@ -254,16 +254,30 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// handleHealthz answers the routing signal coordinators act on: 200
+// with a JSON HealthResponse (queue depth included, so a balancer can
+// prefer idle backends) while serving, 503 with Status "draining" the
+// moment Shutdown begins — before the drain finishes — so upstreams
+// stop routing here while in-flight requests complete.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	resp := api.HealthResponse{
+		Status:   "ok",
+		Inflight: s.inflight,
+		Capacity: s.AdmissionCapacity(),
+		Workers:  s.cfg.Workers,
+	}
 	draining := s.draining
 	s.mu.Unlock()
-	if draining {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
+	if resp.QueueDepth = resp.Inflight - s.cfg.Workers; resp.QueueDepth < 0 {
+		resp.QueueDepth = 0
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	code := http.StatusOK
+	if draining {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -314,7 +328,16 @@ func (s *Server) readFrame(w http.ResponseWriter, r *http.Request, p api.Params)
 
 // optionsFor resolves per-request parameters over the base options.
 func (s *Server) optionsFor(p api.Params, imgW, imgH int) (core.Options, error) {
-	opt := s.cfg.Options
+	return OptionsFromParams(s.cfg.Options, p, imgW, imgH)
+}
+
+// OptionsFromParams resolves wire parameters over base options for an
+// imgW×imgH frame — the one translation every program serving or
+// replaying the api must share (slapd resolves requests with it; the
+// slapfront coordinator resolves its local-fallback runs with it, so a
+// degraded run is configured exactly as the backends would be).
+func OptionsFromParams(base core.Options, p api.Params, imgW, imgH int) (core.Options, error) {
+	opt := base
 	switch p.Connectivity {
 	case 0:
 	case 4:
@@ -331,10 +354,17 @@ func (s *Server) optionsFor(p api.Params, imgW, imgH int) (core.Options, error) 
 		}
 		opt.UF = kind
 	}
+	if p.WordBits < 0 {
+		return opt, fmt.Errorf("bad wordbits %d (must be ≥ 0)", p.WordBits)
+	}
 	switch strings.ToLower(p.Cost) {
 	case "", "unit":
 	case "bitserial":
-		opt.Cost = slap.BitSerial(slap.WordBitsForDims(imgW, imgH))
+		bits := p.WordBits
+		if bits == 0 {
+			bits = slap.WordBitsForDims(imgW, imgH)
+		}
+		opt.Cost = slap.BitSerial(bits)
 	default:
 		return opt, fmt.Errorf("bad cost %q (want unit or bitserial)", p.Cost)
 	}
@@ -372,7 +402,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err.Error())
 		return
 	}
-	resp, status, err := s.labelOne(img, p)
+	resp, status, err := s.labelOne(r.Context(), img, p)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
@@ -381,14 +411,26 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// labelOne labels a decoded frame on the pool under per-request params.
-func (s *Server) labelOne(img *bitmap.Bitmap, p api.Params) (*api.LabelResponse, int, error) {
+// statusClientClosedRequest is nginx's conventional code for "the
+// client hung up before we answered" — nothing standard fits, and the
+// write usually goes nowhere, but the access log and metrics should
+// distinguish an abandoned request from a bad one.
+const statusClientClosedRequest = 499
+
+// labelOne labels a decoded frame on the pool under per-request
+// params. The request context propagates into the run: a client that
+// hangs up cancels a strip-mined labeling between strips instead of
+// paying for the whole image.
+func (s *Server) labelOne(ctx context.Context, img *bitmap.Bitmap, p api.Params) (*api.LabelResponse, int, error) {
 	opt, err := s.optionsFor(p, img.W(), img.H())
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	res, err := s.pool.LabelWith(img, opt)
+	res, err := s.pool.LabelWithCtx(ctx, img, opt)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, statusClientClosedRequest, err
+		}
 		return nil, http.StatusBadRequest, err
 	}
 	if s.cfg.Verify {
@@ -400,7 +442,7 @@ func (s *Server) labelOne(img *bitmap.Bitmap, p api.Params) (*api.LabelResponse,
 			return nil, http.StatusInternalServerError, fmt.Errorf("verification failed: %w", err)
 		}
 	}
-	return toLabelResponse(res, p.WantLabels), 0, nil
+	return ToLabelResponse(res, p.WantLabels), 0, nil
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -424,25 +466,22 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	initial, err := initialValues(img, p.Initial)
+	initial, err := InitialValues(img, p.Initial, p.InitialOffset)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.pool.AggregateWith(img, initial, op, opt)
+	res, err := s.pool.AggregateWithCtx(r.Context(), img, initial, op, opt)
 	if err != nil {
+		if r.Context().Err() != nil {
+			writeError(w, statusClientClosedRequest, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.reg.addFrames(1)
-	resp := &api.AggregateResponse{
-		LabelResponse: *toLabelResponse(&core.Result{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF}, p.WantLabels),
-		Op:            op.Name,
-	}
-	if p.WantLabels {
-		resp.PerPixel = res.PerPixel
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, ToAggregateResponse(res, op.Name, p.WantLabels))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -503,7 +542,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(f frame) {
 			defer wg.Done()
-			resp, _, err := s.labelOne(f.img, p)
+			resp, _, err := s.labelOne(r.Context(), f.img, p)
 			if err != nil {
 				items[f.idx].Error = err.Error()
 				return
@@ -547,8 +586,10 @@ func (s *Server) decodePart(part *multipart.Part, p api.Params) (*bitmap.Bitmap,
 	return imageio.DecodeBytes(data, format, s.cfg.Limits)
 }
 
-// toLabelResponse converts a core result to the wire form.
-func toLabelResponse(res *core.Result, wantLabels bool) *api.LabelResponse {
+// ToLabelResponse converts a core result to the wire form — exported
+// so the slapfront coordinator answers composed runs with byte-for-byte
+// the JSON a local slapd would have produced.
+func ToLabelResponse(res *core.Result, wantLabels bool) *api.LabelResponse {
 	lm := res.Labels
 	st := seqcc.Summarize(lm)
 	out := &api.LabelResponse{
@@ -594,6 +635,24 @@ func toLabelResponse(res *core.Result, wantLabels bool) *api.LabelResponse {
 	return out
 }
 
+// ToAggregateResponse is ToLabelResponse for aggregation runs.
+func ToAggregateResponse(res *core.AggregateResult, opName string, wantLabels bool) *api.AggregateResponse {
+	resp := &api.AggregateResponse{
+		LabelResponse: *ToLabelResponse(&core.Result{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF}, wantLabels),
+		Op:            opName,
+	}
+	if wantLabels {
+		resp.PerPixel = res.PerPixel
+	}
+	return resp
+}
+
+// MonoidByName resolves a wire op name to the core monoid ("" = min,
+// the paper's Corollary 4 operator).
+func MonoidByName(name string) (core.Monoid, error) {
+	return monoidByName(name)
+}
+
 func monoidByName(name string) (core.Monoid, error) {
 	switch strings.ToLower(name) {
 	case "", "min":
@@ -608,14 +667,18 @@ func monoidByName(name string) (core.Monoid, error) {
 	return core.Monoid{}, fmt.Errorf("unknown op %q (min, max, sum, or)", name)
 }
 
-func initialValues(img *bitmap.Bitmap, kind string) ([]int32, error) {
+// InitialValues builds the initial per-pixel aggregation values: all
+// ones, or column-major positions shifted by offset (a strip of a
+// larger image passes its global origin, so per-strip folds match the
+// whole-image run's).
+func InitialValues(img *bitmap.Bitmap, kind string, offset int) ([]int32, error) {
 	switch strings.ToLower(kind) {
 	case "", "ones":
 		return core.Ones(img), nil
 	case "positions":
 		init := make([]int32, img.W()*img.H())
 		for i := range init {
-			init[i] = int32(i)
+			init[i] = int32(i + offset)
 		}
 		return init, nil
 	}

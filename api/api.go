@@ -25,9 +25,15 @@
 package api
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"net/url"
 	"strconv"
+	"sync/atomic"
+	"time"
 )
 
 // Endpoint paths.
@@ -38,6 +44,80 @@ const (
 	PathHealthz   = "/healthz"
 	PathMetrics   = "/metrics"
 )
+
+// Request lifecycle headers. Both flow client → slapfront → slapd, so
+// a request is traceable and deadline-bounded across every tier.
+const (
+	// HeaderDeadlineMS carries the request's remaining time budget in
+	// whole milliseconds. Every tier re-stamps the header with what is
+	// left of its own deadline, so the budget shrinks as the request
+	// crosses the fleet; a server whose queue cannot possibly meet the
+	// budget fails fast with 504 instead of doing doomed work, and a
+	// budget that expires mid-run stops a strip loop between strips.
+	HeaderDeadlineMS = "X-Slap-Deadline-Ms"
+	// HeaderRequestID identifies one logical request end to end. The
+	// client generates it when absent; slapfront forwards the caller's
+	// ID to every strip job it fans out; servers echo it on the
+	// response and in ErrorResponse.RequestID, and include it in every
+	// log line — so a soak failure is traceable across tiers.
+	HeaderRequestID = "X-Slap-Request-Id"
+)
+
+// requestIDKey is the context key RequestID helpers use.
+type requestIDKey struct{}
+
+// ContextWithRequestID returns ctx carrying the request ID, the way
+// callers hand an ID to the client (which stamps HeaderRequestID) and
+// servers hand the incoming ID to everything downstream.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID returns a fresh random request ID (16 hex chars). It
+// never fails: if the system's entropy pool is somehow unreadable the
+// ID falls back to a process-local counter — uniqueness within one
+// trace matters more than unguessability.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := fallbackID.Add(1)
+		binary.BigEndian.PutUint64(b[:], n)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackID atomic.Uint64
+
+// FormatDeadline renders a remaining budget as a HeaderDeadlineMS
+// value: whole milliseconds, floored at 0 ("already spent").
+func FormatDeadline(remaining time.Duration) string {
+	ms := remaining.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	return strconv.FormatInt(ms, 10)
+}
+
+// ParseDeadline parses a HeaderDeadlineMS value. ok is false when the
+// header is absent or malformed (a malformed hint is ignored rather
+// than failing the request — the budget is advisory metadata, not part
+// of the request's validity).
+func ParseDeadline(h string) (remaining time.Duration, ok bool) {
+	if h == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
 
 // Params are the per-request labeling options, carried as query
 // parameters on every POST endpoint. Zero values select the service's
@@ -266,9 +346,18 @@ type HealthResponse struct {
 	Capacity int `json:"capacity"`
 	// Workers is the labeler pool size.
 	Workers int `json:"workers"`
+	// AdmissionLimit is the adaptive (AIMD) concurrency limit currently
+	// in force, ≤ Capacity; a limit sagging below Capacity means the
+	// server is shedding load to hold its latency target, so a router
+	// sees pressure before 429s start. Omitted (0) by servers running
+	// the fixed bound.
+	AdmissionLimit int `json:"admission_limit,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx, non-429 response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes HeaderRequestID when the request carried (or was
+	// assigned) one, so an error seen tiers away is traceable in logs.
+	RequestID string `json:"request_id,omitempty"`
 }

@@ -322,6 +322,12 @@ func (c *Client) post(ctx context.Context, path string, p api.Params, body []byt
 	if q := p.Query().Encode(); q != "" {
 		url += "?" + q
 	}
+	// One request ID per logical request: retries of the same body reuse
+	// it, so the whole attempt chain is one trace. Callers (slapfront)
+	// pin their own via api.ContextWithRequestID.
+	if api.RequestIDFromContext(ctx) == "" {
+		ctx = api.ContextWithRequestID(ctx, api.NewRequestID())
+	}
 	for attempt := 0; ; attempt++ {
 		err := c.postOnce(ctx, url, body, contentType, out)
 		if err == nil {
@@ -367,6 +373,14 @@ func (c *Client) postOnce(ctx context.Context, url string, body []byte, contentT
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if id := api.RequestIDFromContext(ctx); id != "" {
+		req.Header.Set(api.HeaderRequestID, id)
+	}
+	// Stamp the remaining budget at send time, so each attempt (and each
+	// tier) sees what is actually left rather than the original budget.
+	if deadline, ok := ctx.Deadline(); ok {
+		req.Header.Set(api.HeaderDeadlineMS, api.FormatDeadline(deadline.Sub(c.now())))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

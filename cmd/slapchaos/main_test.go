@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShortSoak runs the whole harness — real slapfront, three real
+// backends behind chaos proxies, a kill/restart/latency/err500/burst
+// schedule scaled down to a few seconds — and requires the SLOs to
+// hold: zero mismatches, zero unexplained errors, drained gauges.
+func TestShortSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	out := &bytes.Buffer{}
+	rep := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	err := run([]string{
+		"-duration", "5s",
+		"-concurrency", "2",
+		"-sizes", "48",
+		"-out", rep,
+	}, out)
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "SLO: all green") {
+		t.Fatalf("no green SLO verdict:\n%s", out.String())
+	}
+}
+
+// TestParseSchedule pins the schedule DSL: well-formed entries parse in
+// time order, malformed ones fail loudly.
+func TestParseSchedule(t *testing.T) {
+	evs, err := parseSchedule("10s:kill:1; 5s:latency:0:100ms:2s ;20s:burst:8", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 || evs[0].kind != "latency" || evs[1].kind != "kill" || evs[2].kind != "burst" {
+		t.Fatalf("parsed %+v", evs)
+	}
+	if evs[0].delay != 100*time.Millisecond || evs[0].window != 2*time.Second || evs[2].burst != 8 {
+		t.Fatalf("args lost: %+v", evs)
+	}
+	for _, bad := range []string{
+		"5s:kill:3",       // backend out of range
+		"5s:explode:0",    // unknown kind
+		"nope:kill:0",     // bad offset
+		"5s:latency:0:1s", // missing window
+		"5s:burst:0",      // zero burst
+		"kill:0",          // missing offset
+	} {
+		if _, err := parseSchedule(bad, 3); err == nil {
+			t.Errorf("schedule %q accepted", bad)
+		}
+	}
+}

@@ -58,6 +58,13 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 		retry     = fs.Duration("retryafter", time.Second, "Retry-After hint on 429 responses")
 		verify    = fs.Bool("verify", false, "cross-check every labeling against the sequential reference (conformance mode)")
 		drainWait = fs.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		latTarget = fs.Duration("latencytarget", 0, "adaptive admission latency target (0 disables AIMD limiting)")
+
+		readHeader = fs.Duration("readheadertimeout", 5*time.Second, "time allowed to read a request's headers")
+		readWait   = fs.Duration("readtimeout", 2*time.Minute, "time allowed to read a whole request")
+		writeWait  = fs.Duration("writetimeout", 2*time.Minute, "time allowed to write a response")
+		idleWait   = fs.Duration("idletimeout", 2*time.Minute, "keep-alive idle connection timeout")
+		maxHeader  = fs.Int("maxheaderbytes", 1<<20, "max request header bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +78,10 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 		MaxBatchFrames: *maxBatch,
 		RetryAfter:     *retry,
 		Verify:         *verify,
+		LatencyTarget:  *latTarget,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, "slapd: "+format+"\n", args...)
+		},
 	}
 	srv := server.New(cfg)
 
@@ -78,7 +89,17 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv}
+	// The timeouts harden the listener against slow-loris clients: a
+	// connection that trickles its headers or body is cut off instead of
+	// pinning a goroutine and an admission slot forever.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: *readHeader,
+		ReadTimeout:       *readWait,
+		WriteTimeout:      *writeWait,
+		IdleTimeout:       *idleWait,
+		MaxHeaderBytes:    *maxHeader,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net"
 	"os"
 	"strings"
 	"testing"
@@ -65,6 +66,62 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "drained") {
 		t.Fatalf("no drain log:\n%s", out.String())
+	}
+}
+
+// TestSlowLorisDisconnected: a client that opens a connection and
+// trickles an eternally unfinished header block is cut off by
+// ReadHeaderTimeout instead of pinning a server goroutine — and the
+// daemon keeps serving real traffic while the loris dangles.
+func TestSlowLorisDisconnected(t *testing.T) {
+	signals := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-readheadertimeout", "300ms"},
+			&out, signals, func(addr string) { ready <- addr })
+	}()
+	t.Cleanup(func() {
+		signals <- os.Interrupt
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not drain after the test")
+		}
+	})
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A legitimate-looking start, then silence mid-header.
+	if _, err := conn.Write([]byte("POST /v1/label HTTP/1.1\r\nHost: loris\r\nX-Drip: ")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a half-sent header block")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server still holding the slow-loris connection after 5s; ReadHeaderTimeout not enforced")
+	}
+
+	// The daemon is unharmed: a real request still answers.
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz after loris: %v", err)
 	}
 }
 

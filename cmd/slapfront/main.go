@@ -64,6 +64,14 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 		maxH        = fs.Int("maxheight", 0, "max image height (0 = default)")
 		maxPix      = fs.Int64("maxpixels", 0, "max image pixels (0 = default)")
 		maxBody     = fs.Int64("maxbody", 0, "max request body bytes (0 = 64 MiB)")
+		hedgeDelay  = fs.Duration("hedgedelay", 50*time.Millisecond, "floor before a straggling strip job is hedged to a second backend (the observed job p95 raises it)")
+		hedgeMax    = fs.Int("hedgemax", 2, "max hedged duplicates per request (0 disables hedging)")
+
+		readHeader = fs.Duration("readheadertimeout", 5*time.Second, "time allowed to read a request's headers")
+		readWait   = fs.Duration("readtimeout", 2*time.Minute, "time allowed to read a whole request")
+		writeWait  = fs.Duration("writetimeout", 2*time.Minute, "time allowed to write a response")
+		idleWait   = fs.Duration("idletimeout", 2*time.Minute, "keep-alive idle connection timeout")
+		maxHeader  = fs.Int("maxheaderbytes", 1<<20, "max request header bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +96,8 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 		JobConcurrency:   *concurrency,
 		Limits:           imageio.Limits{MaxWidth: *maxW, MaxHeight: *maxH, MaxPixels: *maxPix},
 		MaxBodyBytes:     *maxBody,
+		HedgeDelay:       *hedgeDelay,
+		HedgeMax:         *hedgeMax,
 	})
 	defer co.Close()
 
@@ -95,7 +105,16 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: co}
+	// Slow-loris hardening: clients that trickle headers or bodies are
+	// disconnected instead of holding goroutines open indefinitely.
+	hs := &http.Server{
+		Handler:           co,
+		ReadHeaderTimeout: *readHeader,
+		ReadTimeout:       *readWait,
+		WriteTimeout:      *writeWait,
+		IdleTimeout:       *idleWait,
+		MaxHeaderBytes:    *maxHeader,
+	}
 	errc := make(chan error, 1)
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {

@@ -177,6 +177,13 @@ func (b *backend) probe(ctx context.Context, timeout time.Duration, now time.Tim
 // dead, or mid-trial) — the caller's cue to degrade to local
 // execution.
 func (co *Coordinator) pick(now time.Time) *backend {
+	return co.pickExcluding(now, nil)
+}
+
+// pickExcluding is pick skipping one backend — a hedge must land on a
+// different machine than the straggling primary or it doubles the very
+// queue it is trying to route around.
+func (co *Coordinator) pickExcluding(now time.Time, skip *backend) *backend {
 	co.pickMu.Lock()
 	defer co.pickMu.Unlock()
 	// Least-outstanding first; ties go to list order. Acquisition is
@@ -190,6 +197,9 @@ func (co *Coordinator) pick(now time.Time) *backend {
 		}
 	}
 	for _, b := range order {
+		if b == skip {
+			continue
+		}
 		if b.tryAcquire(now, co.cfg.BreakerCooldown) {
 			return b
 		}

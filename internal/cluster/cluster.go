@@ -82,6 +82,15 @@ type Config struct {
 	// JobConcurrency caps strip jobs in flight per request (≤ 0 selects
 	// 2 per backend, minimum 2).
 	JobConcurrency int
+	// HedgeDelay floors the hedge timer: an outstanding strip job is
+	// re-issued to a second backend after max(HedgeDelay, p95 of recent
+	// job latencies), first complete response winning (default 50ms).
+	HedgeDelay time.Duration
+	// HedgeMax caps hedged (duplicate) attempts across one request's
+	// whole fan-out, so hedging never amplifies an overload. 0 (the
+	// zero value) disables hedging; the slapfront daemon defaults its
+	// flag to 2.
+	HedgeMax int
 	// Limits bound decoded image sizes; MaxBodyBytes bounds request
 	// bodies (≤ 0 selects 64 MiB).
 	Limits       imageio.Limits
@@ -128,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 50 * time.Millisecond
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -323,17 +335,96 @@ func (co *Coordinator) readFrame(w http.ResponseWriter, r *http.Request, p api.P
 	return img, 0, nil
 }
 
+// lifecycle stamps the request's ID on the response header and context
+// (so backend calls and error payloads carry it) and applies the
+// caller's X-Slap-Deadline-Ms budget: a spent budget answers 504 before
+// any fan-out, a live one bounds the whole fan-out's context — each
+// backend attempt then re-stamps the remaining budget on the wire via
+// the client. Returns ok=false when the request was already answered.
+func (co *Coordinator) lifecycle(w http.ResponseWriter, r *http.Request) (*http.Request, context.CancelFunc, bool) {
+	id := r.Header.Get(api.HeaderRequestID)
+	if id == "" {
+		id = api.NewRequestID()
+	}
+	w.Header().Set(api.HeaderRequestID, id)
+	ctx := api.ContextWithRequestID(r.Context(), id)
+	cancel := context.CancelFunc(func() {})
+	if budget, ok := api.ParseDeadline(r.Header.Get(api.HeaderDeadlineMS)); ok {
+		if budget <= 0 {
+			writeError(w, http.StatusGatewayTimeout, "deadline budget already spent")
+			return nil, nil, false
+		}
+		ctx, cancel = context.WithTimeout(ctx, budget)
+	}
+	return r.WithContext(ctx), cancel, true
+}
+
 // errNoBackend reports that no backend would accept a job right now:
 // every breaker open, every probe failing, or no backends configured.
 var errNoBackend = errors.New("cluster: no routable backend")
 
+// hedgeState caps hedged (duplicate) attempts across one request's
+// whole fan-out: each request gets HedgeMax duplicates total, however
+// many strips it sharded into, so hedging helps a straggler without
+// ever doubling an overloaded fleet's work.
+type hedgeState struct {
+	mu   sync.Mutex
+	left int
+}
+
+// newHedgeState returns the per-request hedge budget, or nil when
+// hedging is off (HedgeMax 0) or pointless (fewer than two backends).
+func (co *Coordinator) newHedgeState() *hedgeState {
+	if co.cfg.HedgeMax <= 0 || len(co.backends) < 2 {
+		return nil
+	}
+	return &hedgeState{left: co.cfg.HedgeMax}
+}
+
+func (hs *hedgeState) take() bool {
+	if hs == nil {
+		return false
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.left <= 0 {
+		return false
+	}
+	hs.left--
+	return true
+}
+
+// put returns an unused hedge token (taken, but no second backend was
+// routable to spend it on).
+func (hs *hedgeState) put() {
+	if hs == nil {
+		return
+	}
+	hs.mu.Lock()
+	hs.left++
+	hs.mu.Unlock()
+}
+
+// hedgeDelay is how long an outstanding job runs before a duplicate is
+// issued: the p95 of recent successful job latencies — a hedge should
+// fire only for tail stragglers — floored at HedgeDelay while the
+// quantile is still warming up.
+func (co *Coordinator) hedgeDelay() time.Duration {
+	d := co.reg.jobP95()
+	if d < co.cfg.HedgeDelay {
+		d = co.cfg.HedgeDelay
+	}
+	return d
+}
+
 // dispatch runs one job under the retry/routing policy: pick the
-// healthiest backend, bound the attempt with the job timeout, classify
-// the outcome, back off, re-route. It returns the job's result, or a
-// 4xx *client.StatusError to propagate verbatim, or a terminal error
+// healthiest backend, bound the attempt with the job timeout, hedge a
+// straggling attempt to a second backend, classify the outcome, back
+// off, re-route. It returns the job's result, or a 4xx
+// *client.StatusError to propagate verbatim, or a terminal error
 // (errNoBackend / exhausted budget) that the caller answers by running
 // the job locally.
-func dispatch[T any](co *Coordinator, ctx context.Context, kind string, run func(context.Context, *client.Client) (T, error)) (T, error) {
+func dispatch[T any](co *Coordinator, ctx context.Context, kind string, hs *hedgeState, run func(context.Context, *client.Client) (T, error)) (T, error) {
 	var zero T
 	var lastErr error = errNoBackend
 	for attempt := 0; attempt < co.cfg.RetryBudget; attempt++ {
@@ -357,57 +448,188 @@ func dispatch[T any](co *Coordinator, ctx context.Context, kind string, run func
 			}
 			continue
 		}
-		jctx, cancel := context.WithTimeout(ctx, co.cfg.JobTimeout)
-		res, err := run(jctx, b.cl)
-		cancel()
-		now := co.cfg.Now()
+		res, err, retryable, wait := hedgedAttempt(co, ctx, hs, b, run)
 		if err == nil {
-			b.release(true, true, now, co.cfg.BreakerThreshold, "")
-			co.reg.addJob(b.name, "ok")
 			return res, nil
 		}
-		var se *client.StatusError
-		switch {
-		case errors.As(err, &se) && se.Code == http.StatusTooManyRequests:
-			// Busy, not broken: the backend answered coherently. Honor
-			// its hint (bounded), then re-route.
-			b.release(true, false, now, co.cfg.BreakerThreshold, "")
-			co.reg.addJob(b.name, "busy")
-			wait := se.RetryAfter
-			if wait <= 0 || wait > co.cfg.BackoffMax {
-				wait = co.backoffWait(attempt)
-			}
-			lastErr = err
-			if err := co.cfg.Sleep(ctx, wait); err != nil {
-				return zero, err
-			}
-		case errors.As(err, &se) && se.Code < http.StatusInternalServerError:
-			// 4xx: our request (and hence the caller's) is wrong.
-			// Propagate — re-sending it elsewhere cannot fix it, and the
-			// backend is healthy.
-			b.release(true, true, now, co.cfg.BreakerThreshold, "")
+		if !retryable {
 			return zero, err
-		case ctx.Err() != nil:
-			// The caller hung up; the backend may be fine. Uncountable.
-			b.release(false, false, now, co.cfg.BreakerThreshold, "")
-			return zero, ctx.Err()
-		default:
-			// 5xx, timeout, or transport failure: a real backend
-			// failure. Count it, maybe open the breaker, re-shard the
-			// job to a survivor after the backoff.
-			wasOpen, _, _, _ := b.snapshot()
-			b.release(false, true, now, co.cfg.BreakerThreshold, err.Error())
-			if st, _, _, _ := b.snapshot(); st == breakerOpen && wasOpen != breakerOpen {
-				co.reg.addOpened()
-			}
-			co.reg.addJob(b.name, "error")
-			lastErr = err
-			if err := co.cfg.Sleep(ctx, co.backoffWait(attempt)); err != nil {
-				return zero, err
-			}
+		}
+		lastErr = err
+		if wait <= 0 {
+			wait = co.backoffWait(attempt)
+		}
+		if err := co.cfg.Sleep(ctx, wait); err != nil {
+			return zero, err
 		}
 	}
 	return zero, fmt.Errorf("cluster: %s job failed after %d attempts: %w", kind, co.cfg.RetryBudget, lastErr)
+}
+
+// hedgedAttempt runs one attempt slot: the job on backend b, plus — if
+// the hedge timer fires while b is still working and the request's
+// hedge budget and a second routable backend exist — one duplicate,
+// first complete response winning. The loser's context is cancelled the
+// moment a winner lands, and every launched copy is awaited and
+// released before returning, so per-backend outstanding gauges always
+// drain. Hedge losers are uncountable for the circuit breaker, like
+// 429s: a cancelled duplicate says nothing about the backend's health.
+//
+// Returns (result, error, retryable, suggested wait): retryable=false
+// errors propagate to the caller (4xx, parent-context death);
+// retryable=true errors let dispatch back off and re-route.
+func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, b *backend, run func(context.Context, *client.Client) (T, error)) (T, error, bool, time.Duration) {
+	var zero T
+	type outcome struct {
+		b     *backend
+		res   T
+		err   error
+		start time.Time
+	}
+	results := make(chan outcome, 2)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+	launch := func(b *backend) context.CancelFunc {
+		actx, acancel := context.WithCancel(ctx)
+		start := co.cfg.Now()
+		go func() {
+			jctx, jcancel := context.WithTimeout(actx, co.cfg.JobTimeout)
+			defer jcancel()
+			res, err := run(jctx, b.cl)
+			results <- outcome{b: b, res: res, err: err, start: start}
+		}()
+		return acancel
+	}
+	cancels = append(cancels, launch(b))
+	inFlight := 1
+
+	// The timer goroutine only signals; the select loop below launches
+	// the duplicate, so backend picking never races result handling.
+	timer := make(chan struct{}, 1)
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
+	if hs != nil {
+		go func() {
+			if co.cfg.Sleep(tctx, co.hedgeDelay()) == nil {
+				timer <- struct{}{}
+			}
+		}()
+	}
+
+	var (
+		winner   outcome
+		won      bool
+		hedgedTo *backend
+		terminal error // 4xx / parent-context error: propagate, don't retry
+		lastErr  error
+		wait     time.Duration
+	)
+	settle := func() {
+		tcancel()
+		for _, c := range cancels {
+			c()
+		}
+	}
+	for inFlight > 0 {
+		select {
+		case o := <-results:
+			inFlight--
+			now := co.cfg.Now()
+			if won || terminal != nil {
+				// The slot already concluded; this copy is the cancelled
+				// loser (or, rarely, a second success — still a healthy
+				// answer). Losers are uncountable.
+				if o.err == nil {
+					o.b.release(true, true, now, co.cfg.BreakerThreshold, "")
+					co.reg.addJob(o.b.name, "ok")
+				} else {
+					o.b.release(false, false, now, co.cfg.BreakerThreshold, "")
+					co.reg.addJob(o.b.name, "cancelled")
+				}
+				continue
+			}
+			if o.err == nil {
+				o.b.release(true, true, now, co.cfg.BreakerThreshold, "")
+				co.reg.addJob(o.b.name, "ok")
+				co.reg.addJobLatency(now.Sub(o.start))
+				winner, won = o, true
+				if hedgedTo != nil && o.b == hedgedTo {
+					co.reg.addHedgeWin()
+				}
+				settle()
+				continue
+			}
+			var se *client.StatusError
+			switch {
+			case errors.As(o.err, &se) && se.Code == http.StatusTooManyRequests:
+				// Busy, not broken: the backend answered coherently.
+				// Remember its hint (bounded); a still-running copy may
+				// yet win.
+				o.b.release(true, false, now, co.cfg.BreakerThreshold, "")
+				co.reg.addJob(o.b.name, "busy")
+				lastErr = o.err
+				if w := se.RetryAfter; w > 0 && w <= co.cfg.BackoffMax {
+					wait = w
+				}
+			case errors.As(o.err, &se) && se.Code < http.StatusInternalServerError:
+				// 4xx: our request (and hence the caller's) is wrong.
+				// Propagate — re-sending it elsewhere cannot fix it, and
+				// the backend is healthy.
+				o.b.release(true, true, now, co.cfg.BreakerThreshold, "")
+				terminal = o.err
+				settle()
+			case ctx.Err() != nil:
+				// The caller hung up or its deadline budget expired; the
+				// backend may be fine. Uncountable.
+				o.b.release(false, false, now, co.cfg.BreakerThreshold, "")
+				terminal = ctx.Err()
+				settle()
+			default:
+				// 5xx, timeout, or transport failure: a real backend
+				// failure. Count it, maybe open the breaker; dispatch
+				// re-shards to a survivor after the backoff.
+				wasOpen, _, _, _ := o.b.snapshot()
+				o.b.release(false, true, now, co.cfg.BreakerThreshold, o.err.Error())
+				if st, _, _, _ := o.b.snapshot(); st == breakerOpen && wasOpen != breakerOpen {
+					co.reg.addOpened()
+				}
+				co.reg.addJob(o.b.name, "error")
+				lastErr = o.err
+				if errors.Is(o.err, context.DeadlineExceeded) {
+					// The *job* timeout expired, not the request's budget
+					// (ctx.Err() was nil above). Flatten the wrap with %v so
+					// an exhausted retry budget still reads as a backend
+					// failure — eligible for local fallback — rather than a
+					// spent deadline.
+					lastErr = fmt.Errorf("cluster: job timed out after %v: %v", co.cfg.JobTimeout, o.err)
+				}
+			}
+		case <-timer:
+			if !hs.take() {
+				continue
+			}
+			b2 := co.pickExcluding(co.cfg.Now(), b)
+			if b2 == nil {
+				hs.put()
+				continue
+			}
+			co.reg.addHedge()
+			hedgedTo = b2
+			cancels = append(cancels, launch(b2))
+			inFlight++
+		}
+	}
+	if won {
+		return winner.res, nil, false, 0
+	}
+	if terminal != nil {
+		return zero, terminal, false, 0
+	}
+	return zero, lastErr, true, wait
 }
 
 // backoffWait is attempt k's capped exponential backoff with jitter,
@@ -443,15 +665,20 @@ func fallbackLocal(err error) bool {
 }
 
 // writeDispatchError answers a request whose dispatch failed without a
-// local fallback: 4xx pass through verbatim, cancellation is the
-// client's own doing, anything else is a 502.
+// local fallback: 4xx pass through verbatim, an expired deadline budget
+// is 504 (the server ran out of time), cancellation is the client's own
+// doing (499), anything else is a 502.
 func writeDispatchError(w http.ResponseWriter, err error) {
 	var se *client.StatusError
 	if errors.As(err, &se) {
 		writeError(w, se.Code, se.Msg)
 		return
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	if errors.Is(err, context.Canceled) {
 		writeError(w, 499, err.Error())
 		return
 	}
@@ -467,7 +694,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, api.ErrorResponse{Error: msg})
+	writeJSON(w, code, api.ErrorResponse{Error: msg, RequestID: w.Header().Get(api.HeaderRequestID)})
 }
 
 // stripRunFromResponse reconstructs a core.StripRun from one strip's
@@ -619,6 +846,11 @@ func (co *Coordinator) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	r, done, ok := co.lifecycle(w, r)
+	if !ok {
+		return
+	}
+	defer done()
 	img, status, err := co.readFrame(w, r, p)
 	if err != nil {
 		writeError(w, status, err.Error())
@@ -633,11 +865,12 @@ func (co *Coordinator) handleLabel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	hs := co.newHedgeState()
 
 	aw := opt.ArrayWidth
 	if aw <= 0 || aw >= img.W() {
 		// Whole-image run: one job, routed like any other.
-		resp, err := co.wholeImageLabel(ctx, img, p, opt)
+		resp, err := co.wholeImageLabel(ctx, img, p, opt, hs)
 		if err != nil {
 			writeDispatchError(w, err)
 			return
@@ -656,7 +889,7 @@ func (co *Coordinator) handleLabel(w http.ResponseWriter, r *http.Request) {
 	stripOpt.StripWorkers = 0
 	runs, err := co.runJobs(ctx, jobs, func(ctx context.Context, j job) (core.StripRun, error) {
 		sp := stripParams(p, opt, img.H(), j.x0, false)
-		resp, derr := dispatch(co, ctx, "label", func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
+		resp, derr := dispatch(co, ctx, "label", hs, func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
 			return cl.LabelData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
 		})
 		if derr != nil {
@@ -705,6 +938,11 @@ func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown initial %q (ones, positions)", p.Initial))
 		return
 	}
+	r, done, ok := co.lifecycle(w, r)
+	if !ok {
+		return
+	}
+	defer done()
 	img, status, err := co.readFrame(w, r, p)
 	if err != nil {
 		writeError(w, status, err.Error())
@@ -716,10 +954,11 @@ func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	hs := co.newHedgeState()
 
 	aw := opt.ArrayWidth
 	if aw <= 0 || aw >= img.W() {
-		resp, err := co.wholeImageAggregate(ctx, img, p, op, opt)
+		resp, err := co.wholeImageAggregate(ctx, img, p, op, opt, hs)
 		if err != nil {
 			writeDispatchError(w, err)
 			return
@@ -739,7 +978,7 @@ func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	h := img.H()
 	runs, err := co.runJobs(ctx, jobs, func(ctx context.Context, j job) (core.StripRun, error) {
 		sp := stripParams(p, opt, h, j.x0, true)
-		resp, derr := dispatch(co, ctx, "aggregate", func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
+		resp, derr := dispatch(co, ctx, "aggregate", hs, func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
 			return cl.AggregateData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
 		})
 		if derr != nil {
@@ -774,14 +1013,14 @@ func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
 
 // wholeImageLabel routes an un-strip-mined request as a single job,
 // degrading to a local run when no backend will take it.
-func (co *Coordinator) wholeImageLabel(ctx context.Context, img *bitmap.Bitmap, p api.Params, opt core.Options) (*api.LabelResponse, error) {
+func (co *Coordinator) wholeImageLabel(ctx context.Context, img *bitmap.Bitmap, p api.Params, opt core.Options, hs *hedgeState) (*api.LabelResponse, error) {
 	data, err := imageio.EncodeBytes(img, imageio.FormatRaw)
 	if err != nil {
 		return nil, err
 	}
 	fp := p
 	fp.Format = string(imageio.FormatRaw)
-	resp, derr := dispatch(co, ctx, "label", func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
+	resp, derr := dispatch(co, ctx, "label", hs, func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
 		return cl.LabelData(jctx, data, string(imageio.FormatRaw.ContentType()), fp)
 	})
 	if derr == nil {
@@ -799,14 +1038,14 @@ func (co *Coordinator) wholeImageLabel(ctx context.Context, img *bitmap.Bitmap, 
 }
 
 // wholeImageAggregate is wholeImageLabel for /v1/aggregate.
-func (co *Coordinator) wholeImageAggregate(ctx context.Context, img *bitmap.Bitmap, p api.Params, op core.Monoid, opt core.Options) (*api.AggregateResponse, error) {
+func (co *Coordinator) wholeImageAggregate(ctx context.Context, img *bitmap.Bitmap, p api.Params, op core.Monoid, opt core.Options, hs *hedgeState) (*api.AggregateResponse, error) {
 	data, err := imageio.EncodeBytes(img, imageio.FormatRaw)
 	if err != nil {
 		return nil, err
 	}
 	fp := p
 	fp.Format = string(imageio.FormatRaw)
-	resp, derr := dispatch(co, ctx, "aggregate", func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
+	resp, derr := dispatch(co, ctx, "aggregate", hs, func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
 		return cl.AggregateData(jctx, data, string(imageio.FormatRaw.ContentType()), fp)
 	})
 	if derr == nil {

@@ -22,7 +22,17 @@ type registry struct {
 	retries   int64
 	fallbacks int64
 	opened    int64
+	hedges    int64
+	hedgeWins int64
+
+	// jobLats is a ring of the last latRingSize successful job
+	// latencies in seconds; jobLatN counts all recorded. The hedge
+	// timer reads its p95, so hedges fire only for tail stragglers.
+	jobLats [latRingSize]float64
+	jobLatN int
 }
+
+const latRingSize = 128
 
 type reqKey struct {
 	endpoint string
@@ -60,6 +70,37 @@ func (g *registry) addJob(backend, outcome string) {
 func (g *registry) addRetry()    { g.mu.Lock(); g.retries++; g.mu.Unlock() }
 func (g *registry) addFallback() { g.mu.Lock(); g.fallbacks++; g.mu.Unlock() }
 func (g *registry) addOpened()   { g.mu.Lock(); g.opened++; g.mu.Unlock() }
+func (g *registry) addHedge()    { g.mu.Lock(); g.hedges++; g.mu.Unlock() }
+func (g *registry) addHedgeWin() { g.mu.Lock(); g.hedgeWins++; g.mu.Unlock() }
+
+func (g *registry) addJobLatency(d time.Duration) {
+	g.mu.Lock()
+	g.jobLats[g.jobLatN%latRingSize] = d.Seconds()
+	g.jobLatN++
+	g.mu.Unlock()
+}
+
+// jobP95 is the 95th percentile of the recorded job-latency ring; zero
+// until any job has completed.
+func (g *registry) jobP95() time.Duration {
+	g.mu.Lock()
+	n := g.jobLatN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	lats := make([]float64, n)
+	copy(lats, g.jobLats[:n])
+	g.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(lats)
+	idx := n * 95 / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return time.Duration(lats[idx] * float64(time.Second))
+}
 
 // backendGauge is one backend's live state at render time.
 type backendGauge struct {
@@ -126,6 +167,12 @@ func (g *registry) render(w io.Writer, backends []backendGauge) {
 	fmt.Fprintln(w, "# HELP slapfront_breaker_opened_total Circuit breaker open transitions.")
 	fmt.Fprintln(w, "# TYPE slapfront_breaker_opened_total counter")
 	fmt.Fprintf(w, "slapfront_breaker_opened_total %d\n", g.opened)
+	fmt.Fprintln(w, "# HELP slapfront_hedges_total Duplicate strip jobs issued for straggling attempts.")
+	fmt.Fprintln(w, "# TYPE slapfront_hedges_total counter")
+	fmt.Fprintf(w, "slapfront_hedges_total %d\n", g.hedges)
+	fmt.Fprintln(w, "# HELP slapfront_hedge_wins_total Hedged duplicates that answered before the primary.")
+	fmt.Fprintln(w, "# TYPE slapfront_hedge_wins_total counter")
+	fmt.Fprintf(w, "slapfront_hedge_wins_total %d\n", g.hedgeWins)
 
 	fmt.Fprintln(w, "# HELP slapfront_backend_up 1 while the backend is routable (breaker closed and last probe healthy).")
 	fmt.Fprintln(w, "# TYPE slapfront_backend_up gauge")

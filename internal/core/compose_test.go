@@ -201,6 +201,49 @@ func TestLabelCtxCancelsBetweenStrips(t *testing.T) {
 	}
 }
 
+// deadlineCtx is countdownCtx for deadlines: Err flips to
+// DeadlineExceeded after n polls — "the request's time budget ran out
+// mid-run".
+type deadlineCtx struct {
+	context.Context
+	n int
+}
+
+func (c *deadlineCtx) Err() error {
+	if c.n > 0 {
+		c.n--
+		return nil
+	}
+	return context.DeadlineExceeded
+}
+
+// TestLabelCtxDeadlineBetweenStrips: an expiring deadline budget stops
+// a strip-mined run between strips exactly as a cancellation does, and
+// the error unwraps to context.DeadlineExceeded — the distinction slapd
+// uses to answer 504 (server out of time) instead of 499 (client hung
+// up).
+func TestLabelCtxDeadlineBetweenStrips(t *testing.T) {
+	img := bitmap.Random(40, 0.5, 3)
+	lb := NewLabeler(Options{ArrayWidth: 8})
+	ctx := &deadlineCtx{Context: context.Background(), n: 2}
+	_, err := lb.LabelCtx(ctx, img)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("LabelCtx under mid-run expiry: got %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("expiry error also claims context.Canceled")
+	}
+	// The labeler sheds the expired context and keeps working.
+	if _, err := lb.Label(img); err != nil {
+		t.Fatalf("Label after an expired run: %v", err)
+	}
+
+	ctx = &deadlineCtx{Context: context.Background(), n: 2}
+	if _, err := lb.AggregateCtx(ctx, img, Ones(img), Sum()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AggregateCtx under mid-run expiry: got %v, want context.DeadlineExceeded", err)
+	}
+}
+
 // TestPoolLabelWithCtx covers the pool front doors: a live context
 // passes through to a normal run; a cancelled one aborts — in the
 // worker wait or between strips — with a wrapped context error.

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"slapcc/api"
+	"slapcc/internal/bitmap"
+	"slapcc/internal/imageio"
+)
+
+// postImageHeaders is postImage with extra request headers — the
+// deadline/request-ID tests need to speak the new wire surface.
+func postImageHeaders(t *testing.T, h http.Handler, path string, img *bitmap.Bitmap, f imageio.Format, p api.Params, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	p.Format = string(f)
+	data, err := imageio.EncodeBytes(img, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path+"?"+p.Query().Encode(), bytes.NewReader(data))
+	req.Header.Set("Content-Type", f.ContentType())
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestDeadlineSpentRejectedBeforePool: a request arriving with an
+// exhausted X-Slap-Deadline-Ms budget answers 504 without entering the
+// labeler pool — doomed work is refused at admission, and the refusal
+// counts in slapd_deadline_rejected_total, not slapd_rejected_total.
+func TestDeadlineSpentRejectedBeforePool(t *testing.T) {
+	s := New(Config{Workers: 2})
+	img := bitmap.MustParse("##\n.#")
+
+	rec := postImageHeaders(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{},
+		map[string]string{api.HeaderDeadlineMS: "0"})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("spent budget: %d %s", rec.Code, rec.Body.String())
+	}
+	e := decodeJSON[api.ErrorResponse](t, rec)
+	if !strings.Contains(e.Error, "deadline") {
+		t.Fatalf("error body: %+v", e)
+	}
+	if e.RequestID == "" {
+		t.Fatal("504 payload carries no request_id")
+	}
+	s.reg.mu.Lock()
+	deadline, rejected := s.reg.deadline, s.reg.rejected
+	s.reg.mu.Unlock()
+	if deadline != 1 || rejected != 0 {
+		t.Fatalf("deadline=%d rejected=%d, want 1/0", deadline, rejected)
+	}
+	if idle := s.pool.Idle(); idle != 2 {
+		t.Fatalf("pool touched: %d idle workers", idle)
+	}
+	// A generous budget sails through.
+	rec = postImageHeaders(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{},
+		map[string]string{api.HeaderDeadlineMS: "60000"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live budget: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDeadlineMidRunStopsStripLoop: a budget that expires while a
+// strip-mined labeling is underway stops the run between strips (the
+// core cancelCheck seam) and answers 504, not 499 — the server, not the
+// client, gave up.
+func TestDeadlineMidRunStopsStripLoop(t *testing.T) {
+	s := New(Config{Workers: 1})
+	img := bitmap.Random(256, 0.5, 7)
+	// Burn the whole budget between admission and the strip loop, so the
+	// deadline deterministically expires while the request is in the
+	// labeling path regardless of how fast this machine labels.
+	testDecodeHook = func(*bitmap.Bitmap) { time.Sleep(20 * time.Millisecond) }
+	defer func() { testDecodeHook = nil }()
+	rec := postImageHeaders(t, s, api.PathLabel, img, imageio.FormatRaw, api.Params{ArrayWidth: 16},
+		map[string]string{api.HeaderDeadlineMS: "10"})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("mid-run expiry: %d %s", rec.Code, rec.Body.String())
+	}
+	if e := decodeJSON[api.ErrorResponse](t, rec); !strings.Contains(e.Error, "cancelled") {
+		t.Fatalf("error body: %+v", e)
+	}
+	// The worker came back: the pool replaced nothing and leaked nothing.
+	if idle := s.pool.Idle(); idle != 1 {
+		t.Fatalf("pool idle = %d after expiry, want 1", idle)
+	}
+}
+
+// TestDeadlineQueueScaledRejection: once a latency estimate exists, a
+// budget smaller than the queue-scaled estimate fails fast with 504
+// instead of queueing toward certain expiry.
+func TestDeadlineQueueScaledRejection(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 2})
+	s.mu.Lock()
+	s.estEWMA = 0.5 // completed requests have been taking ~500 ms
+	s.mu.Unlock()
+	img := bitmap.MustParse("##\n.#")
+
+	rec := postImageHeaders(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{},
+		map[string]string{api.HeaderDeadlineMS: "100"})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("100ms budget under 500ms estimate: %d %s", rec.Code, rec.Body.String())
+	}
+	if e := decodeJSON[api.ErrorResponse](t, rec); !strings.Contains(e.Error, "estimate") {
+		t.Fatalf("error body: %+v", e)
+	}
+	rec = postImageHeaders(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{},
+		map[string]string{api.HeaderDeadlineMS: "5000"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("5s budget: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestRequestIDPropagation: the server echoes a caller-supplied
+// X-Slap-Request-Id on the response and in error payloads, and mints
+// one when the caller sent none.
+func TestRequestIDPropagation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	img := bitmap.MustParse("##\n.#")
+
+	rec := postImageHeaders(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{},
+		map[string]string{api.HeaderRequestID: "trace-me-42"})
+	if got := rec.Header().Get(api.HeaderRequestID); got != "trace-me-42" {
+		t.Fatalf("request ID echoed as %q", got)
+	}
+
+	rec = postImage(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{})
+	if got := rec.Header().Get(api.HeaderRequestID); got == "" {
+		t.Fatal("no request ID minted")
+	}
+
+	rec = postImageHeaders(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{Connectivity: 5},
+		map[string]string{api.HeaderRequestID: "bad-req-7"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad conn: %d", rec.Code)
+	}
+	if e := decodeJSON[api.ErrorResponse](t, rec); e.RequestID != "bad-req-7" {
+		t.Fatalf("error payload request_id = %q", e.RequestID)
+	}
+}
+
+// TestPanicIsolation: a poisoned request (decoder forced to panic via
+// the test hook) answers 500 with its request ID, increments
+// slapd_panics_total, logs the stack — and takes out neither subsequent
+// requests nor a pool worker.
+func TestPanicIsolation(t *testing.T) {
+	var logbuf bytes.Buffer
+	s := New(Config{Workers: 2, Logf: func(format string, args ...any) {
+		fmt.Fprintf(&logbuf, format+"\n", args...)
+	}})
+	img := bitmap.MustParse("##\n.#")
+
+	armed := true
+	testDecodeHook = func(*bitmap.Bitmap) {
+		if armed {
+			armed = false
+			panic("poisoned frame")
+		}
+	}
+	defer func() { testDecodeHook = nil }()
+
+	rec := postImageHeaders(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{},
+		map[string]string{api.HeaderRequestID: "boom-1"})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("poisoned request: %d %s", rec.Code, rec.Body.String())
+	}
+	if e := decodeJSON[api.ErrorResponse](t, rec); e.RequestID != "boom-1" {
+		t.Fatalf("500 payload request_id = %q", e.RequestID)
+	}
+	s.reg.mu.Lock()
+	panics := s.reg.panics
+	s.reg.mu.Unlock()
+	if panics != 1 {
+		t.Fatalf("slapd_panics_total = %d, want 1", panics)
+	}
+	log := logbuf.String()
+	if !strings.Contains(log, "boom-1") || !strings.Contains(log, "poisoned frame") ||
+		!strings.Contains(log, "goroutine") {
+		t.Fatalf("panic log missing request ID, value, or stack:\n%s", log)
+	}
+
+	// The next request is unharmed and no admission slot or worker leaked.
+	rec = postImage(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after panic: %d %s", rec.Code, rec.Body.String())
+	}
+	s.mu.Lock()
+	inflight := s.inflight
+	s.mu.Unlock()
+	if inflight != 0 || len(s.sem) != 0 {
+		t.Fatalf("leaked admission state: inflight=%d sem=%d", inflight, len(s.sem))
+	}
+	if idle := s.pool.Idle(); idle != 2 {
+		t.Fatalf("pool idle = %d, want 2", idle)
+	}
+}
+
+// TestAdaptiveAdmission: with a LatencyTarget set, completed requests
+// running over target shrink the AIMD limit multiplicatively (floored
+// at 1) and requests under target grow it back; the live limit shows in
+// /healthz, and admission sheds with 429 once inflight reaches it even
+// with semaphore slots free.
+func TestAdaptiveAdmission(t *testing.T) {
+	tick := time.Unix(1700000000, 0)
+	s := New(Config{Workers: 2, QueueDepth: 2, LatencyTarget: 100 * time.Millisecond,
+		Now: func() time.Time {
+			tick = tick.Add(250 * time.Millisecond) // every request "takes" 250 ms
+			return tick
+		}})
+	img := bitmap.MustParse("##\n.#")
+
+	for i := 0; i < 6; i++ {
+		if rec := postImage(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{}); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d", i, rec.Code)
+		}
+	}
+	// 4 × 0.8^6 ≈ 1.05: the limit decayed to the floor region.
+	s.mu.Lock()
+	limit := s.limit
+	s.mu.Unlock()
+	if limit >= 2 {
+		t.Fatalf("limit = %v after 6 over-target requests, want < 2", limit)
+	}
+
+	hreq := httptest.NewRequest(http.MethodGet, api.PathHealthz, nil)
+	hrec := httptest.NewRecorder()
+	s.ServeHTTP(hrec, hreq)
+	if h := decodeJSON[api.HealthResponse](t, hrec); h.AdmissionLimit != int(limit) {
+		t.Fatalf("healthz admission_limit = %d, want %d", h.AdmissionLimit, int(limit))
+	}
+
+	// One request already in flight ≥ the decayed limit: shed with 429
+	// even though the semaphore has free slots.
+	s.mu.Lock()
+	s.inflight = 1
+	s.mu.Unlock()
+	rec := postImage(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over adaptive limit: %d %s", rec.Code, rec.Body.String())
+	}
+	if len(s.sem) != 0 {
+		t.Fatalf("shed request kept a semaphore token: %d held", len(s.sem))
+	}
+	s.mu.Lock()
+	s.inflight = 0
+	s.mu.Unlock()
+
+	// Recovery: requests under target (clock stalled) grow the limit.
+	stall := tick
+	s.cfg.Now = func() time.Time { return stall }
+	before := limit
+	for i := 0; i < 8; i++ {
+		if rec := postImage(t, s, api.PathLabel, img, imageio.FormatArt, api.Params{}); rec.Code != http.StatusOK {
+			t.Fatalf("recovery request %d: %d", i, rec.Code)
+		}
+	}
+	s.mu.Lock()
+	after := s.limit
+	s.mu.Unlock()
+	if after <= before {
+		t.Fatalf("limit did not recover: %v -> %v", before, after)
+	}
+	if after > float64(s.AdmissionCapacity()) {
+		t.Fatalf("limit %v exceeds capacity %d", after, s.AdmissionCapacity())
+	}
+}

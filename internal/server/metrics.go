@@ -21,6 +21,8 @@ type registry struct {
 	frames   int64
 	bytesIn  int64
 	rejected int64
+	deadline int64
+	panics   int64
 }
 
 type reqKey struct {
@@ -45,15 +47,18 @@ func (g *registry) observe(endpoint string, code int, dur time.Duration) {
 	g.latSum[endpoint] += dur.Seconds()
 }
 
-func (g *registry) addFrames(n int)    { g.mu.Lock(); g.frames += int64(n); g.mu.Unlock() }
-func (g *registry) addBytesIn(n int64) { g.mu.Lock(); g.bytesIn += n; g.mu.Unlock() }
-func (g *registry) addRejected()       { g.mu.Lock(); g.rejected++; g.mu.Unlock() }
+func (g *registry) addFrames(n int)      { g.mu.Lock(); g.frames += int64(n); g.mu.Unlock() }
+func (g *registry) addBytesIn(n int64)   { g.mu.Lock(); g.bytesIn += n; g.mu.Unlock() }
+func (g *registry) addRejected()         { g.mu.Lock(); g.rejected++; g.mu.Unlock() }
+func (g *registry) addDeadlineRejected() { g.mu.Lock(); g.deadline++; g.mu.Unlock() }
+func (g *registry) addPanic()            { g.mu.Lock(); g.panics++; g.mu.Unlock() }
 
 // gauges are the live values the server samples at render time.
 type gauges struct {
 	inflight int
 	queueDep int
 	capacity int
+	limit    int
 	idle     int
 	workers  int
 	draining bool
@@ -102,6 +107,12 @@ func (g *registry) render(w io.Writer, gv gauges) {
 	fmt.Fprintln(w, "# HELP slapd_rejected_total Requests shed with 429 by admission control.")
 	fmt.Fprintln(w, "# TYPE slapd_rejected_total counter")
 	fmt.Fprintf(w, "slapd_rejected_total %d\n", g.rejected)
+	fmt.Fprintln(w, "# HELP slapd_deadline_rejected_total Requests refused with 504 because their deadline budget was spent or unmeetable.")
+	fmt.Fprintln(w, "# TYPE slapd_deadline_rejected_total counter")
+	fmt.Fprintf(w, "slapd_deadline_rejected_total %d\n", g.deadline)
+	fmt.Fprintln(w, "# HELP slapd_panics_total Handler panics recovered (each answered 500).")
+	fmt.Fprintln(w, "# TYPE slapd_panics_total counter")
+	fmt.Fprintf(w, "slapd_panics_total %d\n", g.panics)
 
 	fmt.Fprintln(w, "# HELP slapd_inflight Admitted requests currently being served.")
 	fmt.Fprintln(w, "# TYPE slapd_inflight gauge")
@@ -112,6 +123,9 @@ func (g *registry) render(w io.Writer, gv gauges) {
 	fmt.Fprintln(w, "# HELP slapd_admission_capacity Admission slots (workers + queue depth bound).")
 	fmt.Fprintln(w, "# TYPE slapd_admission_capacity gauge")
 	fmt.Fprintf(w, "slapd_admission_capacity %d\n", gv.capacity)
+	fmt.Fprintln(w, "# HELP slapd_admission_limit Adaptive (AIMD) concurrency limit; equals capacity while no latency target is set.")
+	fmt.Fprintln(w, "# TYPE slapd_admission_limit gauge")
+	fmt.Fprintf(w, "slapd_admission_limit %d\n", gv.limit)
 	fmt.Fprintln(w, "# HELP slapd_workers Labeler pool size.")
 	fmt.Fprintln(w, "# TYPE slapd_workers gauge")
 	fmt.Fprintf(w, "slapd_workers %d\n", gv.workers)

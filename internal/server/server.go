@@ -23,6 +23,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -65,6 +66,16 @@ type Config struct {
 	// truth before answering — the belt-and-suspenders mode for
 	// conformance runs; leave false in production.
 	Verify bool
+	// LatencyTarget enables adaptive (AIMD) admission: while completed
+	// requests run over the target the concurrency limit decreases
+	// multiplicatively, and while they hold under it the limit recovers
+	// additively toward Workers+QueueDepth — so the server sheds load
+	// the moment latency degrades instead of waiting for the queue to
+	// fill. 0 (the default) keeps the fixed Workers+QueueDepth bound.
+	LatencyTarget time.Duration
+	// Logf receives one line per notable server event (recovered
+	// panics, with the request ID and stack); nil discards.
+	Logf func(format string, args ...any)
 	// Now overrides the clock (tests); nil selects time.Now.
 	Now func() time.Time
 }
@@ -107,22 +118,30 @@ type Server struct {
 	draining bool
 	inflight int
 	idle     sync.Cond // signaled whenever inflight drops
+
+	// Adaptive admission (mu-guarded): limit is the AIMD concurrency
+	// bound in [1, Workers+QueueDepth] (pinned at the capacity while
+	// LatencyTarget is 0), estEWMA the running latency estimate in
+	// seconds that scales deadline-budget rejection by queue depth.
+	limit   float64
+	estEWMA float64
 }
 
 // New returns a Server ready to serve.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		pool: core.NewLabelerPool(cfg.Options, cfg.Workers),
-		mux:  http.NewServeMux(),
-		reg:  newRegistry(),
-		sem:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		cfg:   cfg,
+		pool:  core.NewLabelerPool(cfg.Options, cfg.Workers),
+		mux:   http.NewServeMux(),
+		reg:   newRegistry(),
+		sem:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		limit: float64(cfg.Workers + cfg.QueueDepth),
 	}
 	s.idle.L = &s.mu
-	s.mux.HandleFunc(api.PathLabel, s.instrument("label", s.admitted(s.handleLabel)))
-	s.mux.HandleFunc(api.PathAggregate, s.instrument("aggregate", s.admitted(s.handleAggregate)))
-	s.mux.HandleFunc(api.PathBatch, s.instrument("batch", s.admitted(s.handleBatch)))
+	s.mux.HandleFunc(api.PathLabel, s.instrument("label", s.admitted(s.recovered(s.handleLabel))))
+	s.mux.HandleFunc(api.PathAggregate, s.instrument("aggregate", s.admitted(s.recovered(s.handleAggregate))))
+	s.mux.HandleFunc(api.PathBatch, s.instrument("batch", s.admitted(s.recovered(s.handleBatch))))
 	s.mux.HandleFunc(api.PathHealthz, s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc(api.PathMetrics, s.instrument("metrics", s.handleMetrics))
 	return s
@@ -212,15 +231,57 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// admitted wraps a labeling handler with method filtering, drain
-// refusal, and the bounded admission queue: when Workers+QueueDepth
-// requests are already in flight the request is shed immediately with
-// 429 and a Retry-After hint instead of queueing without bound.
+// admitted wraps a labeling handler with method filtering, request-ID
+// assignment, deadline-budget screening, drain refusal, and the bounded
+// admission queue: when Workers+QueueDepth requests are already in
+// flight — or, under a LatencyTarget, when the AIMD limit is reached —
+// the request is shed immediately with 429 and a Retry-After hint
+// instead of queueing without bound.
 func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
+		}
+		// Request ID: take the caller's, mint one otherwise. The response
+		// header is set before anything can fail, so writeError (and the
+		// panic recovery below it) echo the ID from any depth.
+		id := r.Header.Get(api.HeaderRequestID)
+		if id == "" {
+			id = api.NewRequestID()
+		}
+		w.Header().Set(api.HeaderRequestID, id)
+		r = r.WithContext(api.ContextWithRequestID(r.Context(), id))
+
+		// Deadline budget: a spent budget — or one the current queue
+		// cannot plausibly meet — fails fast with 504 before touching the
+		// labeler pool; a live one bounds the request context, so the
+		// strip loop stops between strips when it expires mid-run.
+		if budget, ok := api.ParseDeadline(r.Header.Get(api.HeaderDeadlineMS)); ok {
+			if budget <= 0 {
+				s.reg.addDeadlineRejected()
+				writeError(w, http.StatusGatewayTimeout, "deadline budget already spent")
+				return
+			}
+			if need := s.deadlineEstimate(); need > 0 && budget < need {
+				s.reg.addDeadlineRejected()
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("deadline budget %v under queue-scaled estimate %v", budget, need))
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+
+		shed := func() {
+			s.reg.addRejected()
+			secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		}
 		s.mu.Lock()
 		if s.draining {
@@ -232,18 +293,22 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 		default:
 			s.mu.Unlock()
-			s.reg.addRejected()
-			secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+			shed()
+			return
+		}
+		// The semaphore is the hard capacity bound; the adaptive limit
+		// sheds earlier while latency runs over target.
+		if lim := int(s.limit); s.cfg.LatencyTarget > 0 && s.inflight >= lim {
+			<-s.sem
+			s.mu.Unlock()
+			shed()
 			return
 		}
 		s.inflight++
 		s.mu.Unlock()
+		start := s.cfg.Now()
 		defer func() {
+			s.observeAdmitted(s.cfg.Now().Sub(start))
 			<-s.sem
 			s.mu.Lock()
 			s.inflight--
@@ -252,6 +317,83 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		}()
 		h(w, r)
 	}
+}
+
+// recovered wraps a handler with panic isolation: a panicking request
+// answers 500 (with its request ID), counts in slapd_panics_total, and
+// logs the stack — instead of killing the connection and whatever else
+// shared its goroutine's fate. The labeler pool independently replaces
+// a worker that panicked mid-run (see core.LabelerPool), so one
+// poisoned request costs one response, not a worker.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.reg.addPanic()
+				id := w.Header().Get(api.HeaderRequestID)
+				s.logf("panic serving %s (request %s): %v\n%s", r.URL.Path, id, p, debug.Stack())
+				if sw, ok := w.(*statusWriter); !ok || sw.code == 0 {
+					writeError(w, http.StatusInternalServerError, "internal error")
+				}
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// observeAdmitted feeds one admitted request's wall time into the
+// latency estimate and — under a LatencyTarget — the AIMD limit:
+// multiplicative decrease the moment a request runs over target,
+// additive (1/limit per completion ≈ +1 per round) recovery while
+// requests hold under it.
+func (s *Server) observeAdmitted(dur time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sec := dur.Seconds()
+	if s.estEWMA == 0 {
+		s.estEWMA = sec
+	} else {
+		s.estEWMA += 0.2 * (sec - s.estEWMA)
+	}
+	if s.cfg.LatencyTarget <= 0 {
+		return
+	}
+	capf := float64(s.cfg.Workers + s.cfg.QueueDepth)
+	if dur > s.cfg.LatencyTarget {
+		s.limit *= 0.8
+		if s.limit < 1 {
+			s.limit = 1
+		}
+	} else {
+		s.limit += 1 / s.limit
+		if s.limit > capf {
+			s.limit = capf
+		}
+	}
+}
+
+// deadlineEstimate is what a newly admitted request is expected to
+// need: the latency EWMA scaled by the queue turns ahead of it. Zero
+// until the first request completes — with no history the server
+// admits and lets the in-run deadline do its job.
+func (s *Server) deadlineEstimate() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.estEWMA == 0 {
+		return 0
+	}
+	waiting := s.inflight - s.cfg.Workers
+	if waiting < 0 {
+		waiting = 0
+	}
+	turns := 1 + float64(waiting)/float64(s.cfg.Workers)
+	return time.Duration(s.estEWMA * turns * float64(time.Second))
 }
 
 // handleHealthz answers the routing signal coordinators act on: 200
@@ -266,6 +408,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight: s.inflight,
 		Capacity: s.AdmissionCapacity(),
 		Workers:  s.cfg.Workers,
+	}
+	if s.cfg.LatencyTarget > 0 {
+		resp.AdmissionLimit = int(s.limit)
 	}
 	draining := s.draining
 	s.mu.Unlock()
@@ -285,6 +430,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gv := gauges{
 		inflight: s.inflight,
 		capacity: s.AdmissionCapacity(),
+		limit:    int(s.limit),
 		workers:  s.cfg.Workers,
 		idle:     s.pool.Idle(),
 		draining: s.draining,
@@ -323,8 +469,16 @@ func (s *Server) readFrame(w http.ResponseWriter, r *http.Request, p api.Params)
 		}
 		return nil, http.StatusBadRequest, err
 	}
+	if testDecodeHook != nil {
+		testDecodeHook(img)
+	}
 	return img, 0, nil
 }
+
+// testDecodeHook, when set by a test, observes every successfully
+// decoded frame — the seam panic-isolation tests use to poison one
+// request without inventing an unparseable-yet-parseable image.
+var testDecodeHook func(*bitmap.Bitmap)
 
 // optionsFor resolves per-request parameters over the base options.
 func (s *Server) optionsFor(p api.Params, imgW, imgH int) (core.Options, error) {
@@ -428,6 +582,9 @@ func (s *Server) labelOne(ctx context.Context, img *bitmap.Bitmap, p api.Params)
 	}
 	res, err := s.pool.LabelWithCtx(ctx, img, opt)
 	if err != nil {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, err
+		}
 		if ctx.Err() != nil {
 			return nil, statusClientClosedRequest, err
 		}
@@ -473,6 +630,10 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.pool.AggregateWithCtx(r.Context(), img, initial, op, opt)
 	if err != nil {
+		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, err.Error())
+			return
+		}
 		if r.Context().Err() != nil {
 			writeError(w, statusClientClosedRequest, err.Error())
 			return
@@ -693,6 +854,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// writeError answers an ErrorResponse; the request ID the admission
+// middleware stamped on the response header (if any) rides along in the
+// payload, so an error seen three tiers up is traceable to one line in
+// this server's log.
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, api.ErrorResponse{Error: msg})
+	writeJSON(w, code, api.ErrorResponse{Error: msg, RequestID: w.Header().Get(api.HeaderRequestID)})
 }

@@ -516,7 +516,7 @@ slapd_requests_total{endpoint="label",code="400"} 1
 slapd_request_seconds_count{endpoint="healthz"} 1
 slapd_request_seconds_sum{endpoint="healthz"} 0.25
 slapd_request_seconds_count{endpoint="label"} 2
-slapd_request_seconds_sum{endpoint="label"} 0.5
+slapd_request_seconds_sum{endpoint="label"} 1.5
 # HELP slapd_frames_labeled_total Frames labeled, counting every batch part.
 # TYPE slapd_frames_labeled_total counter
 slapd_frames_labeled_total 1
@@ -526,6 +526,12 @@ slapd_ingest_bytes_total 12
 # HELP slapd_rejected_total Requests shed with 429 by admission control.
 # TYPE slapd_rejected_total counter
 slapd_rejected_total 0
+# HELP slapd_deadline_rejected_total Requests refused with 504 because their deadline budget was spent or unmeetable.
+# TYPE slapd_deadline_rejected_total counter
+slapd_deadline_rejected_total 0
+# HELP slapd_panics_total Handler panics recovered (each answered 500).
+# TYPE slapd_panics_total counter
+slapd_panics_total 0
 # HELP slapd_inflight Admitted requests currently being served.
 # TYPE slapd_inflight gauge
 slapd_inflight 0
@@ -535,6 +541,9 @@ slapd_queue_depth 0
 # HELP slapd_admission_capacity Admission slots (workers + queue depth bound).
 # TYPE slapd_admission_capacity gauge
 slapd_admission_capacity 4
+# HELP slapd_admission_limit Adaptive (AIMD) concurrency limit; equals capacity while no latency target is set.
+# TYPE slapd_admission_limit gauge
+slapd_admission_limit 4
 # HELP slapd_workers Labeler pool size.
 # TYPE slapd_workers gauge
 slapd_workers 2

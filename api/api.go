@@ -132,9 +132,13 @@ type Params struct {
 	Connectivity int
 	// UF names the union–find implementation (e.g. "tarjan", "blum").
 	UF string
-	// Cost is "unit" (default) or "bitserial" (the Theorem 5 machine,
-	// word width derived from the image's dimensions unless WordBits
-	// pins it).
+	// Cost selects the execution engine and its charge model: "unit"
+	// (default) or "bitserial" (the Theorem 5 machine, word width derived
+	// from the image's dimensions unless WordBits pins it) run the
+	// metered simulator; "host" answers with the host engine — same
+	// canonical labels and aggregate values, but no simulation, so the
+	// response's Metrics is all zeros (no phases, no time steps) and UF
+	// reports the host labeler's operation counts under kind "host".
 	Cost string
 	// WordBits pins the bit-serial word width (0 = derive from the
 	// image's dimensions). A coordinator fanning strips of one image

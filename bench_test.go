@@ -12,6 +12,7 @@ import (
 	"slapcc/internal/bitmap"
 	"slapcc/internal/core"
 	"slapcc/internal/lowerbound"
+	"slapcc/internal/slap"
 	"slapcc/internal/stats"
 	"slapcc/internal/unionfind"
 )
@@ -205,6 +206,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			b.SetBytes(int64(n * n))
 			benchLabel(b, img, core.Options{Parallel: mode.parallel})
+		})
+	}
+}
+
+// BenchmarkEngineThroughput contrasts the two execution engines on the
+// same frame: "sim" and "sim-bitserial" run the metered simulator
+// (what every experiment number comes from), "host" answers the same
+// labeling question with the word-parallel host engine — identical
+// labels and folds, no simulation. The MB/s gap is the price of
+// metering, and what makes the host engine the free verification
+// oracle for soaks (cost=host on the wire).
+func BenchmarkEngineThroughput(b *testing.B) {
+	const n = 1024
+	img := bitmap.Random(n, 0.5, 1)
+	for _, mode := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"sim", core.Options{}},
+		{"sim-bitserial", core.Options{Cost: slap.BitSerial(slap.WordBitsForDims(n, n))}},
+		{"host", core.Options{Engine: core.EngineHost}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(n * n))
+			benchLabel(b, img, mode.opt)
 		})
 	}
 }

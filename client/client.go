@@ -6,6 +6,12 @@
 //	resp, err := c.Label(ctx, img, api.Params{})
 //	// resp.Components, resp.Metrics.TimeSteps, …
 //
+// Params.Cost selects the serving engine: the default metered
+// simulator ("unit"/"bitserial") fills resp.Metrics with simulated
+// machine time, while "host" answers with the word-parallel host
+// engine — identical labels and folds, resp.Metrics all zeros by
+// contract (docs/ARCHITECTURE.md, "The engine layer").
+//
 // One Client is safe for concurrent use and keeps connections alive
 // across requests (the load generator drives thousands of frames per
 // connection through it). Every POST body is a replayable byte slice

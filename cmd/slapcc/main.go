@@ -9,6 +9,7 @@
 //	slapcc -gen hserpentine -n 64 -bitserial -metrics
 //	slapcc -gen random50 -n 32 -agg sum -show
 //	slapcc -gen random50 -n 1024 -array 256 -schedule pipelined -metrics
+//	slapcc -gen random50 -n 1024 -cost host
 //
 // Input is either a generated family member (-gen, -n) or a file (-in;
 // "-" reads stdin) in any format internal/imageio understands — PNG,
@@ -21,6 +22,11 @@
 // (default) or host seam-relabel model and -schedule the sequential
 // (default) or pipelined strip schedule. Every phase the run can emit
 // and the composition equations are documented in docs/METRICS.md.
+//
+// -cost selects the execution engine: unit (default) and bitserial run
+// the metered simulator under the matching link charge; host answers
+// with the word-parallel host labeler — identical labels and
+// aggregates, no simulation, so no simulated metrics to print.
 package main
 
 import (
@@ -58,7 +64,8 @@ func run(args []string) error {
 		format    = fs.String("format", "auto", "input format for -in: png, pbm, art, raw, or auto (sniff)")
 		ufKind    = fs.String("uf", string(unionfind.KindTarjan), "union-find kind: "+kindList())
 		idle      = fs.Bool("idle", false, "enable idle-time path compression (§3 heuristic)")
-		bitserial = fs.Bool("bitserial", false, "use 1-bit links (Theorem 5 machine)")
+		cost      = fs.String("cost", "", "execution engine and charge model: unit (default), bitserial, or host (no simulation)")
+		bitserial = fs.Bool("bitserial", false, "use 1-bit links (Theorem 5 machine); same as -cost bitserial")
 		unitUF    = fs.Bool("unitcost", false, "account unions/finds at unit cost (Lemma 2 accounting)")
 		agg       = fs.String("agg", "", "also aggregate per component: min, max, sum, or or")
 		show      = fs.Bool("show", false, "print the image and labeling as ASCII art")
@@ -102,6 +109,17 @@ func run(args []string) error {
 		Seam:            seamModel,
 		Schedule:        scheduleModel,
 	}
+	hostRun := false
+	switch strings.ToLower(*cost) {
+	case "", "unit":
+	case "bitserial":
+		*bitserial = true
+	case "host":
+		opt.Engine = core.EngineHost
+		hostRun = true
+	default:
+		return fmt.Errorf("unknown cost %q (want unit, bitserial, or host)", *cost)
+	}
 	if *bitserial {
 		// Labels are column-major positions offset by w·h, so the word
 		// width depends on the pixel count, not on max(w, h): a square
@@ -135,11 +153,16 @@ func run(args []string) error {
 			*array, strips, sched, seamName)
 	}
 	fmt.Printf("components: %d (largest %d pixels)\n", st.Components, st.Largest)
-	// Metrics.N is the physical array width: the image width on plain
-	// runs, ArrayWidth on strip-mined ones.
-	fmt.Printf("simulated time: %d steps (%.2f steps/PE), uf=%s maxOp=%d\n",
-		res.Metrics.Time, float64(res.Metrics.Time)/float64(maxInt(1, res.Metrics.N)),
-		res.UF.Kind, res.UF.MaxOpCost)
+	if hostRun {
+		fmt.Printf("engine: host (no simulation), uf=%s finds=%d unions=%d\n",
+			res.UF.Kind, res.UF.Finds, res.UF.Unions)
+	} else {
+		// Metrics.N is the physical array width: the image width on plain
+		// runs, ArrayWidth on strip-mined ones.
+		fmt.Printf("simulated time: %d steps (%.2f steps/PE), uf=%s maxOp=%d\n",
+			res.Metrics.Time, float64(res.Metrics.Time)/float64(maxInt(1, res.Metrics.N)),
+			res.UF.Kind, res.UF.MaxOpCost)
+	}
 
 	if *show {
 		fmt.Println("\nimage:")
@@ -179,8 +202,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\naggregate (%s over %s): total time %d steps\n",
-			op.Name, initialDesc(op), ares.Metrics.Time)
+		if hostRun {
+			fmt.Printf("\naggregate (%s over %s): host engine\n", op.Name, initialDesc(op))
+		} else {
+			fmt.Printf("\naggregate (%s over %s): total time %d steps\n",
+				op.Name, initialDesc(op), ares.Metrics.Time)
+		}
 		if *show {
 			printAggregate(img, ares)
 		}

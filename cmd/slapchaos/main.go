@@ -7,7 +7,11 @@
 // robustness machinery exists to defend:
 //
 //   - zero response mismatches: every answer, no matter which backend
-//     died mid-strip, is bit-identical to the in-process reference;
+//     died mid-strip, is bit-identical to the in-process reference
+//     (built by the host engine by default — the same labels and folds
+//     as the simulator at a fraction of the cost, so soak verification
+//     is ~free; -verifyengine sim re-simulates and additionally pins
+//     composed simulated time);
 //   - zero unexplained errors: only admission shedding (429/503) and
 //     deadline expiry (504) are legitimate failures under chaos;
 //   - a p99 latency bound: hedging and re-sharding must keep the tail
@@ -272,7 +276,19 @@ type workItem struct {
 // buildWork precomputes the traffic mix: whole-image labels,
 // strip-mined labels (the shape that fans out across the fleet), and
 // strip-mined aggregates, each with its in-process reference answer.
-func buildWork(sizes []int, array int, density float64) ([]workItem, error) {
+// The engine builds the references: the host engine produces the same
+// labels and folds as the simulator without simulating, so the soak's
+// verification setup is ~free; only a sim-built reference pins the
+// composed TimeSteps too (a host reference stores −1, skipping that
+// comparison in fire).
+func buildWork(sizes []int, array int, density float64, engine slapcc.Engine) ([]workItem, error) {
+	simRef := engine != slapcc.EngineHost
+	refTime := func(t int64) int64 {
+		if simRef {
+			return t
+		}
+		return -1
+	}
 	var work []workItem
 	seed := uint64(0xC0)
 	for _, n := range sizes {
@@ -283,7 +299,7 @@ func buildWork(sizes []int, array int, density float64) ([]workItem, error) {
 			if err != nil {
 				return nil, err
 			}
-			whole, err := slapcc.Label(img)
+			whole, err := slapcc.LabelWithOptions(img, slapcc.Options{Engine: engine})
 			if err != nil {
 				return nil, err
 			}
@@ -291,11 +307,11 @@ func buildWork(sizes []int, array int, density float64) ([]workItem, error) {
 				name: fmt.Sprintf("label-%d-%d", n, k), kind: "label",
 				data: data, ctype: ctype,
 				p:          api.Params{WantLabels: true},
-				wantLabels: flatten(whole.Labels), wantTime: whole.Metrics.Time,
+				wantLabels: flatten(whole.Labels), wantTime: refTime(whole.Metrics.Time),
 				w: img.W(), h: img.H(),
 			})
 			if array > 0 && array < n {
-				strip, err := slapcc.LabelLarge(img, slapcc.Options{ArrayWidth: array})
+				strip, err := slapcc.LabelLarge(img, slapcc.Options{ArrayWidth: array, Engine: engine})
 				if err != nil {
 					return nil, err
 				}
@@ -303,10 +319,10 @@ func buildWork(sizes []int, array int, density float64) ([]workItem, error) {
 					name: fmt.Sprintf("label-%d-%d-aw%d", n, k, array), kind: "label",
 					data: data, ctype: ctype,
 					p:          api.Params{ArrayWidth: array, WantLabels: true},
-					wantLabels: flatten(strip.Labels), wantTime: strip.Metrics.Time,
+					wantLabels: flatten(strip.Labels), wantTime: refTime(strip.Metrics.Time),
 					w: img.W(), h: img.H(),
 				})
-				agg, err := slapcc.AggregateLarge(img, slapcc.OnesOf(img), slapcc.SumOf(), slapcc.Options{ArrayWidth: array})
+				agg, err := slapcc.AggregateLarge(img, slapcc.OnesOf(img), slapcc.SumOf(), slapcc.Options{ArrayWidth: array, Engine: engine})
 				if err != nil {
 					return nil, err
 				}
@@ -314,7 +330,7 @@ func buildWork(sizes []int, array int, density float64) ([]workItem, error) {
 					name: fmt.Sprintf("agg-%d-%d-aw%d", n, k, array), kind: "aggregate",
 					data: data, ctype: ctype,
 					p:          api.Params{Op: "sum", ArrayWidth: array, WantLabels: true},
-					wantLabels: flatten(agg.Labels), wantTime: agg.Metrics.Time,
+					wantLabels: flatten(agg.Labels), wantTime: refTime(agg.Metrics.Time),
 					wantPixels: agg.PerPixel,
 					w:          img.W(), h: img.H(),
 				})
@@ -403,10 +419,20 @@ func run(args []string, out io.Writer) error {
 		hedgeDly = fs.Duration("hedgedelay", 50*time.Millisecond, "slapfront hedge delay floor")
 		hedgeMax = fs.Int("hedgemax", 2, "slapfront hedges per request (0 disables)")
 		reqWait  = fs.Duration("timeout", 30*time.Second, "per-request deadline budget")
+		verifyEn = fs.String("verifyengine", "host", "engine that builds the reference answers: host (default; ~free, pins labels and folds) or sim (re-simulates, also pins composed simulated time)")
 		outPath  = fs.String("out", "", "write the JSON report here as well as stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var refEngine slapcc.Engine
+	switch strings.ToLower(*verifyEn) {
+	case "host":
+		refEngine = slapcc.EngineHost
+	case "sim":
+		refEngine = slapcc.EngineSim
+	default:
+		return fmt.Errorf("bad -verifyengine %q (want host or sim)", *verifyEn)
 	}
 	sizeList, err := parseInts(*sizes)
 	if err != nil {
@@ -420,7 +446,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	work, err := buildWork(sizeList, *array, *density)
+	work, err := buildWork(sizeList, *array, *density, refEngine)
 	if err != nil {
 		return err
 	}
@@ -656,7 +682,7 @@ func fire(ctx context.Context, c *client.Client, wi *workItem) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		if resp.Metrics.TimeSteps != wi.wantTime || !labelsMatch(resp.Labels, wi.wantLabels) {
+		if (wi.wantTime >= 0 && resp.Metrics.TimeSteps != wi.wantTime) || !labelsMatch(resp.Labels, wi.wantLabels) {
 			return false, nil
 		}
 		if len(resp.PerPixel) != len(wi.wantPixels) {
@@ -674,7 +700,7 @@ func fire(ctx context.Context, c *client.Client, wi *workItem) (bool, error) {
 			return false, err
 		}
 		return resp.Width == wi.w && resp.Height == wi.h &&
-			resp.Metrics.TimeSteps == wi.wantTime &&
+			(wi.wantTime < 0 || resp.Metrics.TimeSteps == wi.wantTime) &&
 			labelsMatch(resp.Labels, wi.wantLabels), nil
 	}
 }

@@ -34,6 +34,17 @@
 //     Aggregate/AggregateLarge;
 //  5. an optional -overload burst fired without retry to observe the
 //     admission queue shedding with 429.
+//
+// -cost stamps cost= on every request (unit, bitserial, or host — the
+// host engine answers without simulation, so responses carry no
+// simulated metrics). -verifyengine selects which engine builds the
+// verification references: it defaults to matching -cost, and
+// -verifyengine host makes reference building ~free (the word-parallel
+// host labeler produces the same labels and folds as the simulator).
+// When the engines differ, labels and folds still verify bit-for-bit
+// but simulated-time comparisons are skipped. Reference-build and
+// response-check time are reported as their own JSON stats, so the
+// loop's frames/s stays a pure service number.
 package main
 
 import (
@@ -96,12 +107,24 @@ type report struct {
 		Mean float64 `json:"mean"`
 		Max  float64 `json:"max"`
 	} `json:"latency_ms"`
-	Errors     int   `json:"errors"`
-	Retried429 int64 `json:"retried_429"`
+	Errors     int    `json:"errors"`
+	Retried429 int64  `json:"retried_429"`
+	Cost       string `json:"cost,omitempty"`
 	Verify     struct {
-		Enabled    bool `json:"enabled"`
-		Frames     int  `json:"frames"`
-		Mismatches int  `json:"mismatches"`
+		Enabled bool `json:"enabled"`
+		// Engine is what built the references: "sim" re-runs the
+		// simulator per corpus frame, "host" uses the host engine (same
+		// labels, no simulation — reference building becomes ~free).
+		Engine     string `json:"engine,omitempty"`
+		Frames     int    `json:"frames"`
+		Mismatches int    `json:"mismatches"`
+		// BuildRefS is the time spent precomputing references before the
+		// loop; CheckS is the cumulative time comparing responses inside
+		// it. Both used to hide in corpus-build wall time and loop
+		// throughput; reporting them separately keeps the loop's frames/s
+		// an honest service number.
+		BuildRefS float64 `json:"build_ref_s"`
+		CheckS    float64 `json:"check_s"`
 	} `json:"verify"`
 	Batch struct {
 		Batches    int `json:"batches"`
@@ -150,6 +173,8 @@ func run(args []string, out io.Writer) error {
 		density  = fs.Float64("density", 0.5, "foreground density of generated frames")
 		corpus   = fs.Int("corpus", 4, "distinct frames generated per size")
 		verify   = fs.Bool("verify", true, "verify every response bit-for-bit against the in-process labeler")
+		verifyEn = fs.String("verifyengine", "", "engine that builds verification references: sim (default; re-simulates every corpus frame) or host (host engine, ~free)")
+		cost     = fs.String("cost", "", "cost= stamped on every request: unit (default), bitserial, or host (host engine: no simulated metrics in responses)")
 		array    = fs.Int("array", 0, "strip-mine every 4th request on an array this wide (0 = never)")
 		batches  = fs.Int("batches", 8, "multipart batch requests after the loop (0 = skip)")
 		batchSz  = fs.Int("batchsize", 8, "frames per batch request")
@@ -171,7 +196,33 @@ func run(args []string, out io.Writer) error {
 	}
 	formatList := strings.Split(*formats, ",")
 
-	specs, err := buildCorpus(sizeList, formatList, *density, *corpus, *verify, *array)
+	// Which engine answers requests (via cost=) and which builds the
+	// references. They default to matching, so simulated-time checks
+	// stay meaningful; when they differ — e.g. -verifyengine host
+	// against a bitserial service — labels and folds still verify
+	// bit-for-bit but the TimeSteps comparison is skipped, since only
+	// the simulator has simulated time.
+	reqEngine := slapcc.EngineSim
+	switch strings.ToLower(*cost) {
+	case "", "unit", "bitserial":
+	case "host":
+		reqEngine = slapcc.EngineHost
+	default:
+		return fmt.Errorf("bad -cost %q (want unit, bitserial, or host)", *cost)
+	}
+	refEngine := reqEngine
+	switch strings.ToLower(*verifyEn) {
+	case "":
+	case "sim":
+		refEngine = slapcc.EngineSim
+	case "host":
+		refEngine = slapcc.EngineHost
+	default:
+		return fmt.Errorf("bad -verifyengine %q (want sim or host)", *verifyEn)
+	}
+	checkTime := refEngine == reqEngine
+
+	specs, refDur, err := buildCorpus(sizeList, formatList, *density, *corpus, *verify, *array, *cost, refEngine, checkTime)
 	if err != nil {
 		return err
 	}
@@ -189,9 +240,13 @@ func run(args []string, out io.Writer) error {
 	rep := &report{
 		Target: *url, Frames: *frames, Concurrency: *conc,
 		Sizes: sizeList, Formats: formatList, ArrayWidth: *array,
-		Cluster: *clusterT,
+		Cluster: *clusterT, Cost: *cost,
 	}
 	rep.Verify.Enabled = *verify
+	if *verify {
+		rep.Verify.Engine = string(refEngine)
+		rep.Verify.BuildRefS = refDur.Seconds()
+	}
 
 	// Warmup, uncounted: fill connection pools and the server's arenas.
 	for i := 0; i < min(*conc, len(specs)); i++ {
@@ -207,6 +262,7 @@ func run(args []string, out io.Writer) error {
 		mismatches atomic.Int64
 		bytesSent  atomic.Int64
 		pixels     atomic.Int64
+		checkNanos atomic.Int64
 		mu         sync.Mutex
 		lats       []time.Duration
 		firstErr   atomic.Value
@@ -235,8 +291,13 @@ func run(args []string, out io.Writer) error {
 				local = append(local, d)
 				bytesSent.Add(int64(len(sp.data)))
 				pixels.Add(sp.pixels)
-				if sp.wantLabels != nil && !checkResponse(resp, sp) {
-					mismatches.Add(1)
+				if sp.wantLabels != nil {
+					v0 := time.Now()
+					ok := checkResponse(resp, sp)
+					checkNanos.Add(int64(time.Since(v0)))
+					if !ok {
+						mismatches.Add(1)
+					}
 				}
 			}
 			mu.Lock()
@@ -258,19 +319,20 @@ func run(args []string, out io.Writer) error {
 	if *verify {
 		rep.Verify.Frames = len(lats)
 		rep.Verify.Mismatches = int(mismatches.Load())
+		rep.Verify.CheckS = time.Duration(checkNanos.Load()).Seconds()
 	}
 
 	// Phase 3: batches, verified in order. A slapfront target has no
 	// batch endpoint — single frames are the unit it shards.
 	if *batches > 0 && *batchSz > 0 && !*clusterT {
-		if err := runBatches(ctx, c, specs, *batches, *batchSz, rep); err != nil {
+		if err := runBatches(ctx, c, specs, *batches, *batchSz, *cost, rep); err != nil {
 			return err
 		}
 	}
 
 	// Phase 4: aggregate spot-checks against in-process AggregateLarge.
 	if *aggVer && *verify {
-		if err := runAggChecks(ctx, c, sizeList, *density, *array, rep); err != nil {
+		if err := runAggChecks(ctx, c, sizeList, *density, *array, *cost, refEngine, checkTime, rep); err != nil {
 			return err
 		}
 	}
@@ -309,7 +371,7 @@ func run(args []string, out io.Writer) error {
 // value-for-value against the in-process Aggregate/AggregateLarge. The
 // strip-mined rows also exercise the pipelined schedule model, whose
 // composed time the service must reproduce exactly.
-func runAggChecks(ctx context.Context, c *client.Client, sizes []int, density float64, array int, rep *report) error {
+func runAggChecks(ctx context.Context, c *client.Client, sizes []int, density float64, array int, cost string, refEngine slapcc.Engine, checkTime bool, rep *report) error {
 	for _, n := range sizes {
 		img := slapcc.RandomImage(n, density, uint64(n)*0xA99)
 		type check struct {
@@ -332,6 +394,8 @@ func runAggChecks(ctx context.Context, c *client.Client, sizes []int, density fl
 				})
 		}
 		for _, ck := range checks {
+			ck.opt.Engine = refEngine
+			ck.p.Cost = cost
 			want, err := slapcc.AggregateLarge(img, slapcc.OnesOf(img), slapcc.SumOf(), ck.opt)
 			if err != nil {
 				return fmt.Errorf("%s: in-process reference: %w", ck.name, err)
@@ -345,7 +409,7 @@ func runAggChecks(ctx context.Context, c *client.Client, sizes []int, density fl
 				rep.Aggregate.Errors++
 				continue
 			}
-			if !aggMatches(resp, want) {
+			if !aggMatches(resp, want, checkTime) {
 				rep.Aggregate.Mismatches++
 			}
 		}
@@ -354,9 +418,13 @@ func runAggChecks(ctx context.Context, c *client.Client, sizes []int, density fl
 }
 
 // aggMatches compares an aggregate response against the in-process
-// reference.
-func aggMatches(resp *api.AggregateResponse, want *slapcc.AggregateResult) bool {
-	if resp.Metrics.TimeSteps != want.Metrics.Time || len(resp.PerPixel) != len(want.PerPixel) {
+// reference; checkTime is off when the reference engine differs from
+// the one that served the request (only the simulator has TimeSteps).
+func aggMatches(resp *api.AggregateResponse, want *slapcc.AggregateResult, checkTime bool) bool {
+	if checkTime && resp.Metrics.TimeSteps != want.Metrics.Time {
+		return false
+	}
+	if len(resp.PerPixel) != len(want.PerPixel) {
 		return false
 	}
 	for i, v := range want.PerPixel {
@@ -379,36 +447,46 @@ func aggMatches(resp *api.AggregateResponse, want *slapcc.AggregateResult) bool 
 }
 
 // buildCorpus generates the frame corpus and pre-computes the expected
-// results the verification phases compare against.
-func buildCorpus(sizes []int, formats []string, density float64, perSize int, verify bool, array int) ([]spec, error) {
+// results the verification phases compare against; refEngine selects
+// which engine builds the references, and refDur reports the time that
+// took. wantTime is −1 (skip the TimeSteps comparison) when the
+// reference engine differs from the one serving the requests.
+func buildCorpus(sizes []int, formats []string, density float64, perSize int, verify bool, array int, cost string, refEngine slapcc.Engine, checkTime bool) ([]spec, time.Duration, error) {
 	var specs []spec
+	var refDur time.Duration
 	seed := uint64(1)
 	for _, n := range sizes {
 		for k := 0; k < perSize; k++ {
 			img := slapcc.RandomImage(n, density, seed)
 			seed++
 			var wantWhole, wantStrip []int32
-			var timeWhole, timeStrip int64
+			timeWhole, timeStrip := int64(-1), int64(-1)
 			if verify {
-				res, err := slapcc.Label(img)
+				r0 := time.Now()
+				res, err := slapcc.LabelWithOptions(img, slapcc.Options{Engine: refEngine})
 				if err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 				wantWhole = flatten(res.Labels)
-				timeWhole = res.Metrics.Time
+				if checkTime {
+					timeWhole = res.Metrics.Time
+				}
 				if array > 0 && array < n {
-					sres, err := slapcc.LabelLarge(img, slapcc.Options{ArrayWidth: array})
+					sres, err := slapcc.LabelLarge(img, slapcc.Options{ArrayWidth: array, Engine: refEngine})
 					if err != nil {
-						return nil, err
+						return nil, 0, err
 					}
 					wantStrip = flatten(sres.Labels)
-					timeStrip = sres.Metrics.Time
+					if checkTime {
+						timeStrip = sres.Metrics.Time
+					}
 				}
+				refDur += time.Since(r0)
 			}
 			for _, format := range formats {
 				data, ctype, err := client.EncodeImage(img, strings.TrimSpace(format))
 				if err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 				sp := spec{
 					name:   fmt.Sprintf("%s-%d-%d", strings.TrimSpace(format), n, k),
@@ -419,6 +497,7 @@ func buildCorpus(sizes []int, formats []string, density float64, perSize int, ve
 					wantLabels: wantWhole,
 					wantTime:   timeWhole,
 				}
+				sp.params.Cost = cost
 				if verify {
 					sp.params.WantLabels = true
 				}
@@ -435,14 +514,19 @@ func buildCorpus(sizes []int, formats []string, density float64, perSize int, ve
 		}
 	}
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("empty corpus (sizes %v, formats %v)", sizes, formats)
+		return nil, 0, fmt.Errorf("empty corpus (sizes %v, formats %v)", sizes, formats)
 	}
-	return specs, nil
+	return specs, refDur, nil
 }
 
-// checkResponse compares a response against the precomputed truth.
+// checkResponse compares a response against the precomputed truth. A
+// wantTime of −1 skips the simulated-time comparison (the reference was
+// built by a different engine than served the request).
 func checkResponse(resp *api.LabelResponse, sp *spec) bool {
-	if resp.Width != sp.w || resp.Height != sp.h || resp.Metrics.TimeSteps != sp.wantTime {
+	if resp.Width != sp.w || resp.Height != sp.h {
+		return false
+	}
+	if sp.wantTime >= 0 && resp.Metrics.TimeSteps != sp.wantTime {
 		return false
 	}
 	if len(resp.Labels) != len(sp.wantLabels) {
@@ -456,7 +540,7 @@ func checkResponse(resp *api.LabelResponse, sp *spec) bool {
 	return true
 }
 
-func runBatches(ctx context.Context, c *client.Client, specs []spec, batches, batchSz int, rep *report) error {
+func runBatches(ctx context.Context, c *client.Client, specs []spec, batches, batchSz int, cost string, rep *report) error {
 	idx := 0
 	for b := 0; b < batches; b++ {
 		var frames []client.Frame
@@ -472,7 +556,7 @@ func runBatches(ctx context.Context, c *client.Client, specs []spec, batches, ba
 			frames = append(frames, client.Frame{Data: sp.data, ContentType: sp.ctype})
 			members = append(members, sp)
 		}
-		resp, err := c.LabelBatch(ctx, frames, api.Params{WantLabels: members[0].wantLabels != nil})
+		resp, err := c.LabelBatch(ctx, frames, api.Params{WantLabels: members[0].wantLabels != nil, Cost: cost})
 		if err != nil {
 			return fmt.Errorf("batch %d: %w", b, err)
 		}
@@ -556,7 +640,8 @@ func summarize(out io.Writer, rep *report) {
 		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Mean, rep.LatencyMS.Max)
 	fmt.Fprintf(out, "errors: %d   429-retries absorbed: %d\n", rep.Errors, rep.Retried429)
 	if rep.Verify.Enabled {
-		fmt.Fprintf(out, "verify: %d frames checked, %d mismatches\n", rep.Verify.Frames, rep.Verify.Mismatches)
+		fmt.Fprintf(out, "verify: %d frames checked (engine %s), %d mismatches; refs built in %.3fs, response checks %.3fs\n",
+			rep.Verify.Frames, rep.Verify.Engine, rep.Verify.Mismatches, rep.Verify.BuildRefS, rep.Verify.CheckS)
 	}
 	if rep.Batch.Batches > 0 {
 		fmt.Fprintf(out, "batch: %d batches / %d frames, %d errors, %d mismatches\n",

@@ -395,6 +395,38 @@ func TestColumnWords(t *testing.T) {
 	}
 }
 
+// TestColumnWordsBlock holds the blocked transpose extractor to
+// ColumnWords' output for every column of every block, across widths
+// and heights that exercise partial last blocks and partial last row
+// words on both axes.
+func TestColumnWordsBlock(t *testing.T) {
+	for _, dim := range [][2]int{{1, 1}, {3, 7}, {64, 64}, {65, 130}, {70, 200}, {128, 63}, {200, 70}} {
+		w, h := dim[0], dim[1]
+		n := w
+		if h > n {
+			n = h
+		}
+		b := Random(n, 0.5, uint64(7*w+h)).SubImage(0, 0, w, h)
+		hw := (h + 63) / 64
+		var block, one []uint64
+		for x0 := 0; x0 < w; x0 += 64 {
+			block = b.ColumnWordsBlock(x0, block)
+			if len(block) != 64*hw {
+				t.Fatalf("%dx%d block %d: got %d words, want %d", w, h, x0, len(block), 64*hw)
+			}
+			for c := 0; c < 64; c++ {
+				one = b.ColumnWords(x0+c, one)
+				for k := 0; k < hw; k++ {
+					if block[c*hw+k] != one[k] {
+						t.Fatalf("%dx%d: block col %d word %d = %#x, ColumnWords = %#x",
+							w, h, x0+c, k, block[c*hw+k], one[k])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestParseCRLF: art with Windows line endings must parse identically to
 // its LF form — the trailing '\r' is stripped per line, never treated as
 // a pixel, and never inflates the computed width.

@@ -30,6 +30,18 @@ func NewLabelMap(w, h int) *LabelMap {
 	return lm
 }
 
+// NewLabelMapNoInit returns a w×h label map whose slots are zero, NOT
+// Background: the caller must write every position (runs and
+// background gaps alike) before handing the map out. The host engine's
+// fill sweep does exactly that, and skipping the Background prefill is
+// a measurable slice of its per-frame cost.
+func NewLabelMapNoInit(w, h int) *LabelMap {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("bitmap: negative label map %dx%d", w, h))
+	}
+	return &LabelMap{w: w, h: h, lab: make([]int32, w*h)}
+}
+
 // W returns the width.
 func (lm *LabelMap) W() int { return lm.w }
 
@@ -86,6 +98,34 @@ func (lm *LabelMap) ComponentCount() int {
 
 // ComponentSizes returns the pixel count of every distinct label.
 func (lm *LabelMap) ComponentSizes() map[int32]int {
+	// Canonical labels are column-major positions, so they index a dense
+	// counting array of W·H slots — an order of magnitude cheaper than a
+	// per-pixel map assignment on large frames. A labeling carrying a
+	// foreign label space (e.g. a strip relabeled to global positions
+	// that exceed its own W·H) falls back to the map.
+	n := int32(len(lm.lab))
+	counts := make([]int32, n)
+	roots := make([]int32, 0, 64)
+	for _, v := range lm.lab {
+		if v < 0 {
+			continue
+		}
+		if v >= n {
+			return lm.componentSizesMap()
+		}
+		if counts[v] == 0 {
+			roots = append(roots, v)
+		}
+		counts[v]++
+	}
+	sizes := make(map[int32]int, len(roots))
+	for _, r := range roots {
+		sizes[r] = int(counts[r])
+	}
+	return sizes
+}
+
+func (lm *LabelMap) componentSizesMap() map[int32]int {
 	sizes := make(map[int32]int)
 	for _, v := range lm.lab {
 		if v != Background {

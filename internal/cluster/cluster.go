@@ -756,7 +756,10 @@ func stripRunFromResponse(resp *api.LabelResponse, perPixel []int32, wantAgg boo
 // bit-serial word width pinned to the full image's resolved width (a
 // strip left to choose its own would charge narrower words than the
 // local tiler does), and — on aggregation jobs — the strip's global
-// column-major origin as the positions offset.
+// column-major origin as the positions offset. cost= rides through
+// verbatim, so under cost=host every backend answers its strip with the
+// host engine and the compose path (core.ComposeStrips with Engine set)
+// stitches labels and folds without any simulated metrics to merge.
 func stripParams(p api.Params, opt core.Options, h, x0 int, agg bool) api.Params {
 	sp := api.Params{
 		Format:       string(imageio.FormatRaw),

@@ -81,6 +81,9 @@ type AggregateResult struct {
 	Metrics slap.Metrics
 	// UF reports union–find behavior of the labeling passes.
 	UF UFReport
+	// Summary, when non-nil, is the labeling's component summary (see
+	// Result.Summary).
+	Summary *Summary
 }
 
 // Aggregate implements the paper's Corollary 4: label the pixels of each
@@ -116,6 +119,9 @@ func (lb *Labeler) Aggregate(img *bitmap.Bitmap, initial []int32, op Monoid) (*A
 	}
 	if op.Combine == nil {
 		return nil, fmt.Errorf("core: monoid %q has no Combine", op.Name)
+	}
+	if lb.userOpt.Engine == EngineHost {
+		return lb.aggregateHost(img, initial, op)
 	}
 	if aw := lb.userOpt.ArrayWidth; aw > 0 && aw < w {
 		return lb.aggregateLarge(img, initial, op)

@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"slapcc/internal/bitmap"
+	"slapcc/internal/hostcc"
 	"slapcc/internal/slap"
 	"slapcc/internal/unionfind"
 )
@@ -141,6 +142,25 @@ type Options struct {
 	// slap.Metrics.MergePipelined.
 	Schedule ScheduleModel
 
+	// Engine selects the execution engine: EngineSim (the default; ""
+	// selects it) runs the metered SLAP simulation, EngineHost answers
+	// with the word-parallel host labeler — identical labels and
+	// aggregate values, no simulation, zero Metrics. Host runs ignore
+	// ArrayWidth/Seam/Schedule (a whole-image host pass is bit-identical
+	// to any strip decomposition) and the simulation-only knobs. See the
+	// Engine type.
+	Engine Engine
+
+	// SkipLabels permits the engine to answer without materializing the
+	// per-pixel labeling when the caller only needs the summary —
+	// Result.Labels may come back nil (Result.Summary carries the frame
+	// dimensions and the component summary). The simulator ignores it:
+	// a metered run labels as part of the simulation. The host engine
+	// honors it by skipping the fill sweep and the label map allocation,
+	// which for summary-only traffic is most of the per-frame cost.
+	// Aggregation runs ignore it too — per-pixel folds are the product.
+	SkipLabels bool
+
 	// noFuse runs the sweep phases through the per-phase reference
 	// executor instead of the fused column walk. The two are
 	// bit-equivalent (tests compare them exhaustively); the knob exists
@@ -210,6 +230,9 @@ func (o Options) withDefaults() Options {
 	if o.Schedule == "" {
 		o.Schedule = ScheduleSequential
 	}
+	if o.Engine == "" {
+		o.Engine = EngineSim
+	}
 	return o
 }
 
@@ -249,6 +272,23 @@ type Result struct {
 	UF UFReport
 	// Speculation reports the Speculate heuristic (zero when disabled).
 	Speculation SpecStats
+	// Summary, when non-nil, is the labeling's component summary,
+	// computed by the engine along the way (the host engine folds it
+	// into its resolve sweep for ~free). Values are identical to what
+	// seqcc.Summarize(Labels) computes; consumers may use either.
+	Summary *Summary
+}
+
+// Summary is a labeling's component summary: the class count, the
+// total foreground pixels, and the largest component's pixel count —
+// the numbers every service response leads with — plus the frame
+// dimensions, so a summary-only result (Options.SkipLabels) can answer
+// the wire form without a label map to measure.
+type Summary struct {
+	W, H       int
+	Components int
+	Foreground int
+	Largest    int
 }
 
 // message kinds on the links.
@@ -300,6 +340,10 @@ type Labeler struct {
 	stripPool    *LabelerPool
 	stripPoolOpt Options
 
+	// host is the host engine's arena set (see engine.go), built lazily
+	// on the first EngineHost run so simulator-only labelers pay nothing.
+	host *hostcc.Labeler
+
 	// ctx is the caller's request context for the duration of a *Ctx
 	// run: strip-mined runs poll it between strips, so a cancelled
 	// request stops early instead of finishing the whole image. Nil
@@ -331,7 +375,12 @@ func NewLabeler(opt Options) *Labeler {
 // Label runs Algorithm CC on img, reusing the labeler's arenas. When
 // Options.ArrayWidth names an array narrower than the image, the run is
 // strip-mined (see LabelLarge); the labeling is identical either way.
+// Options.Engine == EngineHost answers with the host engine instead:
+// the same labels, no simulation.
 func (lb *Labeler) Label(img *bitmap.Bitmap) (*Result, error) {
+	if lb.userOpt.Engine == EngineHost {
+		return lb.labelHost(img)
+	}
 	if aw := lb.userOpt.ArrayWidth; aw > 0 && aw < img.W() {
 		return lb.labelLarge(img)
 	}
@@ -424,6 +473,9 @@ func (lb *Labeler) runCC(img bitmap.Image) (*bitmap.LabelMap, error) {
 	}
 	if !opt.Schedule.Valid() {
 		return nil, fmt.Errorf("core: unknown schedule model %q (want %q or %q)", opt.Schedule, ScheduleSequential, SchedulePipelined)
+	}
+	if !opt.Engine.Valid() {
+		return nil, fmt.Errorf("core: unknown engine %q (want %q or %q)", opt.Engine, EngineSim, EngineHost)
 	}
 	lb.m.SetLinkTuning(opt.BatchSize, opt.LinkDepth)
 	if opt.Parallel {

@@ -159,6 +159,9 @@ func checkCompose(img *bitmap.Bitmap, runs []StripRun, opt Options, agg bool) er
 	if !opt.Schedule.Valid() {
 		return fmt.Errorf("core: unknown schedule model %q (want %q or %q)", opt.Schedule, ScheduleSequential, SchedulePipelined)
 	}
+	if !opt.Engine.Valid() {
+		return fmt.Errorf("core: unknown engine %q (want %q or %q)", opt.Engine, EngineSim, EngineHost)
+	}
 	aw := opt.ArrayWidth
 	if aw <= 0 || aw >= w {
 		return fmt.Errorf("core: ComposeStrips needs 0 < ArrayWidth < image width (got %d for width %d)", aw, w)
@@ -393,6 +396,11 @@ func (lb *Labeler) composeLabelStrips(img *bitmap.Bitmap, runs []StripRun, opt O
 		globalizeLabels(global, run.Labels, s*aw, h)
 	}
 
+	if opt.Engine == EngineHost {
+		rep, spec := lb.composeHostStrips(img, global, runs, nil, nil, opt)
+		return &Result{Labels: global, UF: rep, Speculation: spec}
+	}
+
 	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, nil, nil, aw, opt)
 
 	// Compose the whole-run report under the selected schedule model.
@@ -495,6 +503,11 @@ func (lb *Labeler) composeAggregateStrips(img *bitmap.Bitmap, runs []StripRun, o
 		x0 := s * aw
 		globalizeLabels(global, run.Labels, x0, h)
 		copy(out[x0*h:], run.PerPixel)
+	}
+
+	if opt.Engine == EngineHost {
+		rep, _ := lb.composeHostStrips(img, global, runs, out, &op, opt)
+		return &AggregateResult{PerPixel: out, Labels: global, UF: rep}
 	}
 
 	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, out, &op, aw, opt)

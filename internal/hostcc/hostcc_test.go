@@ -1,0 +1,167 @@
+package hostcc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"slapcc/internal/bitmap"
+	"slapcc/internal/seqcc"
+)
+
+var conns = []bitmap.Connectivity{bitmap.Conn4, bitmap.Conn8}
+
+func checkLabels(t *testing.T, name string, img *bitmap.Bitmap, conn bitmap.Connectivity, got *bitmap.LabelMap) {
+	t.Helper()
+	want := seqcc.BFSConn(img, conn)
+	if !got.Equal(want) {
+		t.Fatalf("%s conn%d: host labels diverge from BFS ground truth", name, conn)
+	}
+}
+
+func TestLabelFamilies(t *testing.T) {
+	lb := NewLabeler()
+	for _, fam := range bitmap.Families() {
+		for _, n := range []int{1, 7, 33, 64, 65, 96} {
+			img := fam.Generate(n)
+			for _, conn := range conns {
+				got, st := lb.Label(img, conn)
+				checkLabels(t, fmt.Sprintf("%s n=%d", fam.Name, n), img, conn, got)
+				if st.Runs < 0 || st.Finds < 0 {
+					t.Fatalf("%s n=%d: negative stats %+v", fam.Name, n, st)
+				}
+			}
+		}
+	}
+}
+
+func TestLabelNonSquare(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {1, 130}, {130, 1}, {3, 64}, {64, 3}, {17, 129}, {128, 63}, {63, 128}}
+	seed := uint64(0xD00D)
+	for _, sh := range shapes {
+		for _, density := range []float64{0.1, 0.5, 0.9} {
+			img := bitmap.RandomRect(sh[0], sh[1], density, seed)
+			seed++
+			for _, conn := range conns {
+				got, _ := Label(img, conn)
+				checkLabels(t, fmt.Sprintf("%dx%d d=%.1f", sh[0], sh[1], density), img, conn, got)
+			}
+		}
+	}
+}
+
+// Runs that cross 64-bit word boundaries exercise the carry/lookahead
+// bits of the start/end masks; pin them explicitly.
+func TestLabelWordBoundaryRuns(t *testing.T) {
+	img := bitmap.New(3, 200)
+	for y := 10; y <= 130; y++ { // one run spanning words 0..2
+		img.Set(0, y, true)
+	}
+	img.Set(0, 63, true) // already inside the run
+	img.Set(1, 63, true)
+	img.Set(1, 64, true) // run exactly on the boundary
+	img.Set(2, 199, true)
+	for _, conn := range conns {
+		got, st := Label(img, conn)
+		checkLabels(t, "word-boundary", img, conn, got)
+		if st.Runs != 3 {
+			t.Fatalf("conn%d: got %d runs, want 3", conn, st.Runs)
+		}
+	}
+}
+
+func TestAggregateMatchesReference(t *testing.T) {
+	type mono struct {
+		name     string
+		identity int32
+		combine  func(a, b int32) int32
+	}
+	monoids := []mono{
+		{"sum", 0, func(a, b int32) int32 { return a + b }},
+		{"min", math.MaxInt32, func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		}},
+		{"max", math.MinInt32, func(a, b int32) int32 {
+			if a > b {
+				return a
+			}
+			return b
+		}},
+		{"or", 0, func(a, b int32) int32 { return a | b }},
+	}
+	lb := NewLabeler()
+	seed := uint64(0xA66)
+	for _, sh := range [][2]int{{40, 25}, {25, 40}, {64, 64}, {130, 7}} {
+		img := bitmap.RandomRect(sh[0], sh[1], 0.55, seed)
+		seed++
+		initial := make([]int32, sh[0]*sh[1])
+		for i := range initial {
+			initial[i] = int32(i%17) - 4
+		}
+		for _, m := range monoids {
+			// The sequential reference is 4-connected; host conn4 must match.
+			labels, per, _ := lb.Aggregate(img, initial, m.identity, m.combine, bitmap.Conn4)
+			checkLabels(t, "agg-"+m.name, img, bitmap.Conn4, labels)
+			want := seqcc.AggregateRef(img, initial, m.combine, m.identity)
+			for i := range want {
+				if per[i] != want[i] {
+					t.Fatalf("%s %dx%d: per-pixel[%d] = %d, want %d", m.name, sh[0], sh[1], i, per[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Summary must return exactly the Stats a Label call would — it is the
+// summary-only service fast path, and the wire response built from it
+// has to match a labeled run's field for field.
+func TestSummaryMatchesLabel(t *testing.T) {
+	lb := NewLabeler()
+	for _, fam := range bitmap.Families() {
+		for _, n := range []int{1, 7, 64, 65, 96} {
+			img := fam.Generate(n)
+			for _, conn := range conns {
+				_, want := lb.Label(img, conn)
+				got := lb.Summary(img, conn)
+				if got != want {
+					t.Fatalf("%s n=%d conn%d: Summary stats %+v != Label stats %+v", fam.Name, n, conn, got, want)
+				}
+			}
+		}
+	}
+	for _, sh := range [][2]int{{0, 0}, {0, 5}, {5, 0}, {1, 130}, {130, 1}, {128, 63}} {
+		img := bitmap.RandomRect(sh[0], sh[1], 0.5, uint64(sh[0])*131+uint64(sh[1]))
+		_, want := lb.Label(img, bitmap.Conn8)
+		if got := lb.Summary(img, bitmap.Conn8); got != want {
+			t.Fatalf("%dx%d: Summary stats %+v != Label stats %+v", sh[0], sh[1], got, want)
+		}
+	}
+}
+
+func TestArenaReuseIsIdentical(t *testing.T) {
+	lb := NewLabeler()
+	img1 := bitmap.Random(80, 0.5, 1)
+	img2 := bitmap.Random(50, 0.7, 2)
+	first, st1 := lb.Label(img1, bitmap.Conn4)
+	lb.Label(img2, bitmap.Conn8) // dirty the arenas with a different shape
+	again, st2 := lb.Label(img1, bitmap.Conn4)
+	if !first.Equal(again) {
+		t.Fatal("warm rerun diverged from fresh run")
+	}
+	if st1 != st2 {
+		t.Fatalf("warm rerun stats %+v != fresh %+v", st2, st1)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	for _, sh := range [][2]int{{0, 0}, {0, 5}, {5, 0}} {
+		img := bitmap.New(sh[0], sh[1])
+		got, st := Label(img, bitmap.Conn4)
+		if got.W() != sh[0] || got.H() != sh[1] || st.Runs != 0 {
+			t.Fatalf("%dx%d: got %dx%d, %d runs", sh[0], sh[1], got.W(), got.H(), st.Runs)
+		}
+	}
+}

@@ -504,13 +504,16 @@ func OptionsFromParams(base core.Options, p api.Params, imgW, imgH int) (core.Op
 	if p.UF != "" {
 		kind := unionfind.Kind(p.UF)
 		if !unionfind.Valid(kind) {
-			return opt, fmt.Errorf("unknown uf %q", p.UF)
+			return opt, fmt.Errorf("unknown uf %q (want one of %v)", p.UF, unionfind.Kinds())
 		}
 		opt.UF = kind
 	}
 	if p.WordBits < 0 {
 		return opt, fmt.Errorf("bad wordbits %d (must be ≥ 0)", p.WordBits)
 	}
+	// cost= is the engine selector: unit and bitserial pick the metered
+	// simulator under the matching charge model; host picks the host
+	// engine (same answers, no simulation, zero Metrics on the wire).
 	switch strings.ToLower(p.Cost) {
 	case "", "unit":
 	case "bitserial":
@@ -519,8 +522,10 @@ func OptionsFromParams(base core.Options, p api.Params, imgW, imgH int) (core.Op
 			bits = slap.WordBitsForDims(imgW, imgH)
 		}
 		opt.Cost = slap.BitSerial(bits)
+	case "host":
+		opt.Engine = core.EngineHost
 	default:
-		return opt, fmt.Errorf("bad cost %q (want unit or bitserial)", p.Cost)
+		return opt, fmt.Errorf("bad cost %q (want unit, bitserial, or host)", p.Cost)
 	}
 	if p.ArrayWidth < 0 {
 		return opt, fmt.Errorf("bad array %d (must be ≥ 0)", p.ArrayWidth)
@@ -580,6 +585,11 @@ func (s *Server) labelOne(ctx context.Context, img *bitmap.Bitmap, p api.Params)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	// A client that didn't ask for labels only needs the summary — let
+	// the engine skip materializing the labeling (the host engine does;
+	// the simulator ignores it). Server-side verification still needs
+	// the labels to check.
+	opt.SkipLabels = !p.WantLabels && !s.cfg.Verify
 	res, err := s.pool.LabelWithCtx(ctx, img, opt)
 	if err != nil {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -752,10 +762,26 @@ func (s *Server) decodePart(part *multipart.Part, p api.Params) (*bitmap.Bitmap,
 // the JSON a local slapd would have produced.
 func ToLabelResponse(res *core.Result, wantLabels bool) *api.LabelResponse {
 	lm := res.Labels
-	st := seqcc.Summarize(lm)
+	var st seqcc.Stats
+	w, h := 0, 0
+	if lm != nil {
+		w, h = lm.W(), lm.H()
+	}
+	if s := res.Summary; s != nil {
+		// The engine already summarized along its own sweep (host engine:
+		// O(runs)); the values are identical to Summarize's by contract.
+		// A summary-only result (Options.SkipLabels) has no label map at
+		// all — the summary carries the frame dimensions instead.
+		st = seqcc.Stats{Components: s.Components, Foreground: s.Foreground, Largest: s.Largest}
+		if lm == nil {
+			w, h = s.W, s.H
+		}
+	} else {
+		st = seqcc.Summarize(lm)
+	}
 	out := &api.LabelResponse{
-		Width:      lm.W(),
-		Height:     lm.H(),
+		Width:      w,
+		Height:     h,
 		Foreground: st.Foreground,
 		Components: st.Components,
 		Largest:    st.Largest,
@@ -786,7 +812,7 @@ func ToLabelResponse(res *core.Result, wantLabels bool) *api.LabelResponse {
 			MaxQueue: ph.MaxQueue,
 		})
 	}
-	if wantLabels {
+	if wantLabels && lm != nil {
 		labels := make([]int32, 0, lm.W()*lm.H())
 		for x := 0; x < lm.W(); x++ {
 			labels = append(labels, lm.ColumnSlice(x)...)
@@ -799,7 +825,7 @@ func ToLabelResponse(res *core.Result, wantLabels bool) *api.LabelResponse {
 // ToAggregateResponse is ToLabelResponse for aggregation runs.
 func ToAggregateResponse(res *core.AggregateResult, opName string, wantLabels bool) *api.AggregateResponse {
 	resp := &api.AggregateResponse{
-		LabelResponse: *ToLabelResponse(&core.Result{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF}, wantLabels),
+		LabelResponse: *ToLabelResponse(&core.Result{Labels: res.Labels, Metrics: res.Metrics, UF: res.UF, Summary: res.Summary}, wantLabels),
 		Op:            opName,
 	}
 	if wantLabels {

@@ -90,6 +90,18 @@ type CostModel = slap.CostModel
 // Monoid is a commutative associative fold operator for Aggregate.
 type Monoid = core.Monoid
 
+// Engine selects which execution engine answers a run (Options.Engine):
+// the metered SLAP simulation, or a word-parallel host labeler producing
+// the same canonical labels and aggregate values with no simulated
+// metrics. See docs/ARCHITECTURE.md, "The engine layer".
+type Engine = core.Engine
+
+// Engines selectable via Options.Engine.
+const (
+	EngineSim  = core.EngineSim  // default: the metered SLAP simulation
+	EngineHost = core.EngineHost // host-side labeler; answers only, no Metrics
+)
+
 // SeamModel selects how a strip-mined run charges its seam relabel
 // (Options.Seam): SeamDistributed broadcasts the remap table down the
 // array and rewrites per PE; SeamHost charges a sequential host pass.

@@ -6,12 +6,14 @@
 package slapcc
 
 import (
+	"context"
 	"testing"
 
 	"slapcc/internal/baseline"
 	"slapcc/internal/bitmap"
 	"slapcc/internal/core"
 	"slapcc/internal/lowerbound"
+	"slapcc/internal/obs"
 	"slapcc/internal/slap"
 	"slapcc/internal/stats"
 	"slapcc/internal/unionfind"
@@ -360,4 +362,42 @@ func BenchmarkLabelLarge(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTraceOverhead prices the request-tracing tax on the 1024²
+// host-engine path (the ISSUE 9 acceptance bound: ≤ 2% of the untraced
+// frames/s). "untraced" runs the pool with a bare context — every span
+// hook is a nil check; "traced" builds a per-request trace and records
+// the same pool/engine/strip spans slapd does, finishing and rendering
+// the Server-Timing header each iteration.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const n = 1024
+	img := bitmap.Random(n, 0.5, 1)
+	opt := core.Options{Engine: core.EngineHost, ArrayWidth: 256, SkipLabels: true}
+	pool := core.NewLabelerPool(opt, 1)
+	run := func(b *testing.B, ctxFor func() (context.Context, *obs.Trace)) {
+		b.ReportAllocs()
+		b.SetBytes(int64(n * n))
+		for i := 0; i < b.N; i++ {
+			ctx, tr := ctxFor()
+			if _, err := pool.LabelWithCtx(ctx, img, opt); err != nil {
+				b.Fatal(err)
+			}
+			if tr != nil {
+				tr.Finish()
+				if tr.ServerTiming() == "" {
+					b.Fatal("empty Server-Timing")
+				}
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		run(b, func() (context.Context, *obs.Trace) { return context.Background(), nil })
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, func() (context.Context, *obs.Trace) {
+			tr := obs.New("bench", "label", nil)
+			return obs.ContextWith(context.Background(), tr.Root()), tr
+		})
+	})
 }

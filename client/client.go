@@ -52,6 +52,7 @@ import (
 	"slapcc"
 	"slapcc/api"
 	"slapcc/internal/imageio"
+	"slapcc/internal/obs"
 )
 
 // Client talks to one slapd instance. Construct with New.
@@ -398,6 +399,15 @@ func (c *Client) postOnce(ctx context.Context, url string, body []byte, contentT
 	}
 	err = json.NewDecoder(resp.Body).Decode(out)
 	drain(resp)
+	if err == nil {
+		// Graft the server's stage breakdown into the caller's trace (a
+		// no-op when the context carries none): a traced caller sees one
+		// tree spanning both tiers. Only the successful attempt grafts,
+		// so retries never double-report.
+		if st := resp.Header.Get("Server-Timing"); st != "" {
+			obs.FromContext(ctx).Graft(obs.ParseServerTiming(st))
+		}
+	}
 	return err
 }
 

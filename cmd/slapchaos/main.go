@@ -59,6 +59,7 @@ import (
 	"slapcc/client"
 	"slapcc/internal/cluster"
 	"slapcc/internal/cluster/chaos"
+	"slapcc/internal/obs"
 	"slapcc/internal/server"
 )
 
@@ -397,6 +398,15 @@ type report struct {
 		Hedges       int64 `json:"hedges"`
 		HedgeWins    int64 `json:"hedge_wins"`
 	} `json:"counters"`
+	// Trace audits the Server-Timing stage breakdown of every successful
+	// request: stages must be present, and their sum can never exceed
+	// the request's wall time (each top-level stage is a disjoint slice
+	// of the coordinator's handling).
+	Trace struct {
+		Checked     int64  `json:"checked"`
+		Breaches    int64  `json:"breaches"`
+		FirstBreach string `json:"first_breach,omitempty"`
+	} `json:"trace"`
 	OutstandingDrained bool     `json:"outstanding_drained"`
 	FirstUnexplained   string   `json:"first_unexplained,omitempty"`
 	SLOBreaches        []string `json:"slo_breaches"`
@@ -507,6 +517,9 @@ func run(args []string, out io.Writer) error {
 		deadline504      atomic.Int64
 		unexplained      atomic.Int64
 		firstUnexplained atomic.Value
+		traceChecked     atomic.Int64
+		traceBreaches    atomic.Int64
+		firstTraceBad    atomic.Value
 		latMu            sync.Mutex
 		lats             []time.Duration
 	)
@@ -527,9 +540,13 @@ func run(args []string, out io.Writer) error {
 				}
 				wi := &work[int(next.Add(1))%len(work)]
 				ctx, cancel := context.WithTimeout(context.Background(), *reqWait)
+				// The request carries a trace so the client grafts the
+				// coordinator's Server-Timing stages under it.
+				tr := obs.New("", wi.name, nil)
 				t0 := time.Now()
-				ok, err := fire(ctx, c, wi)
+				ok, err := fire(obs.ContextWith(ctx, tr.Root()), c, wi)
 				d := time.Since(t0)
+				tr.Finish()
 				cancel()
 				requests.Add(1)
 				switch {
@@ -537,6 +554,11 @@ func run(args []string, out io.Writer) error {
 					local = append(local, d)
 					if !ok {
 						mismatches.Add(1)
+					}
+					traceChecked.Add(1)
+					if msg := auditTrace(tr, d); msg != "" {
+						traceBreaches.Add(1)
+						firstTraceBad.CompareAndSwap(nil, wi.name+": "+msg)
 					}
 				case isShed(err):
 					shed.Add(1)
@@ -609,6 +631,11 @@ func run(args []string, out io.Writer) error {
 	if s, ok := firstUnexplained.Load().(string); ok {
 		rep.FirstUnexplained = s
 	}
+	rep.Trace.Checked = traceChecked.Load()
+	rep.Trace.Breaches = traceBreaches.Load()
+	if s, ok := firstTraceBad.Load().(string); ok {
+		rep.Trace.FirstBreach = s
+	}
 	fillLatency(rep, lats)
 
 	// Drain check: with traffic stopped, every backend's outstanding
@@ -633,6 +660,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if !rep.OutstandingDrained {
 		rep.SLOBreaches = append(rep.SLOBreaches, "outstanding gauges did not drain to 0")
+	}
+	if rep.Trace.Breaches > 0 {
+		rep.SLOBreaches = append(rep.SLOBreaches,
+			fmt.Sprintf("%d trace breaches (want 0; first: %s)", rep.Trace.Breaches, rep.Trace.FirstBreach))
 	}
 	if rep.Requests == 0 {
 		rep.SLOBreaches = append(rep.SLOBreaches, "no traffic completed")
@@ -703,6 +734,28 @@ func fire(ctx context.Context, c *client.Client, wi *workItem) (bool, error) {
 			(wi.wantTime < 0 || resp.Metrics.TimeSteps == wi.wantTime) &&
 			labelsMatch(resp.Labels, wi.wantLabels), nil
 	}
+}
+
+// auditTrace cross-checks a successful request's grafted Server-Timing
+// stages against its wall time: stages must be present (the service
+// always emits the breakdown on success), and their sum cannot exceed
+// the wall time the client observed — each top-level stage is a
+// disjoint slice of the coordinator's handling. The margin absorbs
+// rounding (durations ride the header in milliseconds) and scheduling
+// slop.
+func auditTrace(tr *obs.Trace, wall time.Duration) string {
+	stages := tr.Stages()
+	if len(stages) == 0 {
+		return "success with no Server-Timing stages"
+	}
+	var sum time.Duration
+	for _, st := range stages {
+		sum += st.Dur
+	}
+	if limit := wall + wall/10 + 25*time.Millisecond; sum > limit {
+		return fmt.Sprintf("stage sum %v exceeds wall %v", sum, wall)
+	}
+	return ""
 }
 
 // fireBurst is the overload probe: burst concurrent no-retry requests;
@@ -860,6 +913,7 @@ func summarize(out io.Writer, rep *report) {
 	fmt.Fprintf(out, "counters: %d retries, %d fallbacks, %d breaker opens, %d hedges (%d wins)\n",
 		rep.Counters.Retries, rep.Counters.Fallbacks, rep.Counters.BreakerOpens,
 		rep.Counters.Hedges, rep.Counters.HedgeWins)
+	fmt.Fprintf(out, "traces: %d audited, %d breaches\n", rep.Trace.Checked, rep.Trace.Breaches)
 	fmt.Fprintf(out, "drained: %v\n", rep.OutstandingDrained)
 	if len(rep.SLOBreaches) == 0 {
 		fmt.Fprintln(out, "SLO: all green")

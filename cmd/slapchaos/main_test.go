@@ -30,6 +30,11 @@ func TestShortSoak(t *testing.T) {
 	if !strings.Contains(out.String(), "SLO: all green") {
 		t.Fatalf("no green SLO verdict:\n%s", out.String())
 	}
+	// Every successful request carried a trace; the stage-sum audit must
+	// have actually run (a green verdict with zero audits would be vacuous).
+	if !strings.Contains(out.String(), "traces: ") || strings.Contains(out.String(), "traces: 0 audited") {
+		t.Fatalf("trace audit did not run:\n%s", out.String())
+	}
 }
 
 // TestParseSchedule pins the schedule DSL: well-formed entries parse in

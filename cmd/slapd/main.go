@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"slapcc/internal/imageio"
+	"slapcc/internal/obs"
 	"slapcc/internal/server"
 )
 
@@ -58,6 +59,7 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 		retry     = fs.Duration("retryafter", time.Second, "Retry-After hint on 429 responses")
 		verify    = fs.Bool("verify", false, "cross-check every labeling against the sequential reference (conformance mode)")
 		drainWait = fs.Duration("draintimeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		debugAddr = fs.String("debugaddr", "", "private debug listener for pprof and /debug/requests (e.g. 127.0.0.1:6060; empty disables; keep it off public interfaces)")
 		latTarget = fs.Duration("latencytarget", 0, "adaptive admission latency target (0 disables AIMD limiting)")
 
 		readHeader = fs.Duration("readheadertimeout", 5*time.Second, "time allowed to read a request's headers")
@@ -108,6 +110,16 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 	}()
 	fmt.Fprintf(out, "slapd: listening on %s (workers %d, admission %d)\n",
 		ln.Addr(), srv.Workers(), srv.AdmissionCapacity())
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dhs := &http.Server{Handler: obs.DebugMux(srv.DebugHandler()), ReadHeaderTimeout: *readHeader}
+		defer dhs.Close()
+		go dhs.Serve(dln)
+		fmt.Fprintf(out, "slapd: debug listening on %s\n", dln.Addr())
+	}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"testing"
@@ -133,4 +135,76 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "definitely:not:an:addr"}, &bytes.Buffer{}, nil, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
+}
+
+// TestDebugListener boots the daemon with the private -debugaddr
+// listener and smoke-tests both debug surfaces: a pprof heap profile
+// and the /debug/requests trace ring, neither of which may ride the
+// public serving port.
+func TestDebugListener(t *testing.T) {
+	signals := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-debugaddr", "127.0.0.1:0"},
+			&out, signals, func(addr string) { ready <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	debugAddr := debugAddrFromLog(t, out.String())
+
+	for _, path := range []string{"/debug/pprof/heap?debug=1", "/debug/requests"} {
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+	// The public port must not expose profiles.
+	resp, err := http.Get("http://" + addr + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("public port serves pprof")
+	}
+
+	signals <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+// debugAddrFromLog extracts the bound debug address from the startup
+// log ("... debug listening on 127.0.0.1:NNN").
+func debugAddrFromLog(t *testing.T, log string) string {
+	t.Helper()
+	for _, line := range strings.Split(log, "\n") {
+		if i := strings.Index(line, "debug listening on "); i >= 0 {
+			return strings.TrimSpace(line[i+len("debug listening on "):])
+		}
+	}
+	t.Fatalf("no debug listener log:\n%s", log)
+	return ""
 }

@@ -32,6 +32,7 @@ import (
 
 	"slapcc/internal/cluster"
 	"slapcc/internal/imageio"
+	"slapcc/internal/obs"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 		maxBody     = fs.Int64("maxbody", 0, "max request body bytes (0 = 64 MiB)")
 		hedgeDelay  = fs.Duration("hedgedelay", 50*time.Millisecond, "floor before a straggling strip job is hedged to a second backend (the observed job p95 raises it)")
 		hedgeMax    = fs.Int("hedgemax", 2, "max hedged duplicates per request (0 disables hedging)")
+		debugAddr   = fs.String("debugaddr", "", "private debug listener for pprof and /debug/requests (e.g. 127.0.0.1:6061; empty disables; keep it off public interfaces)")
 
 		readHeader = fs.Duration("readheadertimeout", 5*time.Second, "time allowed to read a request's headers")
 		readWait   = fs.Duration("readtimeout", 2*time.Minute, "time allowed to read a whole request")
@@ -122,6 +124,16 @@ func run(args []string, out io.Writer, signals <-chan os.Signal, ready func(addr
 		}
 	}()
 	fmt.Fprintf(out, "slapfront: listening on %s (%d backends)\n", ln.Addr(), len(urls))
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dhs := &http.Server{Handler: obs.DebugMux(co.DebugHandler()), ReadHeaderTimeout: *readHeader}
+		defer dhs.Close()
+		go dhs.Serve(dln)
+		fmt.Fprintf(out, "slapfront: debug listening on %s\n", dln.Addr())
+	}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

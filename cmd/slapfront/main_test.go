@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -82,4 +84,65 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "definitely:not:an:addr"}, &bytes.Buffer{}, nil, nil); err == nil {
 		t.Fatal("unlistenable address accepted")
 	}
+}
+
+// TestDebugListener boots slapfront with the private -debugaddr
+// listener and smoke-tests the pprof heap profile and the
+// /debug/requests trace ring on it.
+func TestDebugListener(t *testing.T) {
+	signals := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-debugaddr", "127.0.0.1:0"},
+			&out, signals, func(addr string) { ready <- addr })
+	}()
+
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	debugAddr := debugAddrFromLog(t, out.String())
+
+	for _, path := range []string{"/debug/pprof/heap?debug=1", "/debug/requests"} {
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+
+	signals <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// debugAddrFromLog extracts the bound debug address from the startup
+// log ("... debug listening on 127.0.0.1:NNN").
+func debugAddrFromLog(t *testing.T, log string) string {
+	t.Helper()
+	for _, line := range strings.Split(log, "\n") {
+		if i := strings.Index(line, "debug listening on "); i >= 0 {
+			return strings.TrimSpace(line[i+len("debug listening on "):])
+		}
+	}
+	t.Fatalf("no debug listener log:\n%s", log)
+	return ""
 }

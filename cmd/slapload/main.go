@@ -65,6 +65,7 @@ import (
 	"slapcc"
 	"slapcc/api"
 	"slapcc/client"
+	"slapcc/internal/obs"
 )
 
 func main() {
@@ -110,7 +111,11 @@ type report struct {
 	Errors     int    `json:"errors"`
 	Retried429 int64  `json:"retried_429"`
 	Cost       string `json:"cost,omitempty"`
-	Verify     struct {
+	// ServerStages breaks the server's own wall time down by stage, from
+	// the Server-Timing headers the service emits: where p99 actually
+	// went (queue? decode? label?) rather than one opaque latency number.
+	ServerStages map[string]stagePct `json:"server_stages,omitempty"`
+	Verify       struct {
 		Enabled bool `json:"enabled"`
 		// Engine is what built the references: "sim" re-runs the
 		// simulator per corpus frame, "host" uses the host engine (same
@@ -144,6 +149,14 @@ type report struct {
 		Rejected429 int `json:"rejected_429"`
 		Errors      int `json:"errors"`
 	} `json:"overload"`
+}
+
+// stagePct is one server-side stage's latency distribution in ms.
+type stagePct struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	N   int     `json:"n"`
 }
 
 // counting429 counts 429 responses passing through the transport, so
@@ -265,6 +278,7 @@ func run(args []string, out io.Writer) error {
 		checkNanos atomic.Int64
 		mu         sync.Mutex
 		lats       []time.Duration
+		stageLats  = map[string][]time.Duration{}
 		firstErr   atomic.Value
 	)
 	start := time.Now()
@@ -274,19 +288,28 @@ func run(args []string, out io.Writer) error {
 		go func() {
 			defer wg.Done()
 			local := make([]time.Duration, 0, *frames / *conc + 1)
+			localStages := map[string][]time.Duration{}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= *frames {
 					break
 				}
 				sp := &specs[i%len(specs)]
+				// Each request carries a trace so the client grafts the
+				// server's Server-Timing breakdown under it; the top-level
+				// grafted spans are the server's own stages.
+				tr := obs.New("", sp.name, nil)
 				t0 := time.Now()
-				resp, err := c.LabelData(ctx, sp.data, sp.ctype, sp.params)
+				resp, err := c.LabelData(obs.ContextWith(ctx, tr.Root()), sp.data, sp.ctype, sp.params)
 				d := time.Since(t0)
+				tr.Finish()
 				if err != nil {
 					errs.Add(1)
 					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: %w", sp.name, err))
 					continue
+				}
+				for _, st := range tr.Stages() {
+					localStages[st.Name] = append(localStages[st.Name], st.Dur)
 				}
 				local = append(local, d)
 				bytesSent.Add(int64(len(sp.data)))
@@ -302,6 +325,9 @@ func run(args []string, out io.Writer) error {
 			}
 			mu.Lock()
 			lats = append(lats, local...)
+			for name, ds := range localStages {
+				stageLats[name] = append(stageLats[name], ds...)
+			}
 			mu.Unlock()
 		}()
 	}
@@ -316,6 +342,7 @@ func run(args []string, out io.Writer) error {
 	rep.MBPerS = float64(bytesSent.Load()) / 1e6 / elapsed.Seconds()
 	rep.PixelMBPerS = float64(pixels.Load()) / 1e6 / elapsed.Seconds()
 	fillLatency(rep, lats)
+	fillServerStages(rep, stageLats)
 	if *verify {
 		rep.Verify.Frames = len(lats)
 		rep.Verify.Mismatches = int(mismatches.Load())
@@ -633,12 +660,41 @@ func fillLatency(rep *report, lats []time.Duration) {
 	rep.LatencyMS.Max = ms(lats[len(lats)-1])
 }
 
+// fillServerStages computes per-stage percentiles from the grafted
+// Server-Timing breakdowns.
+func fillServerStages(rep *report, stageLats map[string][]time.Duration) {
+	if len(stageLats) == 0 {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep.ServerStages = make(map[string]stagePct, len(stageLats))
+	for name, ds := range stageLats {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		pct := func(p float64) time.Duration { return ds[int(p*float64(len(ds)-1))] }
+		rep.ServerStages[name] = stagePct{
+			P50: ms(pct(0.50)), P95: ms(pct(0.95)), P99: ms(pct(0.99)), N: len(ds),
+		}
+	}
+}
+
 func summarize(out io.Writer, rep *report) {
 	fmt.Fprintf(out, "loop: %d frames in %.2fs over %d clients -> %.1f frames/s, %.2f MB/s wire, %.2f Mpix/s\n",
 		rep.Frames-rep.Errors, rep.DurationS, rep.Concurrency, rep.FramesPerS, rep.MBPerS, rep.PixelMBPerS)
 	fmt.Fprintf(out, "latency: p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms\n",
 		rep.LatencyMS.P50, rep.LatencyMS.P95, rep.LatencyMS.P99, rep.LatencyMS.Mean, rep.LatencyMS.Max)
 	fmt.Fprintf(out, "errors: %d   429-retries absorbed: %d\n", rep.Errors, rep.Retried429)
+	if len(rep.ServerStages) > 0 {
+		names := make([]string, 0, len(rep.ServerStages))
+		for name := range rep.ServerStages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := rep.ServerStages[name]
+			fmt.Fprintf(out, "server stage %-8s p50 %.2fms  p95 %.2fms  p99 %.2fms  (%d samples)\n",
+				name+":", st.P50, st.P95, st.P99, st.N)
+		}
+	}
 	if rep.Verify.Enabled {
 		fmt.Fprintf(out, "verify: %d frames checked (engine %s), %d mismatches; refs built in %.3fs, response checks %.3fs\n",
 			rep.Verify.Frames, rep.Verify.Engine, rep.Verify.Mismatches, rep.Verify.BuildRefS, rep.Verify.CheckS)

@@ -67,6 +67,16 @@ func TestLoadAgainstRealServer(t *testing.T) {
 	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.P99 < rep.LatencyMS.P50 {
 		t.Fatalf("latency: %+v", rep.LatencyMS)
 	}
+	// The Server-Timing headers must break server time down by stage.
+	for _, stage := range []string{"queue", "decode", "label", "encode"} {
+		st, ok := rep.ServerStages[stage]
+		if !ok || st.N == 0 {
+			t.Fatalf("no server stage %q in report: %+v", stage, rep.ServerStages)
+		}
+		if st.P99 < st.P50 {
+			t.Fatalf("stage %q percentiles inverted: %+v", stage, st)
+		}
+	}
 	if rep.FramesPerS <= 0 || rep.MBPerS <= 0 {
 		t.Fatalf("throughput: %+v", rep)
 	}
@@ -149,5 +159,9 @@ func TestLoadAgainstCluster(t *testing.T) {
 	}
 	if rep.Aggregate.Checks == 0 || rep.Aggregate.Errors != 0 || rep.Aggregate.Mismatches != 0 {
 		t.Fatalf("aggregate: %+v", rep.Aggregate)
+	}
+	// The coordinator's Server-Timing must survive the extra tier.
+	if st, ok := rep.ServerStages["decode"]; !ok || st.N == 0 {
+		t.Fatalf("no coordinator decode stage in report: %+v", rep.ServerStages)
 	}
 }

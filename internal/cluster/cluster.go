@@ -28,12 +28,14 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +45,7 @@ import (
 	"slapcc/internal/bitmap"
 	"slapcc/internal/core"
 	"slapcc/internal/imageio"
+	"slapcc/internal/obs"
 	"slapcc/internal/server"
 	"slapcc/internal/slap"
 	"slapcc/internal/unionfind"
@@ -172,6 +175,7 @@ type Coordinator struct {
 	backends []*backend
 	mux      *http.ServeMux
 	reg      *registry
+	ring     *obs.Ring
 	pickMu   sync.Mutex
 	stop     chan struct{}
 	stopped  sync.Once
@@ -184,6 +188,7 @@ func New(cfg Config) *Coordinator {
 		cfg:  cfg,
 		mux:  http.NewServeMux(),
 		reg:  newRegistry(),
+		ring: obs.NewRing(0, 0, 0),
 		stop: make(chan struct{}),
 	}
 	for _, u := range cfg.Backends {
@@ -193,6 +198,7 @@ func New(cfg Config) *Coordinator {
 	co.mux.HandleFunc(api.PathAggregate, co.instrument("aggregate", co.handleAggregate))
 	co.mux.HandleFunc(api.PathHealthz, co.instrument("healthz", co.handleHealthz))
 	co.mux.HandleFunc(api.PathMetrics, co.instrument("metrics", co.handleMetrics))
+	co.mux.Handle(server.PathDebugRequests, co.DebugHandler())
 	if cfg.ProbeInterval > 0 && len(co.backends) > 0 {
 		go co.probeLoop()
 	}
@@ -204,6 +210,10 @@ func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { co.mu
 
 // Close stops the active prober. The handler keeps serving.
 func (co *Coordinator) Close() { co.stopped.Do(func() { close(co.stop) }) }
+
+// DebugHandler serves the recent-request trace ring (/debug/requests),
+// for mounting on a private debug listener as well as the main mux.
+func (co *Coordinator) DebugHandler() http.Handler { return co.ring.Handler() }
 
 func (co *Coordinator) probeLoop() {
 	t := time.NewTicker(co.cfg.ProbeInterval)
@@ -336,27 +346,49 @@ func (co *Coordinator) readFrame(w http.ResponseWriter, r *http.Request, p api.P
 }
 
 // lifecycle stamps the request's ID on the response header and context
-// (so backend calls and error payloads carry it) and applies the
-// caller's X-Slap-Deadline-Ms budget: a spent budget answers 504 before
-// any fan-out, a live one bounds the whole fan-out's context — each
-// backend attempt then re-stamps the remaining budget on the wire via
-// the client. Returns ok=false when the request was already answered.
-func (co *Coordinator) lifecycle(w http.ResponseWriter, r *http.Request) (*http.Request, context.CancelFunc, bool) {
+// (so backend calls and error payloads carry it), opens the request's
+// trace — the root span rides the context, every downstream strip and
+// attempt span nests under it — and applies the caller's
+// X-Slap-Deadline-Ms budget: a spent budget answers 504 before any
+// fan-out, a live one bounds the whole fan-out's context — each backend
+// attempt then re-stamps the remaining budget on the wire via the
+// client. The returned done func (handlers defer it) finalizes the
+// trace: it marks the root from the response status, feeds the stage
+// histograms, and files the trace in the /debug/requests ring. Returns
+// ok=false when the request was already answered.
+func (co *Coordinator) lifecycle(w http.ResponseWriter, r *http.Request, name string) (*http.Request, func(), bool) {
 	id := r.Header.Get(api.HeaderRequestID)
 	if id == "" {
 		id = api.NewRequestID()
 	}
 	w.Header().Set(api.HeaderRequestID, id)
-	ctx := api.ContextWithRequestID(r.Context(), id)
+	tr := obs.New(id, name, co.cfg.Now)
+	ctx := obs.ContextWith(api.ContextWithRequestID(r.Context(), id), tr.Root())
 	cancel := context.CancelFunc(func() {})
 	if budget, ok := api.ParseDeadline(r.Header.Get(api.HeaderDeadlineMS)); ok {
 		if budget <= 0 {
 			writeError(w, http.StatusGatewayTimeout, "deadline budget already spent")
+			tr.Root().Fail("http 504")
+			tr.Finish()
+			co.ring.Observe(tr)
 			return nil, nil, false
 		}
 		ctx, cancel = context.WithTimeout(ctx, budget)
 	}
-	return r.WithContext(ctx), cancel, true
+	done := func() {
+		cancel()
+		if sw, ok := w.(*statusWriter); ok && sw.code >= http.StatusBadRequest {
+			if sw.code == 499 {
+				tr.Root().Cancel()
+			} else {
+				tr.Root().Fail(fmt.Sprintf("http %d", sw.code))
+			}
+		}
+		tr.Finish()
+		co.reg.observeStages(tr.Stages())
+		co.ring.Observe(tr)
+	}
+	return r.WithContext(ctx), done, true
 }
 
 // errNoBackend reports that no backend would accept a job right now:
@@ -439,6 +471,7 @@ func dispatch[T any](co *Coordinator, ctx context.Context, kind string, hs *hedg
 			// Nothing routable. If a breaker could half-open within the
 			// budget the backoff below gives it the chance; a totally
 			// empty fleet fails fast to local.
+			obs.FromContext(ctx).Event("no-backend")
 			if len(co.backends) == 0 {
 				return zero, errNoBackend
 			}
@@ -485,6 +518,7 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 		res   T
 		err   error
 		start time.Time
+		sp    *obs.Span
 	}
 	results := make(chan outcome, 2)
 	var cancels []context.CancelFunc
@@ -493,18 +527,30 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 			c()
 		}
 	}()
-	launch := func(b *backend) context.CancelFunc {
-		actx, acancel := context.WithCancel(ctx)
+	// Each launched copy gets its own "attempt" span; the attempt's
+	// context carries it, so the client grafts the backend's
+	// Server-Timing tree under the attempt that actually fetched it.
+	// The select loop below settles every span exactly once: the single
+	// winner gets "winner", cancelled losers are marked cancelled.
+	launch := func(b *backend, hedge bool) context.CancelFunc {
+		asp := obs.FromContext(ctx).Child("attempt")
+		if asp != nil {
+			asp.Annotate("backend=" + b.name)
+			if hedge {
+				asp.Annotate("hedge")
+			}
+		}
+		actx, acancel := context.WithCancel(obs.ContextWith(ctx, asp))
 		start := co.cfg.Now()
 		go func() {
 			jctx, jcancel := context.WithTimeout(actx, co.cfg.JobTimeout)
 			defer jcancel()
 			res, err := run(jctx, b.cl)
-			results <- outcome{b: b, res: res, err: err, start: start}
+			results <- outcome{b: b, res: res, err: err, start: start, sp: asp}
 		}()
 		return acancel
 	}
-	cancels = append(cancels, launch(b))
+	cancels = append(cancels, launch(b, false))
 	inFlight := 1
 
 	// The timer goroutine only signals; the select loop below launches
@@ -546,9 +592,12 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 				if o.err == nil {
 					o.b.release(true, true, now, co.cfg.BreakerThreshold, "")
 					co.reg.addJob(o.b.name, "ok")
+					o.sp.Annotate("late")
+					o.sp.End()
 				} else {
 					o.b.release(false, false, now, co.cfg.BreakerThreshold, "")
 					co.reg.addJob(o.b.name, "cancelled")
+					o.sp.Cancel()
 				}
 				continue
 			}
@@ -560,6 +609,8 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 				if hedgedTo != nil && o.b == hedgedTo {
 					co.reg.addHedgeWin()
 				}
+				o.sp.Annotate("winner")
+				o.sp.End()
 				settle()
 				continue
 			}
@@ -571,6 +622,8 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 				// yet win.
 				o.b.release(true, false, now, co.cfg.BreakerThreshold, "")
 				co.reg.addJob(o.b.name, "busy")
+				o.sp.Annotate("busy")
+				o.sp.EndErr(o.err)
 				lastErr = o.err
 				if w := se.RetryAfter; w > 0 && w <= co.cfg.BackoffMax {
 					wait = w
@@ -580,12 +633,14 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 				// Propagate — re-sending it elsewhere cannot fix it, and
 				// the backend is healthy.
 				o.b.release(true, true, now, co.cfg.BreakerThreshold, "")
+				o.sp.EndErr(o.err)
 				terminal = o.err
 				settle()
 			case ctx.Err() != nil:
 				// The caller hung up or its deadline budget expired; the
 				// backend may be fine. Uncountable.
 				o.b.release(false, false, now, co.cfg.BreakerThreshold, "")
+				o.sp.Cancel()
 				terminal = ctx.Err()
 				settle()
 			default:
@@ -598,6 +653,7 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 					co.reg.addOpened()
 				}
 				co.reg.addJob(o.b.name, "error")
+				o.sp.EndErr(o.err)
 				lastErr = o.err
 				if errors.Is(o.err, context.DeadlineExceeded) {
 					// The *job* timeout expired, not the request's budget
@@ -619,7 +675,7 @@ func hedgedAttempt[T any](co *Coordinator, ctx context.Context, hs *hedgeState, 
 			}
 			co.reg.addHedge()
 			hedgedTo = b2
-			cancels = append(cancels, launch(b2))
+			cancels = append(cancels, launch(b2, true))
 			inFlight++
 		}
 	}
@@ -691,6 +747,37 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	enc.Encode(v)
+}
+
+// writeTraced is writeJSON for traced success responses: the body is
+// encoded to a buffer under an "encode" span, then the request's whole
+// span tree — the coordinator's own stages with each attempt's grafted
+// backend tree nested inside — rides ahead of it in a Server-Timing
+// header. The bytes written are identical to writeJSON's, which the
+// cluster-vs-local byte-equality tests depend on.
+func writeTraced(w http.ResponseWriter, code int, v any, sp *obs.Span) {
+	if sp == nil {
+		writeJSON(w, code, v)
+		return
+	}
+	esp := sp.Child("encode")
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	err := enc.Encode(v)
+	esp.EndErr(err)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if tr := sp.Trace(); tr != nil {
+		if st := tr.ServerTiming(); st != "" {
+			w.Header().Set("Server-Timing", st)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
@@ -849,12 +936,15 @@ func (co *Coordinator) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	r, done, ok := co.lifecycle(w, r)
+	r, done, ok := co.lifecycle(w, r, "label")
 	if !ok {
 		return
 	}
 	defer done()
+	root := obs.FromContext(r.Context())
+	dsp := root.Child("decode")
 	img, status, err := co.readFrame(w, r, p)
+	dsp.EndErr(err)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
@@ -878,7 +968,7 @@ func (co *Coordinator) handleLabel(w http.ResponseWriter, r *http.Request) {
 			writeDispatchError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeTraced(w, http.StatusOK, resp, root)
 		return
 	}
 
@@ -890,34 +980,53 @@ func (co *Coordinator) handleLabel(w http.ResponseWriter, r *http.Request) {
 	stripOpt := opt
 	stripOpt.ArrayWidth = 0
 	stripOpt.StripWorkers = 0
-	runs, err := co.runJobs(ctx, jobs, func(ctx context.Context, j job) (core.StripRun, error) {
-		sp := stripParams(p, opt, img.H(), j.x0, false)
-		resp, derr := dispatch(co, ctx, "label", hs, func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
-			return cl.LabelData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
-		})
-		if derr != nil {
-			if !fallbackLocal(derr) {
-				return core.StripRun{}, derr
-			}
-			co.reg.addFallback()
-			res, lerr := core.Label(mustDecodeStrip(j), stripOpt)
-			if lerr != nil {
-				return core.StripRun{}, lerr
-			}
-			resp = server.ToLabelResponse(res, true)
+	fsp := root.Child("fanout")
+	runs, err := co.runJobs(obs.ContextWith(ctx, fsp), jobs, func(jctx context.Context, j job) (core.StripRun, error) {
+		ssp := obs.FromContext(jctx).Child("strip")
+		if ssp != nil {
+			ssp.Annotate("s=" + strconv.Itoa(j.s))
 		}
-		return stripRunFromResponse(resp, nil, false)
+		run, jerr := co.labelStrip(obs.ContextWith(jctx, ssp), j, p, opt, stripOpt, img.H(), hs)
+		ssp.EndErr(jerr)
+		return run, jerr
 	})
+	fsp.EndErr(err)
 	if err != nil {
 		writeDispatchError(w, err)
 		return
 	}
+	tsp := root.Child("stitch")
 	res, err := core.ComposeStrips(img, runs, opt)
+	tsp.EndErr(err)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, server.ToLabelResponse(res, p.WantLabels))
+	writeTraced(w, http.StatusOK, server.ToLabelResponse(res, p.WantLabels), root)
+}
+
+// labelStrip runs one strip's label job: remote dispatch under the
+// retry/hedge policy, degrading to a local run when no backend will
+// take it.
+func (co *Coordinator) labelStrip(ctx context.Context, j job, p api.Params, opt, stripOpt core.Options, h int, hs *hedgeState) (core.StripRun, error) {
+	sp := stripParams(p, opt, h, j.x0, false)
+	resp, derr := dispatch(co, ctx, "label", hs, func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
+		return cl.LabelData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
+	})
+	if derr != nil {
+		if !fallbackLocal(derr) {
+			return core.StripRun{}, derr
+		}
+		co.reg.addFallback()
+		lsp := obs.FromContext(ctx).Child("local")
+		res, lerr := core.Label(mustDecodeStrip(j), stripOpt)
+		lsp.EndErr(lerr)
+		if lerr != nil {
+			return core.StripRun{}, lerr
+		}
+		resp = server.ToLabelResponse(res, true)
+	}
+	return stripRunFromResponse(resp, nil, false)
 }
 
 func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -941,12 +1050,15 @@ func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown initial %q (ones, positions)", p.Initial))
 		return
 	}
-	r, done, ok := co.lifecycle(w, r)
+	r, done, ok := co.lifecycle(w, r, "aggregate")
 	if !ok {
 		return
 	}
 	defer done()
+	root := obs.FromContext(r.Context())
+	dsp := root.Child("decode")
 	img, status, err := co.readFrame(w, r, p)
+	dsp.EndErr(err)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
@@ -966,7 +1078,7 @@ func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
 			writeDispatchError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeTraced(w, http.StatusOK, resp, root)
 		return
 	}
 
@@ -979,39 +1091,57 @@ func (co *Coordinator) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	stripOpt.ArrayWidth = 0
 	stripOpt.StripWorkers = 0
 	h := img.H()
-	runs, err := co.runJobs(ctx, jobs, func(ctx context.Context, j job) (core.StripRun, error) {
-		sp := stripParams(p, opt, h, j.x0, true)
-		resp, derr := dispatch(co, ctx, "aggregate", hs, func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
-			return cl.AggregateData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
-		})
-		if derr != nil {
-			if !fallbackLocal(derr) {
-				return core.StripRun{}, derr
-			}
-			co.reg.addFallback()
-			strip := mustDecodeStrip(j)
-			initial, ierr := server.InitialValues(strip, p.Initial, p.InitialOffset+j.x0*h)
-			if ierr != nil {
-				return core.StripRun{}, ierr
-			}
-			res, lerr := core.Aggregate(strip, initial, op, stripOpt)
-			if lerr != nil {
-				return core.StripRun{}, lerr
-			}
-			resp = server.ToAggregateResponse(res, op.Name, true)
+	fsp := root.Child("fanout")
+	runs, err := co.runJobs(obs.ContextWith(ctx, fsp), jobs, func(jctx context.Context, j job) (core.StripRun, error) {
+		ssp := obs.FromContext(jctx).Child("strip")
+		if ssp != nil {
+			ssp.Annotate("s=" + strconv.Itoa(j.s))
 		}
-		return stripRunFromResponse(&resp.LabelResponse, resp.PerPixel, true)
+		run, jerr := co.aggregateStrip(obs.ContextWith(jctx, ssp), j, p, op, opt, stripOpt, h, hs)
+		ssp.EndErr(jerr)
+		return run, jerr
 	})
+	fsp.EndErr(err)
 	if err != nil {
 		writeDispatchError(w, err)
 		return
 	}
+	tsp := root.Child("stitch")
 	res, err := core.ComposeAggregateStrips(img, runs, op, opt)
+	tsp.EndErr(err)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, server.ToAggregateResponse(res, op.Name, p.WantLabels))
+	writeTraced(w, http.StatusOK, server.ToAggregateResponse(res, op.Name, p.WantLabels), root)
+}
+
+// aggregateStrip is labelStrip for /v1/aggregate.
+func (co *Coordinator) aggregateStrip(ctx context.Context, j job, p api.Params, op core.Monoid, opt, stripOpt core.Options, h int, hs *hedgeState) (core.StripRun, error) {
+	sp := stripParams(p, opt, h, j.x0, true)
+	resp, derr := dispatch(co, ctx, "aggregate", hs, func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
+		return cl.AggregateData(jctx, j.data, string(imageio.FormatRaw.ContentType()), sp)
+	})
+	if derr != nil {
+		if !fallbackLocal(derr) {
+			return core.StripRun{}, derr
+		}
+		co.reg.addFallback()
+		lsp := obs.FromContext(ctx).Child("local")
+		strip := mustDecodeStrip(j)
+		initial, ierr := server.InitialValues(strip, p.Initial, p.InitialOffset+j.x0*h)
+		if ierr != nil {
+			lsp.EndErr(ierr)
+			return core.StripRun{}, ierr
+		}
+		res, lerr := core.Aggregate(strip, initial, op, stripOpt)
+		lsp.EndErr(lerr)
+		if lerr != nil {
+			return core.StripRun{}, lerr
+		}
+		resp = server.ToAggregateResponse(res, op.Name, true)
+	}
+	return stripRunFromResponse(&resp.LabelResponse, resp.PerPixel, true)
 }
 
 // wholeImageLabel routes an un-strip-mined request as a single job,
@@ -1023,17 +1153,24 @@ func (co *Coordinator) wholeImageLabel(ctx context.Context, img *bitmap.Bitmap, 
 	}
 	fp := p
 	fp.Format = string(imageio.FormatRaw)
+	ssp := obs.FromContext(ctx).Child("strip")
+	ctx = obs.ContextWith(ctx, ssp)
 	resp, derr := dispatch(co, ctx, "label", hs, func(jctx context.Context, cl *client.Client) (*api.LabelResponse, error) {
 		return cl.LabelData(jctx, data, string(imageio.FormatRaw.ContentType()), fp)
 	})
 	if derr == nil {
+		ssp.End()
 		return resp, nil
 	}
 	if !fallbackLocal(derr) {
+		ssp.EndErr(derr)
 		return nil, derr
 	}
 	co.reg.addFallback()
+	lsp := ssp.Child("local")
 	res, err := core.Label(img, opt)
+	lsp.EndErr(err)
+	ssp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -1048,21 +1185,30 @@ func (co *Coordinator) wholeImageAggregate(ctx context.Context, img *bitmap.Bitm
 	}
 	fp := p
 	fp.Format = string(imageio.FormatRaw)
+	ssp := obs.FromContext(ctx).Child("strip")
+	ctx = obs.ContextWith(ctx, ssp)
 	resp, derr := dispatch(co, ctx, "aggregate", hs, func(jctx context.Context, cl *client.Client) (*api.AggregateResponse, error) {
 		return cl.AggregateData(jctx, data, string(imageio.FormatRaw.ContentType()), fp)
 	})
 	if derr == nil {
+		ssp.End()
 		return resp, nil
 	}
 	if !fallbackLocal(derr) {
+		ssp.EndErr(derr)
 		return nil, derr
 	}
 	co.reg.addFallback()
+	lsp := ssp.Child("local")
 	initial, err := server.InitialValues(img, p.Initial, p.InitialOffset)
 	if err != nil {
+		lsp.EndErr(err)
+		ssp.EndErr(err)
 		return nil, err
 	}
 	res, err := core.Aggregate(img, initial, op, opt)
+	lsp.EndErr(err)
+	ssp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"slapcc/internal/obs"
 )
 
 // registry is slapfront's metrics store, the same dependency-free
@@ -16,8 +18,8 @@ import (
 type registry struct {
 	mu        sync.Mutex
 	requests  map[reqKey]int64
-	latCount  map[string]int64
-	latSum    map[string]float64
+	lat       map[string]*obs.Histogram // request wall time by endpoint
+	stage     map[string]*obs.Histogram // stage wall time by trace span name
 	jobs      map[jobKey]int64
 	retries   int64
 	fallbacks int64
@@ -47,8 +49,8 @@ type jobKey struct {
 func newRegistry() *registry {
 	return &registry{
 		requests: make(map[reqKey]int64),
-		latCount: make(map[string]int64),
-		latSum:   make(map[string]float64),
+		lat:      make(map[string]*obs.Histogram),
+		stage:    make(map[string]*obs.Histogram),
 		jobs:     make(map[jobKey]int64),
 	}
 }
@@ -57,8 +59,26 @@ func (g *registry) observe(endpoint string, code int, dur time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.requests[reqKey{endpoint, code}]++
-	g.latCount[endpoint]++
-	g.latSum[endpoint] += dur.Seconds()
+	h := g.lat[endpoint]
+	if h == nil {
+		h = obs.NewHistogram(nil)
+		g.lat[endpoint] = h
+	}
+	h.Observe(dur.Seconds())
+}
+
+// observeStages records a finished trace's top-level stage durations.
+func (g *registry) observeStages(stages []obs.Stage) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, st := range stages {
+		h := g.stage[st.Name]
+		if h == nil {
+			h = obs.NewHistogram(nil)
+			g.stage[st.Name] = h
+		}
+		h.Observe(st.Dur.Seconds())
+	}
 }
 
 func (g *registry) addJob(backend, outcome string) {
@@ -130,16 +150,29 @@ func (g *registry) render(w io.Writer, backends []backendGauge) {
 		fmt.Fprintf(w, "slapfront_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, g.requests[k])
 	}
 
+	// Request and stage latencies render as cumulative-bucket histograms;
+	// the _count/_sum series keep the names the old summary exposed, so
+	// dashboards built on them survive the conversion.
 	fmt.Fprintln(w, "# HELP slapfront_request_seconds Wall time of completed requests, by endpoint.")
-	fmt.Fprintln(w, "# TYPE slapfront_request_seconds summary")
-	eps := make([]string, 0, len(g.latCount))
-	for ep := range g.latCount {
+	fmt.Fprintln(w, "# TYPE slapfront_request_seconds histogram")
+	eps := make([]string, 0, len(g.lat))
+	for ep := range g.lat {
 		eps = append(eps, ep)
 	}
 	sort.Strings(eps)
 	for _, ep := range eps {
-		fmt.Fprintf(w, "slapfront_request_seconds_count{endpoint=%q} %d\n", ep, g.latCount[ep])
-		fmt.Fprintf(w, "slapfront_request_seconds_sum{endpoint=%q} %g\n", ep, g.latSum[ep])
+		g.lat[ep].WriteProm(w, "slapfront_request_seconds", fmt.Sprintf("endpoint=%q", ep))
+	}
+
+	fmt.Fprintln(w, "# HELP slapfront_stage_seconds Wall time of request stages (top-level trace spans), by stage.")
+	fmt.Fprintln(w, "# TYPE slapfront_stage_seconds histogram")
+	sts := make([]string, 0, len(g.stage))
+	for st := range g.stage {
+		sts = append(sts, st)
+	}
+	sort.Strings(sts)
+	for _, st := range sts {
+		g.stage[st].WriteProm(w, "slapfront_stage_seconds", fmt.Sprintf("stage=%q", st))
 	}
 
 	fmt.Fprintln(w, "# HELP slapfront_jobs_total Strip jobs dispatched to backends, by outcome.")

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"slapcc/internal/bitmap"
+	"slapcc/internal/obs"
 )
 
 // The frame-streaming subsystem: the per-PE parallel engine can only
@@ -117,9 +118,13 @@ func (p *LabelerPool) TryLabelWith(img *bitmap.Bitmap, opt Options) (res *Result
 
 // LabelWithCtx is LabelWith under a request context: the wait for a
 // free worker aborts if ctx is cancelled first, and a strip-mined run
-// polls ctx between strips (see Labeler.LabelCtx).
+// polls ctx between strips (see Labeler.LabelCtx). When ctx carries a
+// trace span, the worker wait is recorded as a "pool" child — the
+// queue-behind-the-pool stage every request pays under load.
 func (p *LabelerPool) LabelWithCtx(ctx context.Context, img *bitmap.Bitmap, opt Options) (*Result, error) {
+	psp := obs.FromContext(ctx).Child("pool")
 	lb, err := p.acquire(ctx)
+	psp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -127,9 +132,11 @@ func (p *LabelerPool) LabelWithCtx(ctx context.Context, img *bitmap.Bitmap, opt 
 }
 
 // AggregateWithCtx is AggregateWith under a request context, with
-// LabelWithCtx's contract.
+// LabelWithCtx's contract (including the "pool" wait span).
 func (p *LabelerPool) AggregateWithCtx(ctx context.Context, img *bitmap.Bitmap, initial []int32, op Monoid, opt Options) (*AggregateResult, error) {
+	psp := obs.FromContext(ctx).Child("pool")
 	lb, err := p.acquire(ctx)
+	psp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

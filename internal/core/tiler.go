@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"slapcc/internal/bitmap"
+	"slapcc/internal/obs"
 	"slapcc/internal/slap"
 	"slapcc/internal/unionfind"
 )
@@ -310,6 +313,17 @@ func globalizeLabels(global *bitmap.LabelMap, labels *bitmap.LabelMap, x0, h int
 	}
 }
 
+// stripTraceSpan opens one strip's trace span when the request context
+// carries one (nil — a no-op span — otherwise), tagged with the strip
+// index so /debug/requests attributes seam-adjacent stragglers.
+func stripTraceSpan(ctx context.Context, s int) *obs.Span {
+	ssp := obs.FromContext(ctx).Child("strip")
+	if ssp != nil {
+		ssp.Annotate("s=" + strconv.Itoa(s))
+	}
+	return ssp
+}
+
 // labelLarge executes the strip-mined labeling run. Callers guarantee
 // 0 < ArrayWidth < img.W().
 func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
@@ -345,8 +359,10 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 					errs[s] = err
 					return
 				}
+				ssp := stripTraceSpan(ctx, s)
 				x0, sw := stripSpan(w, aw, s)
 				res, err := pool.labelImage(img.StripView(x0, sw))
+				ssp.EndErr(err)
 				if err != nil {
 					errs[s] = err
 					return
@@ -372,8 +388,10 @@ func (lb *Labeler) labelLarge(img *bitmap.Bitmap) (*Result, error) {
 			if err := cancelCheck(lb.ctx); err != nil {
 				return nil, err
 			}
+			ssp := stripTraceSpan(lb.ctx, s)
 			x0, sw := stripSpan(w, aw, s)
 			res, err := lb.labelImage(img.StripView(x0, sw))
+			ssp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}
@@ -397,11 +415,15 @@ func (lb *Labeler) composeLabelStrips(img *bitmap.Bitmap, runs []StripRun, opt O
 	}
 
 	if opt.Engine == EngineHost {
+		tsp := obs.FromContext(lb.ctx).Child("stitch")
 		rep, spec := lb.composeHostStrips(img, global, runs, nil, nil, opt)
+		tsp.End()
 		return &Result{Labels: global, UF: rep, Speculation: spec}
 	}
 
+	tsp := obs.FromContext(lb.ctx).Child("stitch")
 	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, nil, nil, aw, opt)
+	tsp.End()
 
 	// Compose the whole-run report under the selected schedule model.
 	comp := slap.Metrics{N: aw}
@@ -456,8 +478,10 @@ func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid
 					errs[s] = err
 					return
 				}
+				ssp := stripTraceSpan(ctx, s)
 				x0, sw := stripSpan(w, aw, s)
 				res, err := pool.aggregateImage(img.StripView(x0, sw), initial[x0*h:(x0+sw)*h], op)
+				ssp.EndErr(err)
 				if err != nil {
 					errs[s] = err
 					return
@@ -479,8 +503,10 @@ func (lb *Labeler) aggregateLarge(img *bitmap.Bitmap, initial []int32, op Monoid
 			if err := cancelCheck(lb.ctx); err != nil {
 				return nil, err
 			}
+			ssp := stripTraceSpan(lb.ctx, s)
 			x0, sw := stripSpan(w, aw, s)
 			res, err := lb.aggregateImage(img.StripView(x0, sw), initial[x0*h:(x0+sw)*h], op)
+			ssp.EndErr(err)
 			if err != nil {
 				return nil, err
 			}
@@ -506,11 +532,15 @@ func (lb *Labeler) composeAggregateStrips(img *bitmap.Bitmap, runs []StripRun, o
 	}
 
 	if opt.Engine == EngineHost {
+		tsp := obs.FromContext(lb.ctx).Child("stitch")
 		rep, _ := lb.composeHostStrips(img, global, runs, out, &op, opt)
+		tsp.End()
 		return &AggregateResult{PerPixel: out, Labels: global, UF: rep}
 	}
 
+	tsp := obs.FromContext(lb.ctx).Child("stitch")
 	seamPhases, seamStats, seamMem := lb.stitchSeams(img, global, out, &op, aw, opt)
+	tsp.End()
 
 	comp := slap.Metrics{N: aw}
 	rep := UFReport{Kind: opt.UF}

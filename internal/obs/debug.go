@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux is the private debug surface the daemons bind behind their
+// -debugaddr flag: the net/http/pprof profile handlers plus the
+// request-trace ring at /debug/requests. It is meant for a separate
+// localhost-only listener — profiles and traces expose internals that
+// must never ride the public serving port.
+func DebugMux(traces http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if traces != nil {
+		mux.Handle("/debug/requests", traces)
+	}
+	return mux
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// DefBuckets are the explicit request/stage latency bounds (seconds)
+// both daemons' histograms use: 1ms to 10s, roughly ×2.5 apart —
+// decode and queue land in the bottom decade, whole-frame labeling in
+// the middle, stragglers and timeouts at the top.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a Prometheus-style cumulative-bucket histogram with
+// explicit bounds. Concurrency-safe via the owning registry's lock —
+// Observe and WriteProm are plain field updates, callers serialize.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // one per bound, plus the +Inf overflow at the end
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram returns a histogram over bounds (ascending);
+// nil selects DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe files one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// WriteProm renders the histogram's series in Prometheus text format:
+// cumulative name_bucket lines (le up to +Inf), then name_sum and
+// name_count. labels is a pre-formatted label list without braces
+// (`endpoint="label"`), or empty.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.total)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.sum, name, labels, h.total)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Ring keeps the traces /debug/requests serves: a FIFO of the most
+// recent, the top-K slowest (stable on ties — the earlier arrival
+// outranks an equally slow later one, so eviction order is
+// deterministic), and a FIFO of the most recent errored traces.
+// Observe is called once per finished request; everything else reads
+// snapshots.
+type Ring struct {
+	mu        sync.Mutex
+	recentCap int
+	slowCap   int
+	errCap    int
+	recent    []*Trace // newest last
+	slowest   []*Trace // duration-descending, stable
+	errored   []*Trace // newest last
+}
+
+// NewRing sizes the three shelves; values ≤ 0 select the defaults
+// (64 recent, 16 slowest, 32 errored).
+func NewRing(recent, slowest, errored int) *Ring {
+	if recent <= 0 {
+		recent = 64
+	}
+	if slowest <= 0 {
+		slowest = 16
+	}
+	if errored <= 0 {
+		errored = 32
+	}
+	return &Ring{recentCap: recent, slowCap: slowest, errCap: errored}
+}
+
+// Observe files a finished trace.
+func (r *Ring) Observe(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	dur := t.Duration()
+	status := t.Status()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent = append(r.recent, t)
+	if len(r.recent) > r.recentCap {
+		r.recent = r.recent[1:]
+	}
+	if status != StatusOK {
+		r.errored = append(r.errored, t)
+		if len(r.errored) > r.errCap {
+			r.errored = r.errored[1:]
+		}
+	}
+	// Insert after every at-least-as-slow entry: stable, deterministic.
+	i := len(r.slowest)
+	for i > 0 && r.slowest[i-1].Duration() < dur {
+		i--
+	}
+	if i < r.slowCap {
+		r.slowest = append(r.slowest, nil)
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = t
+		if len(r.slowest) > r.slowCap {
+			r.slowest = r.slowest[:r.slowCap]
+		}
+	}
+}
+
+// RingSnapshot is the /debug/requests JSON body.
+type RingSnapshot struct {
+	Recent  []TraceSnapshot `json:"recent"`
+	Slowest []TraceSnapshot `json:"slowest"`
+	Errored []TraceSnapshot `json:"errored"`
+}
+
+// Snapshot captures all three shelves, newest first on the FIFOs.
+func (r *Ring) Snapshot() RingSnapshot {
+	r.mu.Lock()
+	recent := append([]*Trace(nil), r.recent...)
+	slowest := append([]*Trace(nil), r.slowest...)
+	errored := append([]*Trace(nil), r.errored...)
+	r.mu.Unlock()
+	snap := RingSnapshot{Recent: []TraceSnapshot{}, Slowest: []TraceSnapshot{}, Errored: []TraceSnapshot{}}
+	for i := len(recent) - 1; i >= 0; i-- {
+		snap.Recent = append(snap.Recent, recent[i].Snapshot())
+	}
+	for _, t := range slowest {
+		snap.Slowest = append(snap.Slowest, t.Snapshot())
+	}
+	for i := len(errored) - 1; i >= 0; i-- {
+		snap.Errored = append(snap.Errored, errored[i].Snapshot())
+	}
+	return snap
+}
+
+// Handler serves the ring as /debug/requests: JSON under
+// ?format=json (or an Accept preferring application/json), a plain
+// HTML page of indented span trees otherwise.
+func (r *Ring) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<!DOCTYPE html><html><head><title>/debug/requests</title></head><body><h1>requests</h1>\n")
+		section := func(title string, traces []TraceSnapshot) {
+			fmt.Fprintf(w, "<h2>%s (%d)</h2>\n<pre>\n", html.EscapeString(title), len(traces))
+			for _, t := range traces {
+				writeTraceHTML(w, t)
+			}
+			fmt.Fprint(w, "</pre>\n")
+		}
+		section("recent", snap.Recent)
+		section("slowest", snap.Slowest)
+		section("errored", snap.Errored)
+		fmt.Fprint(w, "</body></html>\n")
+	})
+}
+
+func writeTraceHTML(w http.ResponseWriter, t TraceSnapshot) {
+	fmt.Fprintf(w, "%s  %s  %.3fms  %s\n",
+		html.EscapeString(t.Start.Format("15:04:05.000")), html.EscapeString(t.ID), t.DurMS,
+		html.EscapeString(t.Root.Status))
+	var walk func(s SpanSnapshot, depth int)
+	walk = func(s SpanSnapshot, depth int) {
+		line := fmt.Sprintf("%s%s  %.3fms", strings.Repeat("  ", depth), s.Name, s.DurMS)
+		if s.Remote {
+			line += "  [remote]"
+		}
+		if s.Status != "" {
+			line += "  [" + s.Status + "]"
+		}
+		if s.Note != "" {
+			line += "  " + s.Note
+		}
+		fmt.Fprintf(w, "%s\n", html.EscapeString(line))
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 1)
+	fmt.Fprint(w, "\n")
+}

@@ -15,6 +15,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,10 +34,15 @@ import (
 	"slapcc/internal/bitmap"
 	"slapcc/internal/core"
 	"slapcc/internal/imageio"
+	"slapcc/internal/obs"
 	"slapcc/internal/seqcc"
 	"slapcc/internal/slap"
 	"slapcc/internal/unionfind"
 )
+
+// PathDebugRequests serves the in-memory trace ring (recent, slowest,
+// errored requests) as JSON or HTML — slapd's x/net/trace analogue.
+const PathDebugRequests = "/debug/requests"
 
 // Config configures a Server; the zero value serves with GOMAXPROCS
 // workers, a queue of 2× that, default image limits, and 64 MiB bodies.
@@ -109,6 +115,7 @@ type Server struct {
 	pool *core.LabelerPool
 	mux  *http.ServeMux
 	reg  *registry
+	ring *obs.Ring
 
 	// Admission: sem holds one token per admitted request; inflight
 	// counts them for the drain and the gauge. mu serializes admission
@@ -135,17 +142,23 @@ func New(cfg Config) *Server {
 		pool:  core.NewLabelerPool(cfg.Options, cfg.Workers),
 		mux:   http.NewServeMux(),
 		reg:   newRegistry(),
+		ring:  obs.NewRing(0, 0, 0),
 		sem:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		limit: float64(cfg.Workers + cfg.QueueDepth),
 	}
 	s.idle.L = &s.mu
-	s.mux.HandleFunc(api.PathLabel, s.instrument("label", s.admitted(s.recovered(s.handleLabel))))
-	s.mux.HandleFunc(api.PathAggregate, s.instrument("aggregate", s.admitted(s.recovered(s.handleAggregate))))
-	s.mux.HandleFunc(api.PathBatch, s.instrument("batch", s.admitted(s.recovered(s.handleBatch))))
+	s.mux.HandleFunc(api.PathLabel, s.instrument("label", s.admitted("label", s.recovered(s.handleLabel))))
+	s.mux.HandleFunc(api.PathAggregate, s.instrument("aggregate", s.admitted("aggregate", s.recovered(s.handleAggregate))))
+	s.mux.HandleFunc(api.PathBatch, s.instrument("batch", s.admitted("batch", s.recovered(s.handleBatch))))
 	s.mux.HandleFunc(api.PathHealthz, s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc(api.PathMetrics, s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle(PathDebugRequests, s.DebugHandler())
 	return s
 }
+
+// DebugHandler serves the trace ring — mounted on the main mux at
+// PathDebugRequests and remountable on a separate -debugaddr listener.
+func (s *Server) DebugHandler() http.Handler { return s.ring.Handler() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -232,12 +245,12 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // admitted wraps a labeling handler with method filtering, request-ID
-// assignment, deadline-budget screening, drain refusal, and the bounded
-// admission queue: when Workers+QueueDepth requests are already in
-// flight — or, under a LatencyTarget, when the AIMD limit is reached —
-// the request is shed immediately with 429 and a Retry-After hint
-// instead of queueing without bound.
-func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+// assignment, the request trace, deadline-budget screening, drain
+// refusal, and the bounded admission queue: when Workers+QueueDepth
+// requests are already in flight — or, under a LatencyTarget, when the
+// AIMD limit is reached — the request is shed immediately with 429 and
+// a Retry-After hint instead of queueing without bound.
+func (s *Server) admitted(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -251,7 +264,27 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			id = api.NewRequestID()
 		}
 		w.Header().Set(api.HeaderRequestID, id)
-		r = r.WithContext(api.ContextWithRequestID(r.Context(), id))
+
+		// The request trace rides the context from here on: core's span
+		// hooks (pool wait, strips, stitch) attach under whatever stage
+		// span the handler has opened. Every exit — shed, refused, failed,
+		// answered — finalizes into the stage histograms and the
+		// /debug/requests ring.
+		tr := obs.New(id, name, s.cfg.Now)
+		ctx := obs.ContextWith(api.ContextWithRequestID(r.Context(), id), tr.Root())
+		r = r.WithContext(ctx)
+		defer func() {
+			if sw, ok := w.(*statusWriter); ok && sw.code >= http.StatusBadRequest {
+				if sw.code == statusClientClosedRequest {
+					tr.Root().Cancel()
+				} else {
+					tr.Root().Fail(fmt.Sprintf("http %d", sw.code))
+				}
+			}
+			tr.Finish()
+			s.reg.observeStages(tr.Stages())
+			s.ring.Observe(tr)
+		}()
 
 		// Deadline budget: a spent budget — or one the current queue
 		// cannot plausibly meet — fails fast with 504 before touching the
@@ -274,7 +307,12 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			r = r.WithContext(ctx)
 		}
 
+		// The admission walk is non-blocking (load is shed, not queued),
+		// so the "queue" span is usually microseconds — it exists so a
+		// trace that *was* delayed at admission says so explicitly.
+		qsp := tr.Root().Child("queue")
 		shed := func() {
+			qsp.End()
 			s.reg.addRejected()
 			secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 			if secs < 1 {
@@ -286,6 +324,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
+			qsp.End()
 			writeError(w, http.StatusServiceUnavailable, "server is draining")
 			return
 		}
@@ -306,6 +345,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		}
 		s.inflight++
 		s.mu.Unlock()
+		qsp.End()
 		start := s.cfg.Now()
 		defer func() {
 			s.observeAdmitted(s.cfg.Now().Sub(start))
@@ -556,7 +596,10 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	sp := obs.FromContext(r.Context())
+	dsp := sp.Child("decode")
 	img, status, err := s.readFrame(w, r, p)
+	dsp.EndErr(err)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
@@ -567,7 +610,7 @@ func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.addFrames(1)
-	writeJSON(w, http.StatusOK, resp)
+	writeTraced(w, http.StatusOK, resp, sp)
 }
 
 // statusClientClosedRequest is nginx's conventional code for "the
@@ -585,6 +628,11 @@ func (s *Server) labelOne(ctx context.Context, img *bitmap.Bitmap, p api.Params)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	// The "label" span covers the whole engine run — pool wait, strips,
+	// and stitch attach under it via the context.
+	rsp := obs.FromContext(ctx).Child("label")
+	annotateEngine(rsp, opt)
+	ctx = obs.ContextWith(ctx, rsp)
 	// A client that didn't ask for labels only needs the summary — let
 	// the engine skip materializing the labeling (the host engine does;
 	// the simulator ignores it). Server-side verification still needs
@@ -592,6 +640,7 @@ func (s *Server) labelOne(ctx context.Context, img *bitmap.Bitmap, p api.Params)
 	opt.SkipLabels = !p.WantLabels && !s.cfg.Verify
 	res, err := s.pool.LabelWithCtx(ctx, img, opt)
 	if err != nil {
+		rsp.EndErr(err)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return nil, http.StatusGatewayTimeout, err
 		}
@@ -606,10 +655,17 @@ func (s *Server) labelOne(ctx context.Context, img *bitmap.Bitmap, p api.Params)
 			conn = bitmap.Conn4
 		}
 		if err := seqcc.CheckConn(img, res.Labels, conn); err != nil {
-			return nil, http.StatusInternalServerError, fmt.Errorf("verification failed: %w", err)
+			err = fmt.Errorf("verification failed: %w", err)
+			rsp.EndErr(err)
+			return nil, http.StatusInternalServerError, err
 		}
 	}
-	return ToLabelResponse(res, p.WantLabels), 0, nil
+	// Materializing the response (summarizing, flattening the label map)
+	// is part of producing the answer — the span closes after it, so the
+	// stage decomposition accounts for the handler's real wall time.
+	out := ToLabelResponse(res, p.WantLabels)
+	rsp.End()
+	return out, 0, nil
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -623,7 +679,10 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	sp := obs.FromContext(r.Context())
+	dsp := sp.Child("decode")
 	img, status, err := s.readFrame(w, r, p)
+	dsp.EndErr(err)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
@@ -638,8 +697,11 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.pool.AggregateWithCtx(r.Context(), img, initial, op, opt)
+	rsp := sp.Child("aggregate")
+	annotateEngine(rsp, opt)
+	res, err := s.pool.AggregateWithCtx(obs.ContextWith(r.Context(), rsp), img, initial, op, opt)
 	if err != nil {
+		rsp.EndErr(err)
 		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
 			writeError(w, http.StatusGatewayTimeout, err.Error())
 			return
@@ -651,8 +713,10 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	resp := ToAggregateResponse(res, op.Name, p.WantLabels)
+	rsp.End()
 	s.reg.addFrames(1)
-	writeJSON(w, http.StatusOK, ToAggregateResponse(res, op.Name, p.WantLabels))
+	writeTraced(w, http.StatusOK, resp, sp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -661,12 +725,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	sp := obs.FromContext(r.Context())
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	mr, err := r.MultipartReader()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch requires multipart/form-data: %v", err))
 		return
 	}
+	dsp := sp.Child("decode")
 
 	// Decode parts synchronously (cheap), then fan the expensive
 	// labeling out across the shared pool: each frame retargets a warm
@@ -684,6 +750,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
+			dsp.EndErr(err)
 			var mbe *http.MaxBytesError
 			if errors.As(err, &mbe) {
 				writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch body exceeds %d bytes", s.cfg.MaxBodyBytes))
@@ -695,6 +762,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		idx := len(items)
 		if idx >= s.cfg.MaxBatchFrames {
 			part.Close()
+			dsp.End()
 			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch exceeds %d frames", s.cfg.MaxBatchFrames))
 			return
 		}
@@ -707,13 +775,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items = append(items, api.BatchItem{Index: idx})
 		frames = append(frames, frame{idx: idx, img: img})
 	}
+	dsp.End()
 
 	var wg sync.WaitGroup
 	for _, f := range frames {
 		wg.Add(1)
 		go func(f frame) {
 			defer wg.Done()
-			resp, _, err := s.labelOne(r.Context(), f.img, p)
+			fsp := sp.Child("frame")
+			if fsp != nil {
+				fsp.Annotate("i=" + strconv.Itoa(f.idx))
+			}
+			resp, _, err := s.labelOne(obs.ContextWith(r.Context(), fsp), f.img, p)
+			fsp.EndErr(err)
 			if err != nil {
 				items[f.idx].Error = err.Error()
 				return
@@ -734,7 +808,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.reg.addFrames(labeled)
-	writeJSON(w, http.StatusOK, out)
+	writeTraced(w, http.StatusOK, out, sp)
 }
 
 // decodePart decodes one multipart frame; the part's Content-Type
@@ -878,6 +952,48 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	enc.Encode(v)
+}
+
+// annotateEngine tags a run span with the engine answering it.
+func annotateEngine(sp *obs.Span, opt core.Options) {
+	if sp == nil {
+		return
+	}
+	if opt.Engine == core.EngineHost {
+		sp.Annotate("engine=host")
+	} else {
+		sp.Annotate("engine=sim")
+	}
+}
+
+// writeTraced is writeJSON for traced success responses: the body is
+// encoded to a buffer under an "encode" span, then the trace's stage
+// breakdown rides ahead of it in a Server-Timing header (headers must
+// precede the body, so the encoder cannot stream straight to the
+// wire). The bytes written are identical to writeJSON's.
+func writeTraced(w http.ResponseWriter, code int, v any, sp *obs.Span) {
+	if sp == nil {
+		writeJSON(w, code, v)
+		return
+	}
+	esp := sp.Child("encode")
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	err := enc.Encode(v)
+	esp.EndErr(err)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if tr := sp.Trace(); tr != nil {
+		if st := tr.ServerTiming(); st != "" {
+			w.Header().Set("Server-Timing", st)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf.Bytes())
 }
 
 // writeError answers an ErrorResponse; the request ID the admission

@@ -512,11 +512,105 @@ slapd_requests_total{endpoint="healthz",code="200"} 1
 slapd_requests_total{endpoint="label",code="200"} 1
 slapd_requests_total{endpoint="label",code="400"} 1
 # HELP slapd_request_seconds Wall time of completed requests, by endpoint.
-# TYPE slapd_request_seconds summary
-slapd_request_seconds_count{endpoint="healthz"} 1
+# TYPE slapd_request_seconds histogram
+slapd_request_seconds_bucket{endpoint="healthz",le="0.001"} 0
+slapd_request_seconds_bucket{endpoint="healthz",le="0.0025"} 0
+slapd_request_seconds_bucket{endpoint="healthz",le="0.005"} 0
+slapd_request_seconds_bucket{endpoint="healthz",le="0.01"} 0
+slapd_request_seconds_bucket{endpoint="healthz",le="0.025"} 0
+slapd_request_seconds_bucket{endpoint="healthz",le="0.05"} 0
+slapd_request_seconds_bucket{endpoint="healthz",le="0.1"} 0
+slapd_request_seconds_bucket{endpoint="healthz",le="0.25"} 1
+slapd_request_seconds_bucket{endpoint="healthz",le="0.5"} 1
+slapd_request_seconds_bucket{endpoint="healthz",le="1"} 1
+slapd_request_seconds_bucket{endpoint="healthz",le="2.5"} 1
+slapd_request_seconds_bucket{endpoint="healthz",le="5"} 1
+slapd_request_seconds_bucket{endpoint="healthz",le="10"} 1
+slapd_request_seconds_bucket{endpoint="healthz",le="+Inf"} 1
 slapd_request_seconds_sum{endpoint="healthz"} 0.25
+slapd_request_seconds_count{endpoint="healthz"} 1
+slapd_request_seconds_bucket{endpoint="label",le="0.001"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.0025"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.005"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.01"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.025"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.05"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.1"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.25"} 0
+slapd_request_seconds_bucket{endpoint="label",le="0.5"} 0
+slapd_request_seconds_bucket{endpoint="label",le="1"} 0
+slapd_request_seconds_bucket{endpoint="label",le="2.5"} 0
+slapd_request_seconds_bucket{endpoint="label",le="5"} 1
+slapd_request_seconds_bucket{endpoint="label",le="10"} 2
+slapd_request_seconds_bucket{endpoint="label",le="+Inf"} 2
+slapd_request_seconds_sum{endpoint="label"} 8.5
 slapd_request_seconds_count{endpoint="label"} 2
-slapd_request_seconds_sum{endpoint="label"} 1.5
+# HELP slapd_stage_seconds Wall time of request stages (top-level trace spans), by stage.
+# TYPE slapd_stage_seconds histogram
+slapd_stage_seconds_bucket{stage="decode",le="0.001"} 0
+slapd_stage_seconds_bucket{stage="decode",le="0.0025"} 0
+slapd_stage_seconds_bucket{stage="decode",le="0.005"} 0
+slapd_stage_seconds_bucket{stage="decode",le="0.01"} 0
+slapd_stage_seconds_bucket{stage="decode",le="0.025"} 0
+slapd_stage_seconds_bucket{stage="decode",le="0.05"} 0
+slapd_stage_seconds_bucket{stage="decode",le="0.1"} 0
+slapd_stage_seconds_bucket{stage="decode",le="0.25"} 2
+slapd_stage_seconds_bucket{stage="decode",le="0.5"} 2
+slapd_stage_seconds_bucket{stage="decode",le="1"} 2
+slapd_stage_seconds_bucket{stage="decode",le="2.5"} 2
+slapd_stage_seconds_bucket{stage="decode",le="5"} 2
+slapd_stage_seconds_bucket{stage="decode",le="10"} 2
+slapd_stage_seconds_bucket{stage="decode",le="+Inf"} 2
+slapd_stage_seconds_sum{stage="decode"} 0.5
+slapd_stage_seconds_count{stage="decode"} 2
+slapd_stage_seconds_bucket{stage="encode",le="0.001"} 0
+slapd_stage_seconds_bucket{stage="encode",le="0.0025"} 0
+slapd_stage_seconds_bucket{stage="encode",le="0.005"} 0
+slapd_stage_seconds_bucket{stage="encode",le="0.01"} 0
+slapd_stage_seconds_bucket{stage="encode",le="0.025"} 0
+slapd_stage_seconds_bucket{stage="encode",le="0.05"} 0
+slapd_stage_seconds_bucket{stage="encode",le="0.1"} 0
+slapd_stage_seconds_bucket{stage="encode",le="0.25"} 1
+slapd_stage_seconds_bucket{stage="encode",le="0.5"} 1
+slapd_stage_seconds_bucket{stage="encode",le="1"} 1
+slapd_stage_seconds_bucket{stage="encode",le="2.5"} 1
+slapd_stage_seconds_bucket{stage="encode",le="5"} 1
+slapd_stage_seconds_bucket{stage="encode",le="10"} 1
+slapd_stage_seconds_bucket{stage="encode",le="+Inf"} 1
+slapd_stage_seconds_sum{stage="encode"} 0.25
+slapd_stage_seconds_count{stage="encode"} 1
+slapd_stage_seconds_bucket{stage="label",le="0.001"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.0025"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.005"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.01"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.025"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.05"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.1"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.25"} 0
+slapd_stage_seconds_bucket{stage="label",le="0.5"} 0
+slapd_stage_seconds_bucket{stage="label",le="1"} 1
+slapd_stage_seconds_bucket{stage="label",le="2.5"} 1
+slapd_stage_seconds_bucket{stage="label",le="5"} 1
+slapd_stage_seconds_bucket{stage="label",le="10"} 1
+slapd_stage_seconds_bucket{stage="label",le="+Inf"} 1
+slapd_stage_seconds_sum{stage="label"} 0.75
+slapd_stage_seconds_count{stage="label"} 1
+slapd_stage_seconds_bucket{stage="queue",le="0.001"} 0
+slapd_stage_seconds_bucket{stage="queue",le="0.0025"} 0
+slapd_stage_seconds_bucket{stage="queue",le="0.005"} 0
+slapd_stage_seconds_bucket{stage="queue",le="0.01"} 0
+slapd_stage_seconds_bucket{stage="queue",le="0.025"} 0
+slapd_stage_seconds_bucket{stage="queue",le="0.05"} 0
+slapd_stage_seconds_bucket{stage="queue",le="0.1"} 0
+slapd_stage_seconds_bucket{stage="queue",le="0.25"} 2
+slapd_stage_seconds_bucket{stage="queue",le="0.5"} 2
+slapd_stage_seconds_bucket{stage="queue",le="1"} 2
+slapd_stage_seconds_bucket{stage="queue",le="2.5"} 2
+slapd_stage_seconds_bucket{stage="queue",le="5"} 2
+slapd_stage_seconds_bucket{stage="queue",le="10"} 2
+slapd_stage_seconds_bucket{stage="queue",le="+Inf"} 2
+slapd_stage_seconds_sum{stage="queue"} 0.5
+slapd_stage_seconds_count{stage="queue"} 2
 # HELP slapd_frames_labeled_total Frames labeled, counting every batch part.
 # TYPE slapd_frames_labeled_total counter
 slapd_frames_labeled_total 1

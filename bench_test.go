@@ -1,8 +1,10 @@
-// Benchmarks: one per reproduction experiment (see DESIGN.md §5 and
-// EXPERIMENTS.md). Each benchmark runs a representative configuration of
-// its experiment and reports the simulated SLAP step counts as custom
+// Benchmarks: one per reproduction experiment (the E1–E13 index lives
+// in internal/harness; docs/METRICS.md defines what the step counts
+// mean). Each benchmark runs a representative configuration of its
+// experiment and reports the simulated SLAP step counts as custom
 // metrics ("simsteps"), so `go test -bench=.` regenerates the headline
-// numbers; the full sweeps behind EXPERIMENTS.md come from cmd/slapbench.
+// numbers; the full sweeps come from cmd/slapbench, and the end-to-end
+// serving numbers from cmd/slapsweet (docs/BENCHMARKING.md).
 package slapcc
 
 import (

@@ -1,6 +1,7 @@
-// Command slapbench runs the reproduction experiment suite (E1–E12, see
-// DESIGN.md §5) and prints the result tables; EXPERIMENTS.md is generated
-// from its output.
+// Command slapbench runs the reproduction experiment suite (E1–E13,
+// indexed in internal/harness) and prints the result tables; the
+// simulated-cost conventions the tables use are defined in
+// docs/METRICS.md, and the system layout in docs/ARCHITECTURE.md.
 //
 // Usage:
 //

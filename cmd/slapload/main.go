@@ -65,6 +65,7 @@ import (
 	"slapcc"
 	"slapcc/api"
 	"slapcc/client"
+	"slapcc/internal/benchfmt"
 	"slapcc/internal/obs"
 )
 
@@ -195,6 +196,8 @@ func run(args []string, out io.Writer) error {
 		clusterT = fs.Bool("cluster", false, "target is a slapfront coordinator: skip the batch phase (no /v1/label/batch there)")
 		overload = fs.Int("overload", 0, "fire this many concurrent no-retry requests to observe 429s (0 = skip)")
 		outPath  = fs.String("out", "", "write the JSON report here as well as stdout")
+		benchOut = fs.String("benchout", "", "also write the run as a typed slap-bench/v1 BENCH file (see internal/benchfmt), keyed under -benchprefix")
+		benchPre = fs.String("benchprefix", "steady", "canonical metric prefix for -benchout (matches slapsweet's scenario names)")
 		timeout  = fs.Duration("timeout", 120*time.Second, "per-request timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -382,6 +385,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "report written to %s\n", *outPath)
+	}
+	if *benchOut != "" {
+		if err := benchFile(rep, *benchPre).Write(*benchOut); err != nil {
+			return fmt.Errorf("writing -benchout: %w", err)
+		}
+		fmt.Fprintf(out, "BENCH file written to %s\n", *benchOut)
 	}
 	if rep.Errors > 0 || rep.Verify.Mismatches > 0 || rep.Batch.Mismatches > 0 || rep.Batch.Errors > 0 ||
 		rep.Aggregate.Errors > 0 || rep.Aggregate.Mismatches > 0 {
@@ -738,4 +747,46 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// benchFile converts the report into the typed slap-bench/v1 artifact,
+// using the same canonical metric names slapsweet's service scenarios
+// emit — so a slapload run against a remote daemon diffs cleanly
+// against the committed trajectory.
+func benchFile(rep *report, prefix string) *benchfmt.File {
+	rt := obs.Runtime()
+	f := &benchfmt.File{
+		Schema: benchfmt.SchemaV1,
+		Title:  "slapload " + rep.Target,
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		Runner: benchfmt.Runner{CPU: rt.CPU, Cores: rt.Cores, GOMAXPROCS: rt.GOMAXPROCS, GoVersion: rt.GoVersion},
+		Protocol: fmt.Sprintf("cmd/slapload: %d frames, %d clients, sizes %v, formats %v, cost=%q",
+			rep.Frames, rep.Concurrency, rep.Sizes, rep.Formats, rep.Cost),
+		Results: []benchfmt.Result{
+			{Name: prefix + "/frames_per_s", Unit: "frames/s", Better: benchfmt.HigherIsBetter, Value: rep.FramesPerS},
+			{Name: prefix + "/wire_mb_per_s", Unit: "MB/s", Better: benchfmt.HigherIsBetter, Value: rep.MBPerS},
+			{Name: prefix + "/pixel_mb_per_s", Unit: "MB/s", Better: benchfmt.HigherIsBetter, Value: rep.PixelMBPerS},
+			{Name: prefix + "/latency_p50_ms", Unit: "ms", Value: rep.LatencyMS.P50},
+			{Name: prefix + "/latency_p95_ms", Unit: "ms", Value: rep.LatencyMS.P95},
+			{Name: prefix + "/latency_p99_ms", Unit: "ms", Value: rep.LatencyMS.P99},
+		},
+	}
+	names := make([]string, 0, len(rep.ServerStages))
+	for name := range rep.ServerStages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f.Results = append(f.Results, benchfmt.Result{
+			Name: prefix + "/stage/" + name + "_p95_ms", Unit: "ms", Value: rep.ServerStages[name].P95,
+		})
+	}
+	if rep.Overload.Requests > 0 {
+		f.Results = append(f.Results,
+			benchfmt.Result{Name: "overload/requests", Unit: "count", Value: float64(rep.Overload.Requests)},
+			benchfmt.Result{Name: "overload/ok", Unit: "count", Value: float64(rep.Overload.OK)},
+			benchfmt.Result{Name: "overload/rejected_429", Unit: "count", Value: float64(rep.Overload.Rejected429)},
+		)
+	}
+	return f
 }

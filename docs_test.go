@@ -53,3 +53,49 @@ func TestDocsLinks(t *testing.T) {
 		}
 	}
 }
+
+// TestGoCommentDocRefs sweeps every Go file's comments for repo-relative
+// markdown references (docs/METRICS.md, README.md, …) and fails on any
+// that point at files the repository does not contain. Doc files move
+// and get renamed; comments citing them rot silently — this is the gate
+// that caught comments citing long-deleted design docs.
+func TestGoCommentDocRefs(t *testing.T) {
+	// A markdown filename as it appears in prose: an optional directory
+	// prefix plus a markdown basename. Bare names resolve against the
+	// repo root — the convention comments here use ("see docs/METRICS.md").
+	mdRef := regexp.MustCompile(`[A-Za-z0-9_./-]*[A-Za-z0-9_-]\.md\b`)
+	comment := regexp.MustCompile(`(?m)^\s*//.*$|/\*(?s:.*?)\*/`)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		for _, c := range comment.FindAllString(string(raw), -1) {
+			for _, ref := range mdRef.FindAllString(c, -1) {
+				// Skip obvious non-paths: glob/example placeholders.
+				if strings.ContainsAny(ref, "*<>") {
+					continue
+				}
+				if _, serr := os.Stat(filepath.FromSlash(ref)); serr != nil {
+					t.Errorf("%s: comment cites %q, which does not exist in the repo", path, ref)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func validFile() *File {
+	return &File{
+		Schema: SchemaV1, PR: 10,
+		Runner: Runner{Cores: 1, GOMAXPROCS: 4},
+		Results: []Result{
+			{Name: "steady/frames_per_s", Unit: "frames/s", Better: HigherIsBetter, Value: 90},
+			{Name: "steady/latency_p99_ms", Unit: "ms", Better: Informational, Value: 170},
+			{Name: "core/engine-par/gmp4/mb_per_s", Unit: "MB/s", Better: HigherIsBetter,
+				Value: 8, Samples: []float64{7.9, 8.0, 8.1}},
+		},
+	}
+}
+
+func TestValidateAcceptsCanonicalFile(t *testing.T) {
+	if err := validFile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*File)
+		want string
+	}{
+		{"unknown schema", func(f *File) { f.Schema = "v0" }, "unknown schema"},
+		{"no results", func(f *File) { f.Results = nil }, "no results"},
+		{"bad name", func(f *File) { f.Results[0].Name = "Steady FPS" }, "bad name"},
+		{"duplicate name", func(f *File) { f.Results[1].Name = f.Results[0].Name }, "duplicate"},
+		{"empty unit", func(f *File) { f.Results[0].Unit = "" }, "bad unit"},
+		{"spaced unit", func(f *File) { f.Results[0].Unit = "frames / s" }, "bad unit"},
+		{"bad direction", func(f *File) { f.Results[0].Better = "sideways" }, "bad direction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFile()
+			tc.mut(f)
+			err := f.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// goBenchLine is the shape the Go benchmark parser (and benchstat)
+// accepts: name starting with Benchmark, an iteration count, then
+// value-unit pairs.
+var goBenchLine = regexp.MustCompile(`^BenchmarkSweet/[^ \t]+ \t +1 \t +[0-9.e+-]+ [^ \t]+$`)
+
+func TestWriteGoBenchFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteGoBench(&sb, validFile()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// 2 point results + 3 samples of the sampled result.
+	if len(lines) != 5 {
+		t.Fatalf("want 5 benchmark lines, got %d:\n%s", len(lines), sb.String())
+	}
+	for _, line := range lines {
+		if !goBenchLine.MatchString(line) {
+			t.Errorf("line not in Go benchmark format: %q", line)
+		}
+	}
+	if !strings.Contains(sb.String(), "BenchmarkSweet/steady/frames_per_s") {
+		t.Errorf("missing canonical benchmark name:\n%s", sb.String())
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	f := validFile()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PR != f.PR || len(got.Results) != len(f.Results) {
+		t.Fatalf("round trip changed the file: %+v", got)
+	}
+	r := got.Find("core/engine-par/gmp4/mb_per_s")
+	if r == nil || len(r.Samples) != 3 || r.Better != HigherIsBetter {
+		t.Fatalf("round trip lost the sampled result: %+v", r)
+	}
+}

@@ -1,0 +1,38 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteGoBench renders the file's results as Go benchmark output, one
+// line per metric, so benchstat and the rest of the x/perf toolbox can
+// consume a slapsweet run directly:
+//
+//	BenchmarkSweet/steady/frames_per_s 	       1 	     86.80 frames/s
+//
+// The iteration count is the sample count (1 for point measurements).
+// Units with a '/' are legal in benchmark output ("frames/s", "MB/s");
+// metric names have their unit suffix left in place because benchstat
+// groups by (name, unit) anyway. Results with samples emit one line per
+// sample — benchstat needs the raw distribution, not a pre-averaged
+// value, to run its own significance tests.
+func WriteGoBench(w io.Writer, f *File) error {
+	for i := range f.Results {
+		r := &f.Results[i]
+		name := "BenchmarkSweet/" + strings.ReplaceAll(r.Name, " ", "_")
+		if len(r.Samples) > 1 {
+			for _, s := range r.Samples {
+				if _, err := fmt.Fprintf(w, "%s \t       1 \t %12.4g %s\n", name, s, r.Unit); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s \t       1 \t %12.4g %s\n", name, r.Value, r.Unit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The committed trajectory files predate the typed schema: each PR
+// hand-rolled its own JSON shape. These adapters map the three legacy
+// shapes onto canonical Result names so `slapsweet -diff` can compare a
+// fresh run against any point of the trajectory. The canonical names
+// must match what internal/sweet's scenarios emit — that contract is
+// pinned by the golden-parse tests in legacy_test.go.
+//
+// Legacy files carry point values, not sample sets, so diffs against
+// them fall back to the threshold heuristic rather than the
+// significance test (see diff.go).
+
+// parseLegacy routes a schema-less BENCH file to the adapter matching
+// its shape.
+func parseLegacy(raw []byte) (*File, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, err
+	}
+	switch {
+	case probe["benchmarks"] != nil:
+		return parsePR2(raw)
+	case probe["service"] != nil && probe["overcapacity"] != nil:
+		return parsePR4(raw)
+	case probe["slapd"] != nil:
+		return parsePR8(raw)
+	}
+	return nil, fmt.Errorf("benchfmt: unrecognized legacy BENCH shape (keys %v)", keysOf(probe))
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parsePR2 adapts BENCH_pr2.json: core microbenchmarks keyed by Go
+// benchmark name, point values in MB/s.
+func parsePR2(raw []byte) (*File, error) {
+	var doc struct {
+		PR     int    `json:"pr"`
+		Title  string `json:"title"`
+		Date   string `json:"date"`
+		Runner struct {
+			CPU        string `json:"cpu"`
+			Cores      int    `json:"cores"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			Go         string `json:"go"`
+		} `json:"runner"`
+		Protocol   string `json:"protocol"`
+		Benchmarks map[string]struct {
+			PR2MBs    float64 `json:"pr2_mb_s"`
+			Allocs    float64 `json:"pr2_allocs_per_call"`
+			SteadyAll float64 `json:"steady_state_allocs_per_frame"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	f := &File{
+		Schema: SchemaV1, PR: doc.PR, Title: doc.Title, Date: doc.Date,
+		Protocol: doc.Protocol,
+		Runner: Runner{
+			CPU: doc.Runner.CPU, Cores: doc.Runner.Cores,
+			GOMAXPROCS: doc.Runner.GOMAXPROCS, GoVersion: doc.Runner.Go,
+		},
+	}
+	add := func(name, unit string, better Direction, v float64) {
+		if v != 0 {
+			f.Results = append(f.Results, Result{Name: name, Unit: unit, Better: better, Value: v})
+		}
+	}
+	for bench, row := range doc.Benchmarks {
+		switch bench {
+		case "BenchmarkSimulatorThroughput/seq":
+			add("core/engine-seq/mb_per_s", "MB/s", HigherIsBetter, row.PR2MBs)
+			add("core/engine-seq/allocs_per_call", "allocs", Informational, row.Allocs)
+		case "BenchmarkSimulatorThroughput/par":
+			// The 1-core runner's parallel mode delegated to the
+			// sequential executor: that row is the GOMAXPROCS=1 point of
+			// the parallel-engine curve.
+			add("core/engine-par/gmp1/mb_per_s", "MB/s", HigherIsBetter, row.PR2MBs)
+		case "BenchmarkLabelerReuse/reused":
+			add("core/reuse/mb_per_s", "MB/s", HigherIsBetter, row.PR2MBs)
+			add("core/reuse/allocs_per_frame", "allocs", Informational, row.SteadyAll)
+		case "BenchmarkLabelStream/single":
+			add("core/stream/w1/mb_per_s", "MB/s", HigherIsBetter, row.PR2MBs)
+			// BenchmarkLabelStream/gomaxprocs is skipped: at GOMAXPROCS=1
+			// it coincided with /single by design, so it carries no
+			// information the w1 row doesn't.
+		}
+	}
+	f.Sort()
+	return f, f.Validate()
+}
+
+// legacyService is the slapload report shape shared by the pr4 rows.
+type legacyService struct {
+	FramesPerS  float64 `json:"frames_per_s"`
+	MBPerS      float64 `json:"mb_per_s"`
+	PixelMBPerS float64 `json:"pixel_mb_per_s"`
+	LatencyMS   struct {
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+	} `json:"latency_ms"`
+	Overload struct {
+		Requests    float64 `json:"requests"`
+		Rejected429 float64 `json:"rejected_429"`
+	} `json:"overload"`
+}
+
+// parsePR4 adapts BENCH_pr4.json: slapd service throughput measured
+// with slapload, verification enabled (response checks ran inside the
+// timed loop, so its frames/s is conservative against a verify-off
+// run — fine for a higher-is-better gate).
+func parsePR4(raw []byte) (*File, error) {
+	var doc struct {
+		PR           int           `json:"pr"`
+		Host         string        `json:"host"`
+		What         string        `json:"what"`
+		Service      legacyService `json:"service"`
+		Overcapacity legacyService `json:"overcapacity"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	f := &File{
+		Schema: SchemaV1, PR: doc.PR, Title: doc.What, Protocol: doc.What,
+		Runner: Runner{CPU: doc.Host, Cores: 1, GOMAXPROCS: 1},
+	}
+	f.Results = append(f.Results, serviceResults("steady", &doc.Service)...)
+	if doc.Overcapacity.Overload.Requests > 0 {
+		f.Results = append(f.Results, Result{
+			Name: "overload/rejected_429", Unit: "requests", Better: Informational,
+			Value: doc.Overcapacity.Overload.Rejected429,
+		})
+	}
+	f.Sort()
+	return f, f.Validate()
+}
+
+// serviceResults maps a slapload-style report into canonical results
+// under the given scenario prefix. Latencies are informational: on
+// shared runners they are too noisy to gate, and in a closed loop the
+// gated throughput already reflects them.
+func serviceResults(prefix string, s *legacyService) []Result {
+	out := []Result{
+		{Name: prefix + "/frames_per_s", Unit: "frames/s", Better: HigherIsBetter, Value: s.FramesPerS},
+	}
+	add := func(name, unit string, better Direction, v float64) {
+		if v != 0 {
+			out = append(out, Result{Name: prefix + "/" + name, Unit: unit, Better: better, Value: v})
+		}
+	}
+	add("wire_mb_per_s", "MB/s", HigherIsBetter, s.MBPerS)
+	add("pixel_mb_per_s", "Mpix/s", HigherIsBetter, s.PixelMBPerS)
+	add("latency_p50_ms", "ms", Informational, s.LatencyMS.P50)
+	add("latency_p95_ms", "ms", Informational, s.LatencyMS.P95)
+	add("latency_p99_ms", "ms", Informational, s.LatencyMS.P99)
+	return out
+}
+
+// parsePR8 adapts BENCH_pr8.json: the host-vs-bitserial engine
+// comparison through slapd plus the per-engine core microbenchmark.
+func parsePR8(raw []byte) (*File, error) {
+	var doc struct {
+		Benchmark   string `json:"benchmark"`
+		Date        string `json:"date"`
+		Environment struct {
+			CPU string `json:"cpu"`
+			Go  string `json:"go"`
+		} `json:"environment"`
+		Method string `json:"method"`
+		Slapd  struct {
+			Host      legacyService `json:"host"`
+			Bitserial legacyService `json:"bitserial"`
+			Ratio     float64       `json:"pixel_throughput_ratio"`
+		} `json:"slapd"`
+		Core struct {
+			SimUnit      float64 `json:"sim_unit_mb_per_s"`
+			SimBitserial float64 `json:"sim_bitserial_mb_per_s"`
+			Host         float64 `json:"host_mb_per_s"`
+		} `json:"core_microbench"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	f := &File{
+		// The pr8 file predates the "pr" field; the shape is unique to
+		// that PR, so the adapter pins it.
+		Schema: SchemaV1, PR: 8, Title: doc.Benchmark, Date: doc.Date, Protocol: doc.Method,
+		Runner: Runner{CPU: doc.Environment.CPU, Cores: 1, GOMAXPROCS: 1, GoVersion: doc.Environment.Go},
+	}
+	f.Results = append(f.Results, serviceResults("cost-host", &doc.Slapd.Host)...)
+	f.Results = append(f.Results, serviceResults("cost-bitserial", &doc.Slapd.Bitserial)...)
+	add := func(name, unit string, better Direction, v float64) {
+		if v != 0 {
+			f.Results = append(f.Results, Result{Name: name, Unit: unit, Better: better, Value: v})
+		}
+	}
+	add("engine/host_over_bitserial", "x", HigherIsBetter, doc.Slapd.Ratio)
+	add("core/engine-seq/mb_per_s", "MB/s", HigherIsBetter, doc.Core.SimUnit)
+	add("core/engine-bitserial/mb_per_s", "MB/s", HigherIsBetter, doc.Core.SimBitserial)
+	add("core/engine-host/mb_per_s", "MB/s", HigherIsBetter, doc.Core.Host)
+	f.Sort()
+	return f, f.Validate()
+}
+
+// LoadTrajectory loads every BENCH_pr*.json in dir (legacy or typed)
+// ordered by PR number — the committed measurement trajectory.
+func LoadTrajectory(dir string) ([]*File, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_pr*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var files []*File
+	for _, p := range paths {
+		// Derived artifacts like BENCH_pr4_service.json ride CI, not the
+		// trajectory; trajectory files are exactly BENCH_pr<digits>.json.
+		base := strings.TrimSuffix(filepath.Base(p), ".json")
+		num := strings.TrimPrefix(base, "BENCH_pr")
+		if num == "" || strings.IndexFunc(num, func(r rune) bool { return r < '0' || r > '9' }) >= 0 {
+			continue
+		}
+		f, err := Load(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("benchfmt: no BENCH_pr*.json files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].PR < files[j].PR })
+	return files, nil
+}

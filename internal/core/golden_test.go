@@ -9,9 +9,9 @@ import (
 // The golden step counts pin the simulator's cost accounting: any change
 // to what the machine charges (link occupancy, dequeue polls, union–find
 // step metering, phase structure) shows up here as an exact diff. The
-// values themselves are not meaningful beyond "the accounting is what it
-// was when EXPERIMENTS.md was generated" — update them deliberately, and
-// regenerate EXPERIMENTS.md, when the cost model changes on purpose.
+// values themselves are not meaningful beyond "the accounting is what
+// docs/METRICS.md describes" — update them deliberately, and re-derive
+// the experiment tables, when the cost model changes on purpose.
 func TestGoldenStepCounts(t *testing.T) {
 	cases := []struct {
 		name string
@@ -32,7 +32,7 @@ func TestGoldenStepCounts(t *testing.T) {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
 		if res.Metrics.Time != tc.want {
-			t.Errorf("%s: simulated time changed: got %d, golden %d — if intentional, update golden_test.go and regenerate EXPERIMENTS.md",
+			t.Errorf("%s: simulated time changed: got %d, golden %d — if intentional, update golden_test.go and re-run cmd/slapbench",
 				tc.name, res.Metrics.Time, tc.want)
 		}
 	}

@@ -64,7 +64,7 @@ func TestPhaseNameInventory(t *testing.T) {
 	collect(aggM(Options{ArrayWidth: 8}))
 
 	// Sanity: the sweep above must reach every known phase family —
-	// if a phase is ever renamed, this list and METRICS.md move together.
+	// if a phase is ever renamed, this list and docs/METRICS.md move together.
 	for _, must := range []string{
 		"input", "left:unionfind", "right:assign", "merge",
 		"agg:local", "left:agg", "right:agg", "agg:combine",

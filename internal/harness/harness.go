@@ -1,10 +1,10 @@
 // Package harness defines the reproduction experiments E1–E13: one per
-// figure or quantitative claim of the paper (see DESIGN.md §5 for the
-// index), plus the strip-mining composition sweeps E12–E13. Each
-// experiment sweeps image families over a range of sizes on the
-// simulated SLAP and renders tables whose *shape* — growth exponents,
-// ratios, who wins — is what the reproduction checks; EXPERIMENTS.md
-// records paper-claim versus measured for each.
+// figure or quantitative claim of the paper (each Experiment's Claim
+// field carries the paper reference), plus the strip-mining composition
+// sweeps E12–E13. Each experiment sweeps image families over a range of
+// sizes on the simulated SLAP and renders tables whose *shape* — growth
+// exponents, ratios, who wins — is what the reproduction checks; the
+// cost conventions behind every number are defined in docs/METRICS.md.
 package harness
 
 import (
@@ -21,7 +21,7 @@ type Config struct {
 	Seed uint64
 }
 
-// DefaultConfig sweeps the sizes used in EXPERIMENTS.md.
+// DefaultConfig sweeps the sizes the experiment tables are quoted at.
 func DefaultConfig() Config {
 	return Config{Sizes: []int{32, 64, 128, 256, 512}, Seed: 1}
 }

@@ -17,6 +17,7 @@ func DebugMux(traces http.Handler) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/runtime", RuntimeHandler())
 	if traces != nil {
 		mux.Handle("/debug/requests", traces)
 	}

@@ -58,6 +58,15 @@ func DefaultLinkTuning() (batch, depth int) {
 			depth = 32
 		}
 	}
+	if p > runtime.NumCPU() {
+		// Oversubscribed: more procs than cores means PEs time-share,
+		// so a producer's batch can sit unconsumed for a full scheduler
+		// slice before its consumer runs again. Smaller batches bound
+		// that handoff latency. Measured in the PR 10 linktune sweep
+		// (BENCH_pr10.json, core/linktune/*): batch 64 beat 256 by ~25%
+		// at GOMAXPROCS 4 on a 1-core host, consistently across samples.
+		batch = 64
+	}
 	return batch, depth
 }
 

@@ -168,3 +168,54 @@ func TestSummarizeBoundsQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.95, 4}, {-1, 1}, {2, 5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 5 {
+		t.Errorf("Percentile sorted its input in place: %v", xs)
+	}
+}
+
+// TestMannWhitneyU pins the test's behavior on the regimes the
+// benchmark diff cares about: separated distributions are significant,
+// identical ones are not, and undersized or constant samples can never
+// reach significance.
+func TestMannWhitneyU(t *testing.T) {
+	a := []float64{10.1, 10.0, 9.9, 10.2, 9.8, 10.0, 10.1, 9.9}
+	b := []float64{6.0, 6.1, 5.9, 6.2, 5.8, 6.0, 6.1, 5.9}
+	if p := MannWhitneyU(a, b); p >= 0.01 {
+		t.Errorf("clearly separated samples: p = %v, want < 0.01", p)
+	}
+	if p := MannWhitneyU(a, a); p < 0.9 {
+		t.Errorf("identical samples: p = %v, want ~1", p)
+	}
+	if p := MannWhitneyU(a[:2], b); p != 1 {
+		t.Errorf("undersized sample: p = %v, want 1", p)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if p := MannWhitneyU(flat, flat); p != 1 {
+		t.Errorf("all-constant samples: p = %v, want 1", p)
+	}
+	// Symmetry: swapping the groups must not change the two-sided p.
+	if p1, p2 := MannWhitneyU(a, b), MannWhitneyU(b, a); math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("asymmetric p-values: %v vs %v", p1, p2)
+	}
+	// Interleaved-but-offset distributions: significant but mild.
+	c := []float64{9.7, 9.9, 10.1, 9.8, 10.0, 10.2, 9.9, 10.1}
+	d := []float64{9.9, 10.1, 10.3, 10.0, 10.2, 10.4, 10.1, 10.3}
+	if p := MannWhitneyU(c, d); p >= 0.05 {
+		t.Errorf("offset overlapping samples: p = %v, want < 0.05", p)
+	}
+}

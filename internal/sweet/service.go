@@ -1,0 +1,539 @@
+package sweet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	slapcc "slapcc"
+	"slapcc/api"
+	"slapcc/client"
+	"slapcc/internal/benchfmt"
+	"slapcc/internal/obs"
+	"slapcc/internal/server"
+	"slapcc/internal/stats"
+)
+
+// daemon is an in-process slapd: the real server.Server behind a real
+// TCP listener, plus the same localhost debug listener -debugaddr
+// binds, so the harness profiles it exactly the way an operator would.
+type daemon struct {
+	srv      *server.Server
+	main     *http.Server
+	debug    *http.Server
+	URL      string
+	DebugURL string
+}
+
+// bootSlapd starts a daemon on ephemeral ports and waits for /healthz.
+func bootSlapd(cfg server.Config) (*daemon, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	d := &daemon{
+		srv:      srv,
+		main:     &http.Server{Handler: srv},
+		debug:    &http.Server{Handler: obs.DebugMux(srv.DebugHandler())},
+		URL:      "http://" + ln.Addr().String(),
+		DebugURL: "http://" + dln.Addr().String(),
+	}
+	go d.main.Serve(ln)
+	go d.debug.Serve(dln)
+	c := client.New(d.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for {
+		if err := c.Healthz(ctx); err == nil {
+			return d, nil
+		}
+		select {
+		case <-ctx.Done():
+			d.Close()
+			return nil, fmt.Errorf("slapd did not become healthy: %w", ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (d *daemon) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	d.main.Shutdown(ctx)
+	d.debug.Close()
+	return err
+}
+
+// frameSpec is one encoded request in a scenario corpus.
+type frameSpec struct {
+	data   []byte
+	ctype  string
+	params api.Params
+	pixels int64
+}
+
+// corpus encodes perSize frames for every size x format combination.
+func corpus(cfg Config, sizes []int, formats []string, perSize int, params api.Params) ([]frameSpec, error) {
+	var specs []frameSpec
+	seed := cfg.Seed
+	for _, n := range sizes {
+		for _, format := range formats {
+			for k := 0; k < perSize; k++ {
+				seed++
+				img := slapcc.RandomImage(n, 0.5, seed)
+				data, ctype, err := client.EncodeImage(img, format)
+				if err != nil {
+					return nil, fmt.Errorf("encode %dpx %s: %w", n, format, err)
+				}
+				p := params
+				p.Format = format
+				specs = append(specs, frameSpec{data: data, ctype: ctype, params: p, pixels: int64(n) * int64(n)})
+			}
+		}
+	}
+	return specs, nil
+}
+
+// loopCfg shapes one closed-loop drive of a daemon.
+type loopCfg struct {
+	prefix  string // canonical metric prefix, e.g. "steady"
+	frames  int
+	conc    int
+	retries int // client retry budget for 429s
+}
+
+// loopOut is what the closed loop hands back for metric assembly.
+type loopOut struct {
+	frames     int
+	elapsed    time.Duration
+	bytesSent  int64
+	pixels     int64
+	retried429 int64
+	lats       []time.Duration
+	stageLats  map[string][]time.Duration
+	gc         obs.GCSnapshot
+}
+
+// counting429 counts 429 responses at the transport so retried shed
+// requests are visible even when the client absorbs them.
+type counting429 struct {
+	rt http.RoundTripper
+	n  atomic.Int64
+}
+
+func (c *counting429) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.rt.RoundTrip(req)
+	if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+		c.n.Add(1)
+	}
+	return resp, err
+}
+
+// drive runs the slapload-style closed loop: conc workers pulling
+// frames off a shared counter, each request traced so the server's
+// Server-Timing stage breakdown lands in stageLats. Any request error
+// (after retries) fails the scenario — a benchmark that errors is not a
+// measurement.
+func drive(d *daemon, specs []frameSpec, lc loopCfg) (*loopOut, error) {
+	counter := &counting429{rt: http.DefaultTransport.(*http.Transport).Clone()}
+	hc := &http.Client{Transport: counter, Timeout: 60 * time.Second}
+	opts := []client.Option{client.WithHTTPClient(hc), client.WithMaxRetryWait(time.Second)}
+	opts = append(opts, client.WithMaxRetries(lc.retries))
+	c := client.New(d.URL, opts...)
+	ctx := context.Background()
+
+	// Warmup, uncounted: connection pool and server arenas.
+	for i := 0; i < min(lc.conc, len(specs)); i++ {
+		if _, err := c.LabelData(ctx, specs[i].data, specs[i].ctype, specs[i].params); err != nil {
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	var (
+		next      atomic.Int64
+		bytesSent atomic.Int64
+		pixels    atomic.Int64
+		firstErr  atomic.Value
+		mu        sync.Mutex
+		lats      []time.Duration
+		stageLats = map[string][]time.Duration{}
+		wg        sync.WaitGroup
+	)
+	gc0 := obs.ReadGC()
+	start := time.Now()
+	for g := 0; g < lc.conc; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, lc.frames/lc.conc+1)
+			localStages := map[string][]time.Duration{}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= lc.frames {
+					break
+				}
+				sp := &specs[i%len(specs)]
+				tr := obs.New("", lc.prefix, nil)
+				t0 := time.Now()
+				_, err := c.LabelData(obs.ContextWith(ctx, tr.Root()), sp.data, sp.ctype, sp.params)
+				dur := time.Since(t0)
+				tr.Finish()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				for _, st := range tr.Stages() {
+					localStages[st.Name] = append(localStages[st.Name], st.Dur)
+				}
+				local = append(local, dur)
+				bytesSent.Add(int64(len(sp.data)))
+				pixels.Add(sp.pixels)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			for name, ds := range localStages {
+				stageLats[name] = append(stageLats[name], ds...)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, fmt.Errorf("request failed mid-loop: %w", err)
+	}
+	return &loopOut{
+		frames:     len(lats),
+		elapsed:    elapsed,
+		bytesSent:  bytesSent.Load(),
+		pixels:     pixels.Load(),
+		retried429: counter.n.Load(),
+		lats:       lats,
+		stageLats:  stageLats,
+		gc:         obs.ReadGC().Delta(gc0),
+	}, nil
+}
+
+// latMs converts durations to sorted milliseconds for percentiles.
+func latMs(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / 1e6
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// results turns a loop run into the canonical metric set for prefix:
+// gated throughputs, informational latency/stage percentiles, and the
+// GC the loop induced. The names match the legacy adapters in
+// internal/benchfmt so diffs join across the whole trajectory.
+func (o *loopOut) results(prefix string) []benchfmt.Result {
+	secs := o.elapsed.Seconds()
+	ms := latMs(o.lats)
+	res := []benchfmt.Result{
+		{Name: prefix + "/frames_per_s", Unit: "frames/s", Better: benchfmt.HigherIsBetter,
+			Value: float64(o.frames) / secs},
+		{Name: prefix + "/wire_mb_per_s", Unit: "MB/s", Better: benchfmt.HigherIsBetter,
+			Value: float64(o.bytesSent) / 1e6 / secs},
+		{Name: prefix + "/pixel_mb_per_s", Unit: "MB/s", Better: benchfmt.HigherIsBetter,
+			Value: float64(o.pixels) / 1e6 / secs},
+		{Name: prefix + "/latency_p50_ms", Unit: "ms", Value: stats.Percentile(ms, 0.50)},
+		{Name: prefix + "/latency_p95_ms", Unit: "ms", Value: stats.Percentile(ms, 0.95)},
+		{Name: prefix + "/latency_p99_ms", Unit: "ms", Value: stats.Percentile(ms, 0.99)},
+		{Name: prefix + "/gc_collections", Unit: "count", Value: float64(o.gc.NumGC)},
+		{Name: prefix + "/gc_pause_ms", Unit: "ms", Value: float64(o.gc.PauseTotal) / 1e6},
+	}
+	if o.retried429 > 0 {
+		res = append(res, benchfmt.Result{
+			Name: prefix + "/retried_429", Unit: "count", Value: float64(o.retried429)})
+	}
+	// Per-stage server-side percentiles from the grafted Server-Timing
+	// breakdowns (PR 9's tracing): where the p95 actually goes.
+	stages := make([]string, 0, len(o.stageLats))
+	for name := range o.stageLats {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	for _, name := range stages {
+		sms := latMs(o.stageLats[name])
+		res = append(res, benchfmt.Result{
+			Name: prefix + "/stage/" + name + "_p95_ms", Unit: "ms",
+			Value: stats.Percentile(sms, 0.95),
+		})
+	}
+	return res
+}
+
+// profiled wraps a loop with CPU + heap profile capture from the debug
+// listener when cfg.ProfileDir is set — the pprof fetch runs while the
+// loop does, like `go tool pprof http://...` against a live daemon.
+func profiled(cfg Config, d *daemon, name string, run func() (*loopOut, error)) (*loopOut, error) {
+	if cfg.ProfileDir == "" {
+		return run()
+	}
+	if err := os.MkdirAll(cfg.ProfileDir, 0o755); err != nil {
+		return nil, err
+	}
+	secs := cfg.scale(5, 1)
+	profErr := make(chan error, 1)
+	profBody := make(chan []byte, 1)
+	go func() {
+		body, err := fetchBytes(fmt.Sprintf("%s/debug/pprof/profile?seconds=%d", d.DebugURL, secs))
+		profBody <- body
+		profErr <- err
+	}()
+	out, err := run()
+	if err != nil {
+		<-profErr // don't leak the fetch
+		return nil, err
+	}
+	body := <-profBody
+	if perr := <-profErr; perr != nil {
+		return nil, fmt.Errorf("cpu profile capture: %w", perr)
+	}
+	if werr := os.WriteFile(filepath.Join(cfg.ProfileDir, name+".cpu.pb.gz"), body, 0o644); werr != nil {
+		return nil, werr
+	}
+	heap, herr := fetchBytes(d.DebugURL + "/debug/pprof/heap")
+	if herr != nil {
+		return nil, fmt.Errorf("heap profile capture: %w", herr)
+	}
+	if werr := os.WriteFile(filepath.Join(cfg.ProfileDir, name+".heap.pb.gz"), heap, 0o644); werr != nil {
+		return nil, werr
+	}
+	return out, nil
+}
+
+func fetchBytes(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// serviceLoop is the shared boot → corpus → profiled drive → results
+// shape behind the simple service scenarios.
+func serviceLoop(cfg Config, scfg server.Config, sizes []int, formats []string, params api.Params, lc loopCfg) ([]benchfmt.Result, error) {
+	d, err := bootSlapd(scfg)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	specs, err := corpus(cfg, sizes, formats, 2, params)
+	if err != nil {
+		return nil, err
+	}
+	out, err := profiled(cfg, d, lc.prefix, func() (*loopOut, error) { return drive(d, specs, lc) })
+	if err != nil {
+		return nil, err
+	}
+	return out.results(lc.prefix), nil
+}
+
+// runSteady: the PR 4 steady-state shape — mixed frame sizes, raw+png,
+// moderate concurrency against default workers.
+func runSteady(cfg Config) ([]benchfmt.Result, error) {
+	sizes := []int{64, 128, 256}
+	if cfg.Short {
+		sizes = []int{32, 64}
+	}
+	return serviceLoop(cfg, server.Config{},
+		sizes, []string{"raw", "png"}, api.Params{},
+		loopCfg{prefix: "steady", frames: cfg.scale(600, 40), conc: cfg.scale(4, 2), retries: 8})
+}
+
+// runBurst: concurrency far above the worker pool with a short queue;
+// the client's retries absorb the shed 429s, measuring goodput under
+// pressure.
+func runBurst(cfg Config) ([]benchfmt.Result, error) {
+	return serviceLoop(cfg,
+		server.Config{Workers: 2, QueueDepth: 4},
+		[]int{cfg.scale(128, 64)}, []string{"raw"}, api.Params{},
+		loopCfg{prefix: "burst", frames: cfg.scale(300, 24), conc: 8, retries: 16})
+}
+
+// runStrip: strip-mined frames (array narrower than the image) through
+// the service, the Section 4 composition path end to end.
+func runStrip(cfg Config) ([]benchfmt.Result, error) {
+	n, aw := 512, 128
+	if cfg.Short {
+		n, aw = 96, 32
+	}
+	return serviceLoop(cfg, server.Config{},
+		[]int{n}, []string{"raw"}, api.Params{ArrayWidth: aw},
+		loopCfg{prefix: "strip", frames: cfg.scale(60, 8), conc: 2, retries: 8})
+}
+
+// runOverload: the PR 4 overload shape — no retries, workers=1 queue=1,
+// a burst bigger than capacity; the interesting numbers are how much
+// was shed (429) versus served, all informational.
+func runOverload(cfg Config) ([]benchfmt.Result, error) {
+	d, err := bootSlapd(server.Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	// Frames big enough that one label outlasts the scheduler's
+	// preemption slice: on a 1-core host that is what lets the rest of
+	// the in-process burst arrive while a label is mid-flight, so the
+	// admission bound is actually exercised.
+	specs, err := corpus(cfg, []int{cfg.scale(512, 256)}, []string{"raw"}, 2, api.Params{})
+	if err != nil {
+		return nil, err
+	}
+	c := client.New(d.URL, client.WithMaxRetries(0))
+	total := cfg.scale(64, 16)
+	var ok, rejected, failed atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	// One uncounted request per distinct spec warms the connection
+	// pool; the barrier then releases the whole burst at once so the
+	// arrivals genuinely exceed the admission capacity of 2.
+	for i := range specs {
+		c.LabelData(ctx, specs[i].data, specs[i].ctype, specs[i].params)
+	}
+	start := make(chan struct{})
+	for i := 0; i < total; i++ {
+		sp := &specs[i%len(specs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, err := c.LabelData(ctx, sp.data, sp.ctype, sp.params)
+			var se *client.StatusError
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.As(err, &se) && se.Code == http.StatusTooManyRequests:
+				rejected.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if failed.Load() > 0 {
+		return nil, fmt.Errorf("%d non-429 failures under overload", failed.Load())
+	}
+	return []benchfmt.Result{
+		{Name: "overload/requests", Unit: "count", Value: float64(total)},
+		{Name: "overload/ok", Unit: "count", Value: float64(ok.Load())},
+		{Name: "overload/rejected_429", Unit: "count", Value: float64(rejected.Load())},
+	}, nil
+}
+
+// runBatch: multipart batch endpoint throughput — many frames per
+// round trip.
+func runBatch(cfg Config) ([]benchfmt.Result, error) {
+	d, err := bootSlapd(server.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	n := cfg.scale(128, 48)
+	perBatch := cfg.scale(16, 4)
+	batches := cfg.scale(12, 2)
+	frames := make([]client.Frame, perBatch)
+	var pixels int64
+	for i := range frames {
+		img := slapcc.RandomImage(n, 0.5, cfg.Seed+uint64(i))
+		fr, err := client.EncodeFrame(img, "raw")
+		if err != nil {
+			return nil, err
+		}
+		frames[i] = fr
+		pixels += int64(n) * int64(n)
+	}
+	c := client.New(d.URL, client.WithMaxRetries(8))
+	ctx := context.Background()
+	if _, err := c.LabelBatch(ctx, frames, api.Params{}); err != nil {
+		return nil, fmt.Errorf("warmup batch: %w", err)
+	}
+	gc0 := obs.ReadGC()
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		if _, err := c.LabelBatch(ctx, frames, api.Params{}); err != nil {
+			return nil, fmt.Errorf("batch %d: %w", b, err)
+		}
+	}
+	elapsed := time.Since(start)
+	gc := obs.ReadGC().Delta(gc0)
+	secs := elapsed.Seconds()
+	return []benchfmt.Result{
+		{Name: "batch/frames_per_s", Unit: "frames/s", Better: benchfmt.HigherIsBetter,
+			Value: float64(batches*perBatch) / secs},
+		{Name: "batch/pixel_mb_per_s", Unit: "MB/s", Better: benchfmt.HigherIsBetter,
+			Value: float64(pixels*int64(batches)) / 1e6 / secs},
+		{Name: "batch/frames_per_batch", Unit: "count", Value: float64(perBatch)},
+		{Name: "batch/gc_collections", Unit: "count", Value: float64(gc.NumGC)},
+	}, nil
+}
+
+// runCost: identical corpora served by cost=host and cost=bitserial —
+// the PR 8 comparison, plus the derived ratio that gates the host
+// engine's win.
+func runCost(cfg Config) ([]benchfmt.Result, error) {
+	d, err := bootSlapd(server.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	n := cfg.scale(1024, 128)
+	frames := cfg.scale(24, 4)
+	var all []benchfmt.Result
+	byPrefix := map[string]float64{}
+	for _, cost := range []string{"host", "bitserial"} {
+		prefix := "cost-" + cost
+		specs, err := corpus(cfg, []int{n}, []string{"raw"}, 2, api.Params{Cost: cost})
+		if err != nil {
+			return nil, err
+		}
+		out, err := profiled(cfg, d, prefix, func() (*loopOut, error) {
+			return drive(d, specs, loopCfg{prefix: prefix, frames: frames, conc: 1, retries: 8})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cost=%s: %w", cost, err)
+		}
+		res := out.results(prefix)
+		all = append(all, res...)
+		for _, r := range res {
+			if r.Name == prefix+"/pixel_mb_per_s" {
+				byPrefix[cost] = r.Value
+			}
+		}
+	}
+	if byPrefix["bitserial"] > 0 {
+		all = append(all, benchfmt.Result{
+			Name: "engine/host_over_bitserial", Unit: "x", Better: benchfmt.HigherIsBetter,
+			Value: byPrefix["host"] / byPrefix["bitserial"],
+			Note:  "host-engine pixel throughput over metered bit-serial simulation, identical requests",
+		})
+	}
+	return all, nil
+}

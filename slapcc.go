@@ -41,7 +41,7 @@
 // Results and simulated metrics are bit-identical whether a Labeler is
 // fresh, reused, or pooled — only host-side speed differs.
 //
-// The full evaluation suite behind EXPERIMENTS.md lives in cmd/slapbench;
+// The full evaluation suite lives in cmd/slapbench (see docs/METRICS.md);
 // deeper control (union–find variants, bit-serial links, idle-time
 // compression) is available through Options.
 package slapcc
